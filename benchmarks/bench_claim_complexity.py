@@ -1,0 +1,46 @@
+"""C2 — optimizer complexity with and without Filter Joins."""
+
+from repro.harness.experiments import c2_complexity
+
+
+def test_benchmark_c2(run_once):
+    result = run_once(c2_complexity.run, quick=True)
+    print()
+    print(result.render())
+    chain = result.tables[0]
+    ratios = [float(row[3].rstrip("x")) for row in chain.rows]
+    # Shape: the plans-considered ratio does not grow with N — the
+    # asymptotic complexity class is unchanged (it actually shrinks as
+    # the DP's own exponential growth dominates the constant FJ factor).
+    assert ratios[-1] <= ratios[0] * 1.5
+    relax = result.tables[1]
+    last = relax.rows[-1]
+    lim12, lim1, nolim = (float(last[1]), float(last[2]), float(last[3]))
+    # Relaxing Limitation 2 adds candidates; dropping both adds more.
+    assert lim1 >= lim12
+    assert nolim > lim1
+    # Assumption 1: parametric classes keep nested view optimizations
+    # far below exact per-candidate re-optimization, and the gap widens.
+    assumption = result.tables[2]
+    first, final = assumption.rows[0], assumption.rows[-1]
+    assert float(first[1]) < float(first[2])
+    assert float(final[1]) < float(final[2])
+    gap_first = float(first[2]) / float(first[1])
+    gap_final = float(final[2]) / float(final[1])
+    assert gap_final > gap_first
+
+
+def test_optimization_time_bounded():
+    """Optimizing with filter joins on stays within a constant factor of
+    optimizing without, across N."""
+    from repro.harness.runners import plan_only
+    from repro.optimizer.config import OptimizerConfig
+
+    for n in (3, 5):
+        db = c2_complexity.chain_db(n, rows_per_table=100)
+        query = c2_complexity.chain_query(n)
+        _p, off, _t = plan_only(db, query, OptimizerConfig(
+            enable_filter_join=False, enable_bloom_filter=False))
+        _p, on, _t = plan_only(db, query, OptimizerConfig())
+        assert on.metrics.plans_considered \
+            <= 40 * off.metrics.plans_considered

@@ -1,0 +1,20 @@
+"""C3 — cost-based Filter Joins vs never-magic / always-magic."""
+
+from repro.harness.experiments import c3_heuristic
+
+
+def test_benchmark_c3(run_once):
+    result = run_once(c3_heuristic.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    never_wins = sum(1 for row in table.rows if row[4] == "never")
+    always_wins = sum(1 for row in table.rows if row[4] == "always")
+    # Shape: neither fixed heuristic dominates the plane...
+    assert never_wins >= 1
+    assert always_wins >= 1
+    # ...and the cost-based plan's regret vs the per-point winner is
+    # small everywhere.
+    for row in table.rows:
+        regret = float(row[5].rstrip("%"))
+        assert regret <= 25.0

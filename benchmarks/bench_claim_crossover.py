@@ -1,0 +1,23 @@
+"""C1 — the win/lose crossover for the Filter Join."""
+
+from repro.harness.experiments import c1_crossover
+
+
+def test_benchmark_c1(run_once):
+    result = run_once(c1_crossover.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    first, last = table.rows[0], table.rows[-1]
+    speedup_selective = float(first[3].rstrip("x"))
+    speedup_unselective = float(last[3].rstrip("x"))
+    # Shape: magic wins clearly at low selectivity...
+    assert speedup_selective > 1.5
+    # ...and becomes pure overhead when everything qualifies.
+    assert speedup_unselective < 1.0
+    # The cost-based plan tracks the winner at both extremes.
+    for row in (first, last):
+        full = float(row[1])
+        filter_join = float(row[2])
+        cost_based = float(row[5])
+        assert cost_based <= min(full, filter_join) * 1.1

@@ -1,0 +1,39 @@
+"""C4 — distributed semi-join vs R*-style strategies across the
+selectivity x network-cost grid."""
+
+from repro.harness.experiments import c4_distributed
+
+
+def test_benchmark_c4(run_once):
+    result = run_once(c4_distributed.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    strategies = list(c4_distributed.STRATEGIES)
+    fetch_inner = strategies.index("fetch-inner (R*)") + 2
+    fetch_matches = strategies.index("fetch-matches (R*)") + 2
+    semi_join = strategies.index("semi-join (SDD-1)") + 2
+    bloom = strategies.index("Bloom join") + 2
+
+    by_key = {(row[0], row[1]): row for row in table.rows}
+    selective_dear = by_key[("selective (5%)", "dear net")]
+    unselective_cheap = by_key[("unselective (100%)", "cheap net")]
+
+    # SDD-1's regime: selective filter + dear network -> restriction
+    # wins by a wide margin.
+    restricting = min(float(selective_dear[semi_join]),
+                      float(selective_dear[bloom]))
+    assert restricting < float(selective_dear[fetch_inner]) * 0.8
+    # System R*'s regime: unselective filter + cheap network -> shipping
+    # the inner wholesale wins.
+    assert float(unselective_cheap[fetch_inner]) < min(
+        float(unselective_cheap[semi_join]),
+        float(unselective_cheap[bloom]),
+    )
+    # Fetch-matches (per-tuple round trips) is dominated everywhere.
+    for row in table.rows:
+        assert float(row[fetch_matches]) > float(row[fetch_inner])
+    # The cost-based pick tracks the winner at every grid point.
+    for row in table.rows:
+        best = min(float(row[i]) for i in range(2, 6))
+        assert float(row[-1]) <= best * 1.1

@@ -1,0 +1,19 @@
+"""C7 — estimate-vs-measured accuracy and plan ranking."""
+
+from repro.harness.experiments import c7_estimator
+
+
+def test_benchmark_c7(run_once):
+    result = run_once(c7_estimator.run, quick=True)
+    print()
+    print(result.render())
+    # Shape: on plan pairs whose measured costs actually differ, the
+    # estimates rank them correctly — which is all the optimizer needs.
+    concordance_line = next(f for f in result.findings
+                            if "distinguishable" in f)
+    concordance = float(concordance_line.split(":")[1].split("—")[0])
+    assert concordance >= 0.9
+    # Estimate/measured ratios stay within an order of magnitude.
+    for row in result.tables[0].rows:
+        ratio = float(row[5])
+        assert 0.1 <= ratio <= 10.0

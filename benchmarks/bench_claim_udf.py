@@ -1,0 +1,24 @@
+"""C5 — Filter Joins over user-defined relations."""
+
+from repro.harness.experiments import c5_udf
+
+
+def test_benchmark_c5(run_once):
+    result = run_once(c5_udf.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    for row in table.rows:
+        repeated = float(row[1])
+        memo = float(row[2])
+        filter_join = float(row[3])
+        # Shape: filter join never invokes more than memo, which never
+        # invokes more than repeated probing...
+        assert filter_join <= memo <= repeated
+        # ...and the paper's locality discount makes the filter join
+        # strictly cheaper than memoing.
+        assert filter_join < memo
+    # The invocation-cost gap widens with duplication: the repeated /
+    # filter ratio must grow down the table.
+    ratios = [float(r[1]) / float(r[3]) for r in table.rows]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,21 @@
+"""E2 — lossy filter sizing: the Bloom bit-budget U-curve."""
+
+from repro.harness.experiments import e2_bloom_sizing
+
+
+def test_benchmark_e2(run_once):
+    result = run_once(e2_bloom_sizing.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    exact_row = table.rows[0]
+    bloom_rows = table.rows[1:]
+    costs = [float(row[4]) for row in bloom_rows]
+    fprs = [float(row[2].rstrip("%")) for row in bloom_rows]
+    # Shape: FPR is non-increasing in the bit budget...
+    assert fprs == sorted(fprs, reverse=True)
+    # ...the saturated (smallest) filter is the worst of the swept sizes
+    assert costs[0] == max(costs)
+    # ...and some Bloom size is at least competitive with the exact set
+    # (within 10%): the fixed-size representation earns its keep.
+    assert min(costs) <= float(exact_row[4]) * 1.1

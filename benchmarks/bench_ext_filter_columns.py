@@ -1,0 +1,23 @@
+"""E3 — filter-set column subsets under Limitation 3."""
+
+from repro.harness.experiments import e3_filter_columns
+
+
+def test_benchmark_e3(run_once):
+    result = run_once(e3_filter_columns.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    by_key = {(row[0], row[1]): row for row in table.rows}
+    clustered_all = by_key[("clustered index on Fact.a", "all")]
+    clustered_singles = by_key[("clustered index on Fact.a",
+                                "all_and_singles")]
+    # Shape: with a clustered index on one attribute, the singleton
+    # subset wins big and the optimizer selects it...
+    assert clustered_singles[2] == "a"
+    assert float(clustered_singles[3]) < float(clustered_all[3])
+    # ...and allowing singletons is never worse than the full set only.
+    for design in ("clustered index on Fact.a", "no index (heap)"):
+        full_only = float(by_key[(design, "all")][3])
+        with_singles = float(by_key[(design, "all_and_singles")][3])
+        assert with_singles <= full_only * 1.01

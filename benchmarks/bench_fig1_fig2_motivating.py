@@ -1,0 +1,39 @@
+"""F1/F2 — the motivating query and its Figure-2 rewriting."""
+
+from repro.harness.experiments import fig1_fig2
+from repro.harness.runners import run_strategies
+from repro.workloads import MOTIVATING_QUERY, fresh_empdept
+
+
+def test_benchmark_fig1_fig2(run_once):
+    result = run_once(fig1_fig2.run, quick=True)
+    print()
+    print(result.render())
+    # Shape: the Figure-2 decomposition is produced, and the filter join
+    # beats both full computation and nested iteration in the selective
+    # regime the figure illustrates.
+    rewriting_lines = "\n".join(
+        row[0] for row in result.tables[0].rows
+    )
+    assert "PartialResult" in rewriting_lines
+    assert "DISTINCT" in rewriting_lines
+
+
+def test_shape_filter_join_wins_selective_regime():
+    db = fresh_empdept(fig1_fig2.workload(quick=True))
+    runs = run_strategies(db, MOTIVATING_QUERY)
+    full = runs["full-computation"].measured_cost
+    filter_join = runs["filter-join"].measured_cost
+    iteration = runs["nested-iteration"].measured_cost
+    cost_based = runs["cost-based"].measured_cost
+    assert filter_join < full, "magic must win when 5% of depts qualify"
+    assert filter_join < iteration
+    assert cost_based <= min(full, filter_join, iteration) * 1.05
+
+
+def test_benchmark_strategy_suite(benchmark):
+    db = fresh_empdept(fig1_fig2.workload(quick=True))
+    benchmark.pedantic(
+        run_strategies, args=(db, MOTIVATING_QUERY),
+        rounds=2, iterations=1, warmup_rounds=0,
+    )

@@ -1,0 +1,20 @@
+"""F3 — the six join orders as SIPS variants."""
+
+from repro.harness.experiments import fig3
+
+
+def test_benchmark_fig3(run_once):
+    result = run_once(fig3.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    # Shape: the winning SIPS variant differs across scenarios (the
+    # paper's point that each option may be optimal somewhere), and the
+    # cost-based plan is never worse than the per-scenario winner by a
+    # wide margin.
+    winners = {row[-2] for row in table.rows}
+    assert len(winners) >= 2, "at least two different SIPS variants win"
+    for row in table.rows:
+        variant_costs = [float(c) for c in row[1:-2]]
+        cost_based = float(row[-1])
+        assert cost_based <= min(variant_costs) * 1.25

@@ -1,0 +1,21 @@
+"""F4 — straight-line fit of restricted-inner cardinality."""
+
+from repro.harness.experiments import fig4
+
+
+def test_benchmark_fig4(run_once):
+    result = run_once(fig4.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    errors = []
+    for row in table.rows:
+        predicted = float(row[1])
+        actual = float(row[2])
+        errors.append(abs(predicted - actual) / max(actual, 1.0))
+    # Shape: the line fit tracks the true restricted cardinality closely
+    # (the paper's proportionality argument), with mean error under 15%.
+    assert sum(errors) / len(errors) < 0.15
+    # Cardinality grows monotonically with the filter-set size.
+    actuals = [float(row[2]) for row in table.rows]
+    assert actuals == sorted(actuals)

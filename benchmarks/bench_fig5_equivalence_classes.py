@@ -1,0 +1,21 @@
+"""F5 — the equivalence-class knob: classes vs effort vs accuracy."""
+
+from repro.harness.experiments import fig5
+
+
+def test_benchmark_fig5(run_once):
+    result = run_once(fig5.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    class_rows = [row for row in table.rows if row[0] != "exact"]
+    nested = [float(row[1]) for row in class_rows]
+    errors = [float(row[3].rstrip("%")) for row in class_rows]
+    # Shape: more classes -> more nested optimizations...
+    assert nested == sorted(nested)
+    assert nested[-1] > nested[0]
+    # ...and (weakly) lower estimation error at the high end.
+    assert errors[-1] <= errors[0]
+    # The exact mode exists and has zero error by construction.
+    exact_rows = [row for row in table.rows if row[0] == "exact"]
+    assert exact_rows and exact_rows[0][3] == "0.0%"

@@ -1,0 +1,37 @@
+"""F6 — the cross-domain join technique taxonomy."""
+
+from repro.harness.experiments import fig6
+
+
+def test_benchmark_fig6(run_once):
+    result = run_once(fig6.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    matrix = {row[0]: row[1:] for row in table.rows}
+    # Every strategy family has a populated cell in every domain, except
+    # the lossy filter for UDFs (N/A in the paper's matrix too).
+    assert matrix["repeated-probe"][3] != "-"
+    assert matrix["filter-join"][3] != "-"
+    assert matrix["lossy-filter"][3] == "-"
+
+    def col(domain_index, strategy):
+        return float(matrix[strategy][domain_index])
+
+    # Shape: repeated probing is the most expensive strategy for stored,
+    # remote, and UDF inners at this (unselective-outer) setting. In the
+    # view column the engine's "optimized nested iteration" (sorted
+    # outer, one probe per distinct binding — Figure 6's w/OUTER-SORT
+    # cell) makes correlation competitive, but never better than the
+    # Filter Join by more than noise.
+    for domain in (0, 1, 3):
+        if matrix["repeated-probe"][domain] == "-":
+            continue
+        others = [
+            col(domain, s) for s in ("full-computation", "filter-join")
+        ]
+        assert col(domain, "repeated-probe") > max(others)
+    assert col(2, "repeated-probe") >= col(2, "filter-join") * 0.9
+    # ...and the filter join wins the remote (semi-join) and UDF columns.
+    assert col(1, "filter-join") < col(1, "full-computation")
+    assert col(3, "filter-join") < col(3, "full-computation")

@@ -1,0 +1,97 @@
+"""Optimizer-overhead benchmarks: wall-clock planning time.
+
+These track the cost of *optimization itself* (not execution) so
+regressions in the DP, the Filter Join enumeration, or the parametric
+machinery show up directly in pytest-benchmark numbers.
+"""
+
+import pytest
+
+from repro import OptimizerConfig
+from repro.harness.experiments.c2_complexity import chain_db, chain_query
+from repro.optimizer.planner import Planner
+from repro.workloads import EmpDeptConfig, MOTIVATING_QUERY, fresh_empdept
+
+
+@pytest.fixture(scope="module")
+def empdept():
+    return fresh_empdept(EmpDeptConfig(
+        num_departments=100, employees_per_department=20, seed=201,
+    ))
+
+
+@pytest.fixture(scope="module")
+def chain5():
+    return chain_db(5, rows_per_table=150), chain_query(5)
+
+
+def plan_once(db, sql, config):
+    block = db.bind(sql)
+    planner = Planner(db.catalog, config)
+    return planner.plan(block)
+
+
+def test_benchmark_plan_motivating_query(benchmark, empdept):
+    block = empdept.bind(MOTIVATING_QUERY)
+    config = OptimizerConfig()
+
+    def run():
+        return Planner(empdept.catalog, config).plan(block)
+
+    plan = benchmark(run)
+    assert plan.est_cost > 0
+
+
+def test_benchmark_plan_without_filter_joins(benchmark, empdept):
+    block = empdept.bind(MOTIVATING_QUERY)
+    config = OptimizerConfig(enable_filter_join=False,
+                             enable_bloom_filter=False,
+                             enable_nested_iteration=False)
+
+    def run():
+        return Planner(empdept.catalog, config).plan(block)
+
+    plan = benchmark(run)
+    assert plan.est_cost > 0
+
+
+def test_benchmark_plan_chain5(benchmark, chain5):
+    db, query = chain5
+    block = db.bind(query)
+    config = OptimizerConfig()
+
+    def run():
+        return Planner(db.catalog, config).plan(block)
+
+    benchmark(run)
+
+
+def test_benchmark_plan_exact_parametric(benchmark, empdept):
+    block = empdept.bind(MOTIVATING_QUERY)
+    config = OptimizerConfig(enable_parametric=False)
+
+    def run():
+        return Planner(empdept.catalog, config).plan(block)
+
+    benchmark(run)
+
+
+def test_overhead_ratio_is_bounded(empdept):
+    """Considering Filter Joins must not blow planning time up by more
+    than a constant factor on the motivating query."""
+    import time
+
+    block = empdept.bind(MOTIVATING_QUERY)
+
+    def timed(config):
+        started = time.perf_counter()
+        for _ in range(3):
+            Planner(empdept.catalog, config).plan(block)
+        return time.perf_counter() - started
+
+    with_fj = timed(OptimizerConfig())
+    without = timed(OptimizerConfig(
+        enable_filter_join=False, enable_bloom_filter=False,
+        enable_nested_iteration=False,
+    ))
+    assert with_fj <= without * 60

@@ -1,0 +1,20 @@
+"""T1 — the seven Filter Join cost components, estimate vs measured."""
+
+from repro.harness.experiments import table1
+
+
+def test_benchmark_table1(run_once):
+    result = run_once(table1.run, quick=True)
+    print()
+    print(result.render())
+    table = result.tables[0]
+    rows = {row[0]: (float(row[1]), float(row[2])) for row in table.rows}
+    # All seven components are present plus a TOTAL row.
+    for component in table1.COMPONENTS:
+        assert component in rows
+    est_total, meas_total = rows["TOTAL"]
+    # The component sums must equal the sum of the parts...
+    assert est_total == sum(rows[c][0] for c in table1.COMPONENTS) \
+        or abs(est_total - sum(rows[c][0] for c in table1.COMPONENTS)) < 1.0
+    # ...and estimate and measurement agree to within 2x overall.
+    assert 0.5 <= meas_total / est_total <= 2.0

@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Each bench module wraps one experiment from
+:mod:`repro.harness.experiments` (see DESIGN.md's experiment index).
+``pytest benchmarks/ --benchmark-only`` times the experiment bodies at
+quick scale and asserts the paper's qualitative shape (who wins, by
+roughly what factor, where crossovers fall); ``python -m
+repro.harness.generate`` produces the full EXPERIMENTS.md report.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,85 @@
+"""Distributed joins: semi-join vs fetch-inner across network regimes.
+
+Section 5.1's scenario: Orders at the local site, Customers (wide rows)
+at a remote site. We sweep the network cost weights from "LAN, nearly
+free" to "WAN, very dear" and print what each strategy costs and what
+the cost-based optimizer picks — reproducing the SDD-1 vs System R*
+contrast with one cost formula.
+
+Run:  python examples/distributed_semijoin.py
+"""
+
+import random
+
+from repro import DataType
+from repro.distributed import DistributedDatabase, distributed_config
+from repro.harness.report import TextTable
+from repro.harness.runners import run_query
+
+QUERY = ("SELECT O.oid, C.name FROM Orders O, Cust C "
+         "WHERE O.cid = C.cid AND O.total > 940")
+
+STRATEGIES = {
+    "fetch inner": {"forced_stored_join": "hash"},
+    "fetch matches": {"forced_stored_join": "inl"},
+    "semi-join": {"forced_stored_join": "filter_join"},
+    "Bloom join": {"forced_stored_join": "bloom"},
+}
+
+NETWORKS = [
+    ("LAN (cheap)", 0.1, 0.0001),
+    ("campus", 1.0, 0.002),
+    ("WAN", 10.0, 0.02),
+    ("satellite (dear)", 40.0, 0.2),
+]
+
+
+def build(msg_cost: float, byte_cost: float) -> DistributedDatabase:
+    rng = random.Random(17)
+    db = DistributedDatabase(distributed_config(msg_cost, byte_cost))
+    db.create_table("Orders", [("oid", DataType.INT),
+                               ("cid", DataType.INT),
+                               ("total", DataType.INT)])
+    db.create_table("Cust", [("cid", DataType.INT),
+                             ("name", DataType.STR),
+                             ("address", DataType.STR)], site="siteB")
+    db.insert("Orders", [
+        (i, rng.randint(1, 800), rng.randint(1, 1000))
+        for i in range(1, 5001)
+    ])
+    db.insert("Cust", [
+        (c, "customer-%04d" % c, "somewhere %d, far away" % c)
+        for c in range(1, 801)
+    ])
+    db.create_index("Cust", "cid")
+    db.analyze()
+    return db
+
+
+def main() -> None:
+    table = TextTable(
+        ["network"] + list(STRATEGIES)
+        + ["winner", "cost-based", "bytes shipped (cost-based)"],
+        title="Two-site join: measured cost per strategy",
+    )
+    for label, msg_cost, byte_cost in NETWORKS:
+        db = build(msg_cost, byte_cost)
+        base = distributed_config(msg_cost, byte_cost)
+        costs = {}
+        for name, overrides in STRATEGIES.items():
+            measured = run_query(db, QUERY, base.replace(**overrides))
+            costs[name] = measured.measured_cost
+        chosen = run_query(db, QUERY, base)
+        winner = min(costs, key=costs.get)
+        table.add_row(label, *costs.values(), winner,
+                      chosen.measured_cost, chosen.ledger.net_bytes)
+    print(table.render())
+    print()
+    print("As the network gets dearer the winner shifts from shipping")
+    print("the whole inner (System R*) to restricting it first with a")
+    print("filter set (SDD-1's semi-join) or a fixed-size Bloom filter;")
+    print("the cost-based column tracks the winner throughout.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim so editable installs work without the wheel package."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Filter Joins: cost-based optimization for magic sets "
+        "(SIGMOD '96 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+)

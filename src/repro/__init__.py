@@ -1,0 +1,52 @@
+"""repro — Filter Joins: cost-based optimization for magic sets.
+
+A from-scratch reproduction of Seshadri, Hellerstein & Ramakrishnan's
+"Filter Joins: Cost-Based Optimization for Magic Sets" (TR #1273 / the
+SIGMOD '96 "Cost-Based Optimization for Magic" line of work): an embedded
+relational engine whose System-R optimizer treats magic-sets rewriting,
+semi-joins, Bloom joins, and consecutive UDF invocation as one join
+algorithm — the Filter Join — chosen purely by cost.
+
+Quickstart::
+
+    from repro import Database
+    db = Database()
+    ...
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from .database import Database, QueryResult
+from .errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    PlanError,
+    ReproError,
+    SqlSyntaxError,
+    StatsError,
+)
+from .ledger import CostLedger, CostParams
+from .optimizer.config import OptimizerConfig
+from .storage.schema import Column, DataType, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BindError",
+    "CatalogError",
+    "Column",
+    "CostLedger",
+    "CostParams",
+    "DataType",
+    "Database",
+    "ExecutionError",
+    "OptimizerConfig",
+    "PlanError",
+    "QueryResult",
+    "ReproError",
+    "Schema",
+    "SqlSyntaxError",
+    "StatsError",
+    "__version__",
+]

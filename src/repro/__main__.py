@@ -1,0 +1,7 @@
+"""``python -m repro`` starts the interactive SQL shell."""
+
+import sys
+
+from .shell import main
+
+sys.exit(main())

@@ -1,0 +1,34 @@
+"""Logical algebra: relation references, query blocks, predicate tools."""
+
+from .block import QueryBlock, SelectItem
+from .predicates import (
+    alias_of,
+    aliases_in,
+    applicable_predicates,
+    connected_aliases,
+    equijoin_pairs,
+    join_predicates_between,
+    local_predicates,
+)
+from .relations import (
+    FilterSetRelation,
+    RelationRef,
+    StoredRelation,
+    VirtualRelation,
+)
+
+__all__ = [
+    "FilterSetRelation",
+    "QueryBlock",
+    "RelationRef",
+    "SelectItem",
+    "StoredRelation",
+    "VirtualRelation",
+    "alias_of",
+    "aliases_in",
+    "applicable_predicates",
+    "connected_aliases",
+    "equijoin_pairs",
+    "join_predicates_between",
+    "local_predicates",
+]

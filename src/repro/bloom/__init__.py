@@ -1,0 +1,5 @@
+"""Bloom filters: the lossy filter-set representation."""
+
+from .filter import BloomFilter
+
+__all__ = ["BloomFilter"]

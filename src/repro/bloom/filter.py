@@ -1,0 +1,74 @@
+"""A classic Bloom filter: the lossy filter-set implementation.
+
+The paper (Sections 3.3, 5.1, Figure 6) proposes Bloom filters as a
+fixed-size, lossy representation of the filter set — cheap to ship in a
+distributed setting, at the price of false positives that the Filter
+Join's final join weeds out.
+
+Bits are stored in a Python ``bytearray``; the ``k`` hash functions are
+derived by double hashing from two independent hashes of the key.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+
+class BloomFilter:
+    """Fixed-size bit-vector set approximation.
+
+    ``num_bits`` fixes the size (the paper's "fixed size bit vector");
+    ``expected_items`` tunes the number of hash functions to the standard
+    optimum k = (m/n) ln 2.
+    """
+
+    def __init__(self, num_bits: int = 64 * 1024,
+                 expected_items: int = 1024):
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = max(
+            1, round(num_bits / max(1, expected_items) * math.log(2))
+        )
+        self.num_hashes = min(self.num_hashes, 16)
+        self._bits = bytearray((num_bits + 7) // 8)
+        self.items_added = 0
+
+    def _positions(self, item: Hashable):
+        h1 = hash(item)
+        h2 = hash((item, 0x9E3779B9))
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, item: Hashable) -> None:
+        for pos in self._positions(item):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self.items_added += 1
+
+    def add_all(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return all(
+            self._bits[pos // 8] & (1 << (pos % 8))
+            for pos in self._positions(item)
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    def expected_false_positive_rate(self) -> float:
+        """FPR estimate for the number of items actually added."""
+        if self.items_added == 0:
+            return 0.0
+        k = self.num_hashes
+        fill = 1.0 - math.exp(-k * self.items_added / self.num_bits)
+        return fill ** k
+
+    def __repr__(self) -> str:
+        return "BloomFilter(bits=%d, k=%d, items=%d)" % (
+            self.num_bits, self.num_hashes, self.items_added,
+        )

@@ -1,0 +1,321 @@
+"""The public façade: an embedded database with a cost-based optimizer
+that treats magic-sets rewriting as a join method.
+
+Typical use::
+
+    from repro import Database
+
+    db = Database()
+    db.execute_script(open("schema.sql").read())
+    db.analyze()
+    result = db.sql("SELECT ... FROM Emp E, Dept D, DepAvgSal V WHERE ...")
+    print(result.rows)
+    print(db.explain("SELECT ..."))
+
+Every query is parsed, bound against the catalog, optimized by the
+System-R planner (with Filter Joins), lowered, and executed; the measured
+cost ledger rides along on the :class:`QueryResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .algebra.block import QueryBlock
+from .errors import ReproError
+from .executor.lowering import lower
+from .executor.runtime import RuntimeContext
+from .ledger import CostLedger
+from .optimizer.config import OptimizerConfig
+from .optimizer.planner import Planner, PlannerMetrics
+from .optimizer.plans import PlanNode
+from .sql import ast
+from .sql.binder import Binder
+from .sql.parser import parse, parse_script
+from .storage.catalog import Catalog
+from .storage.schema import Column, DataType, Schema
+from .udf.relation import FunctionRegistry
+
+_TYPE_MAP = {
+    "int": DataType.INT,
+    "float": DataType.FLOAT,
+    "str": DataType.STR,
+    "bool": DataType.BOOL,
+}
+
+
+@dataclass
+class QueryResult:
+    """Rows plus everything an experiment wants to know about the run."""
+
+    rows: List[tuple]
+    schema: Schema
+    plan: Optional[PlanNode] = None
+    ledger: CostLedger = field(default_factory=CostLedger)
+    metrics: Optional[PlannerMetrics] = None
+    elapsed_seconds: float = 0.0
+    statement_kind: str = "select"
+
+    @property
+    def columns(self) -> List[str]:
+        return self.schema.names()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_dicts(self) -> List[dict]:
+        names = self.columns
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def measured_cost(self, params=None) -> float:
+        return self.ledger.total(params)
+
+    def __repr__(self) -> str:
+        return "QueryResult(%d rows, cost=%.1f)" % (
+            len(self.rows), self.ledger.total(),
+        )
+
+
+class Database:
+    """An embedded relational database with Filter Join optimization."""
+
+    def __init__(self, config: Optional[OptimizerConfig] = None):
+        self.catalog = Catalog()
+        self.functions = FunctionRegistry()
+        self.config = config or OptimizerConfig()
+        self.config.validate()
+        self.last_planner: Optional[Planner] = None
+
+    # ----------------------------------------------------------------- DDL
+
+    def create_table(self, name: str,
+                     columns: Sequence[Tuple[str, DataType]]):
+        """Create a table from (name, DataType) pairs."""
+        schema = Schema(Column(col, dtype) for col, dtype in columns)
+        return self.catalog.create_table(name, schema)
+
+    def create_view(self, name: str, sql_text: str,
+                    column_aliases: Optional[Sequence[str]] = None):
+        """Register a view; its body is bound lazily at query time."""
+        statement = parse(sql_text)  # validate eagerly
+        if not isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
+            raise ReproError("a view must be defined by a query")
+        return self.catalog.create_view(name, sql_text, column_aliases)
+
+    def create_index(self, table: str, column: str,
+                     kind: str = "hash") -> None:
+        self.catalog.table(table).create_index(column, kind)
+
+    def insert(self, table: str, rows) -> int:
+        return self.catalog.table(table).insert_many(rows)
+
+    def analyze(self, table: Optional[str] = None) -> None:
+        """(Re)collect optimizer statistics."""
+        self.catalog.analyze(table)
+
+    # --------------------------------------------------------------- binding
+
+    def binder(self) -> Binder:
+        return Binder(self.catalog, self.functions.binder_map())
+
+    def bind(self, sql_text: str):
+        """Parse and bind a SELECT (or UNION chain) into its canonical
+        bound form."""
+        return self._bind_statement(parse(sql_text))
+
+    def _bind_statement(self, statement):
+        binder = self.binder()
+        if isinstance(statement, ast.UnionStmt):
+            return binder.bind_union(statement)
+        if isinstance(statement, ast.SelectStmt):
+            return binder.bind(statement)
+        raise ReproError("expected a query, got %r"
+                         % type(statement).__name__)
+
+    # -------------------------------------------------------------- planning
+
+    def plan(self, sql_or_block: Union[str, QueryBlock],
+             config: Optional[OptimizerConfig] = None
+             ) -> Tuple[PlanNode, Planner]:
+        """Optimize a query; returns the plan and the planner (for its
+        metrics and costers)."""
+        block = (
+            self.bind(sql_or_block) if isinstance(sql_or_block, str)
+            else sql_or_block
+        )
+        planner = Planner(self.catalog, config or self.config)
+        plan = planner.plan(block)
+        self.last_planner = planner
+        return plan, planner
+
+    def explain(self, sql_text: str,
+                config: Optional[OptimizerConfig] = None) -> str:
+        plan, _planner = self.plan(sql_text, config)
+        return plan.explain()
+
+    def explain_analyze(self, sql_text: str,
+                        config: Optional[OptimizerConfig] = None) -> str:
+        """EXPLAIN plus execution: the plan annotated with per-operator
+        actual row counts, followed by the measured cost ledger and
+        estimate-vs-actual totals."""
+        from .executor.lowering import lower_traced
+
+        config = config or self.config
+        plan, planner = self.plan(sql_text, config)
+        ctx = RuntimeContext(
+            params=config.cost_params,
+            memory_pages=config.memory_pages,
+            message_payload_bytes=config.message_payload_bytes,
+        )
+        root, tracers = lower_traced(plan, ctx)
+        rows = list(root.rows())
+        result = QueryResult(rows=rows, schema=plan.schema, plan=plan,
+                             ledger=ctx.ledger, metrics=planner.metrics)
+
+        def render(node, indent=0):
+            tracer = tracers.get(id(node))
+            if tracer is not None and tracer.executions > 0:
+                actual = "actual rows=%d" % tracer.rows_out
+                if tracer.executions > 1:
+                    actual += " over %d runs" % tracer.executions
+            else:
+                actual = "never executed"
+            line = "%s%s  [est rows=%.0f | %s | cost=%.1f]" % (
+                "  " * indent, node.label(), node.est_rows, actual,
+                node.est_cost,
+            )
+            parts = [line]
+            for child in node.children():
+                parts.append(render(child, indent + 1))
+            return "\n".join(parts)
+
+        measured = result.ledger.total(config.cost_params)
+        lines = [
+            render(plan),
+            "",
+            "actual rows: %d" % len(result.rows),
+            "estimated cost: %.1f   measured cost: %.1f   (ratio %.2f)"
+            % (plan.est_cost, measured,
+               plan.est_cost / measured if measured else float("nan")),
+            "measured: %s" % result.ledger,
+            "optimizer: %d plans considered, %d filter joins costed, "
+            "%d nested optimizations"
+            % (planner.metrics.plans_considered,
+               planner.metrics.filter_joins_considered,
+               planner.metrics.nested_optimizations),
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------- execution
+
+    def run_plan(self, plan: PlanNode,
+                 metrics: Optional[PlannerMetrics] = None,
+                 config: Optional[OptimizerConfig] = None) -> QueryResult:
+        """Execute a physical plan and collect rows + measured costs.
+
+        ``config`` supplies the runtime environment (memory, cost
+        weights); it should match the config the plan was optimized
+        under, defaulting to the database-wide config.
+        """
+        config = config or self.config
+        ctx = RuntimeContext(
+            params=config.cost_params,
+            memory_pages=config.memory_pages,
+            message_payload_bytes=config.message_payload_bytes,
+        )
+        started = time.perf_counter()
+        operator = lower(plan, ctx)
+        rows = list(operator.rows())
+        elapsed = time.perf_counter() - started
+        return QueryResult(
+            rows=rows,
+            schema=plan.schema,
+            plan=plan,
+            ledger=ctx.ledger,
+            metrics=metrics,
+            elapsed_seconds=elapsed,
+        )
+
+    def sql(self, text: str,
+            config: Optional[OptimizerConfig] = None) -> QueryResult:
+        """Execute one SQL statement (query or DDL/DML)."""
+        statement = parse(text)
+        return self._execute_statement(statement, text, config)
+
+    def execute_script(self, text: str) -> List[QueryResult]:
+        """Execute a ';'-separated script; returns one result per
+        statement."""
+        results = []
+        for statement in parse_script(text):
+            results.append(self._execute_statement(statement, text, None))
+        return results
+
+    # ------------------------------------------------------------- internals
+
+    def _execute_statement(self, statement, original_text: str,
+                           config: Optional[OptimizerConfig]) -> QueryResult:
+        if isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
+            block = self._bind_statement(statement)
+            plan, planner = self.plan(block, config)
+            return self.run_plan(plan, planner.metrics, config)
+        if isinstance(statement, ast.ExplainStmt):
+            block = self._bind_statement(statement.select)
+            plan, planner = self.plan(block, config)
+            text_rows = [(line,) for line in plan.explain().splitlines()]
+            return QueryResult(
+                rows=text_rows,
+                schema=Schema([Column("plan", DataType.STR)]),
+                plan=plan,
+                metrics=planner.metrics,
+                statement_kind="explain",
+            )
+        if isinstance(statement, ast.CreateTableStmt):
+            columns = [
+                (col.name, _TYPE_MAP[col.type_name])
+                for col in statement.columns
+            ]
+            self.create_table(statement.name, columns)
+            return _ddl_result("create table")
+        if isinstance(statement, ast.CreateTableAsStmt):
+            block = self._bind_statement(statement.query)
+            plan, planner = self.plan(block, config)
+            result = self.run_plan(plan, planner.metrics, config)
+            table = self.catalog.create_table(statement.name,
+                                              result.schema)
+            table.insert_many(result.rows)
+            out = _ddl_result("create table as")
+            out.rows = [(len(result.rows),)]
+            out.schema = Schema([Column("inserted", DataType.INT)])
+            return out
+        if isinstance(statement, ast.CreateViewStmt):
+            self.catalog.create_view(
+                statement.name, statement.select_text,
+                statement.column_aliases,
+            )
+            return _ddl_result("create view")
+        if isinstance(statement, ast.CreateIndexStmt):
+            self.create_index(statement.table, statement.column,
+                              statement.kind)
+            return _ddl_result("create index")
+        if isinstance(statement, ast.InsertStmt):
+            count = self.insert(statement.table, statement.rows)
+            result = _ddl_result("insert")
+            result.rows = [(count,)]
+            result.schema = Schema([Column("inserted", DataType.INT)])
+            return result
+        if isinstance(statement, ast.DropStmt):
+            if statement.kind == "table":
+                self.catalog.drop_table(statement.name)
+            else:
+                self.catalog.drop_view(statement.name)
+            return _ddl_result("drop")
+        raise ReproError("unsupported statement %r" % type(statement).__name__)
+
+
+def _ddl_result(kind: str) -> QueryResult:
+    return QueryResult(rows=[], schema=Schema(()), statement_kind=kind)

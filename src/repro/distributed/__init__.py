@@ -1,0 +1,5 @@
+"""Distributed/heterogeneous queries: sites, shipping, semi-joins."""
+
+from .database import DistributedDatabase, distributed_config
+
+__all__ = ["DistributedDatabase", "distributed_config"]

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. The subtypes mirror the pipeline
+stages: parsing, binding (name resolution), planning, and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so callers can point at the source.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class BindError(ReproError):
+    """A name (table, view, column, function) could not be resolved,
+    or an expression is ill-typed for its context."""
+
+
+class CatalogError(ReproError):
+    """Catalog inconsistency: duplicate table, unknown relation, schema
+    mismatch on load, and similar metadata problems."""
+
+
+class PlanError(ReproError):
+    """The optimizer could not produce a plan (e.g. no join method is
+    applicable, or an internal invariant was violated)."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a physical plan."""
+
+
+class StatsError(ReproError):
+    """Invalid statistics input (empty histograms, negative counts...)."""

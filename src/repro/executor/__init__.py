@@ -1,0 +1,13 @@
+"""Physical executor: runtime context, operators, plan lowering."""
+
+from .lowering import lower
+from .operators import Operator, bind_memberships
+from .runtime import RuntimeContext, TempTable
+
+__all__ = [
+    "Operator",
+    "RuntimeContext",
+    "TempTable",
+    "bind_memberships",
+    "lower",
+]

@@ -1,0 +1,319 @@
+"""Lowering: physical plan nodes -> runnable operator trees.
+
+Name resolution happens here, once: every expression is resolved against
+the concrete input schema of the operator that will evaluate it, so the
+operators themselves work purely positionally.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import PlanError
+from ..optimizer.plans import (
+    AggregateNode,
+    DistinctNode,
+    FilterJoinNode,
+    FilterNode,
+    FilterSetScanNode,
+    FunctionJoinNode,
+    IndexScanNode,
+    JoinMethod,
+    JoinNode,
+    LimitNode,
+    MaterializeNode,
+    NestedIterationNode,
+    PlanNode,
+    ProjectNode,
+    RelabelNode,
+    SeqScanNode,
+    ShipNode,
+    SortNode,
+    UnionNode,
+)
+from ..storage.schema import Column, Schema
+from .operators import (
+    AggregateOp,
+    BlockNLJoinOp,
+    DistinctOp,
+    FilterJoinOp,
+    FilterOp,
+    FilterSetScanOp,
+    FunctionJoinOp,
+    HashJoinOp,
+    IndexNLJoinOp,
+    IndexScanOp,
+    LimitOp,
+    MaterializeOp,
+    MergeJoinOp,
+    NestedIterationOp,
+    Operator,
+    ProjectOp,
+    RelabelOp,
+    SeqScanOp,
+    ShipOp,
+    SortOp,
+    UnionOp,
+)
+from .runtime import RuntimeContext
+
+
+def lower(node: PlanNode, ctx: RuntimeContext) -> Operator:
+    """Lower a physical plan into an operator tree bound to ``ctx``."""
+    return _Lowering(ctx).lower(node)
+
+
+class TracingOperator(Operator):
+    """Transparent wrapper counting rows produced by one plan node."""
+
+    def __init__(self, inner: Operator, plan_node: PlanNode):
+        super().__init__(inner.ctx, inner.schema)
+        self.inner = inner
+        self.plan_node = plan_node
+        self.rows_out = 0
+        self.executions = 0
+        # keep the structural attributes visible for tree walkers
+        for attr in ("child", "outer", "template"):
+            if hasattr(inner, attr):
+                setattr(self, attr, getattr(inner, attr))
+
+    def rows(self):
+        self.executions += 1
+        for row in self.inner.rows():
+            self.rows_out += 1
+            yield row
+
+
+def lower_traced(node: PlanNode, ctx: RuntimeContext):
+    """Lower with per-node row counting.
+
+    Returns (root operator, {plan node: TracingOperator}) — after
+    execution, each tracer holds the actual row count for its node,
+    ready to print next to the optimizer's estimate.
+    """
+    lowering = _Lowering(ctx)
+    tracers = {}
+
+    original = lowering.lower
+
+    def traced(plan_node: PlanNode) -> Operator:
+        op = original(plan_node)
+        tracer = TracingOperator(op, plan_node)
+        tracers[id(plan_node)] = tracer
+        return tracer
+
+    lowering.lower = traced
+    root = lowering.lower(node)
+    return root, tracers
+
+
+class _Lowering:
+    def __init__(self, ctx: RuntimeContext):
+        self.ctx = ctx
+
+    def lower(self, node: PlanNode) -> Operator:
+        method = getattr(self, "_lower_%s" % type(node).__name__, None)
+        if method is None:
+            raise PlanError("cannot lower plan node %r" % type(node).__name__)
+        return method(node)
+
+    # ----------------------------------------------------------------- leaves
+
+    def _lower_SeqScanNode(self, node: SeqScanNode) -> Operator:
+        predicate = (
+            node.predicate.resolve(node.schema)
+            if node.predicate is not None else None
+        )
+        return SeqScanOp(self.ctx, node.relation.table, node.schema,
+                         predicate)
+
+    def _lower_IndexScanNode(self, node: IndexScanNode) -> Operator:
+        residual = (
+            node.residual.resolve(node.schema)
+            if node.residual is not None else None
+        )
+        column = node.column.split(".", 1)[1]
+        return IndexScanOp(self.ctx, node.relation.table, node.schema,
+                           column, node.op, node.value, residual)
+
+    def _lower_FilterSetScanNode(self, node: FilterSetScanNode) -> Operator:
+        return FilterSetScanOp(self.ctx, node.param_id, node.schema)
+
+    # ------------------------------------------------------------ unary nodes
+
+    def _lower_FilterNode(self, node: FilterNode) -> Operator:
+        child = self.lower(node.child)
+        return FilterOp(self.ctx, child,
+                        node.predicate.resolve(child.schema))
+
+    def _lower_ProjectNode(self, node: ProjectNode) -> Operator:
+        child = self.lower(node.child)
+        exprs = [item.expr.resolve(child.schema) for item in node.items]
+        return ProjectOp(self.ctx, child, exprs, node.schema)
+
+    def _lower_DistinctNode(self, node: DistinctNode) -> Operator:
+        return DistinctOp(self.ctx, self.lower(node.child))
+
+    def _lower_SortNode(self, node: SortNode) -> Operator:
+        child = self.lower(node.child)
+        keys = [
+            (child.schema.index_of(name), ascending)
+            for name, ascending in node.keys
+        ]
+        return SortOp(self.ctx, child, keys)
+
+    def _lower_LimitNode(self, node: LimitNode) -> Operator:
+        return LimitOp(self.ctx, self.lower(node.child), node.limit)
+
+    def _lower_AggregateNode(self, node: AggregateNode) -> Operator:
+        child = self.lower(node.child)
+        group_positions = [
+            child.schema.index_of(name) for name in node.group_names
+        ]
+        aggregates = [
+            (spec,
+             spec.argument.resolve(child.schema)
+             if spec.argument is not None else None)
+            for spec in node.aggregates
+        ]
+        return AggregateOp(self.ctx, child, group_positions, aggregates,
+                           node.schema)
+
+    def _lower_MaterializeNode(self, node: MaterializeNode) -> Operator:
+        return MaterializeOp(self.ctx, self.lower(node.child))
+
+    def _lower_RelabelNode(self, node: RelabelNode) -> Operator:
+        return RelabelOp(self.ctx, self.lower(node.child), node.schema)
+
+    def _lower_ShipNode(self, node: ShipNode) -> Operator:
+        return ShipOp(self.ctx, self.lower(node.child))
+
+    def _lower_UnionNode(self, node: UnionNode) -> Operator:
+        return UnionOp(self.ctx, self.lower(node.left),
+                       self.lower(node.right), node.schema, node.distinct)
+
+    # ------------------------------------------------------------- join nodes
+
+    def _positions(self, schema: Schema, names) -> List[int]:
+        return [schema.index_of(name) for name in names]
+
+    def _lower_JoinNode(self, node: JoinNode) -> Operator:
+        outer = self.lower(node.outer)
+        inner = self.lower(node.inner)
+        combined = outer.schema.concat(inner.schema)
+        residual = (
+            node.residual.resolve(combined)
+            if node.residual is not None else None
+        )
+        outer_positions = self._positions(
+            outer.schema, [o for o, _ in node.equi_pairs]
+        )
+        inner_positions = self._positions(
+            inner.schema, [i for _, i in node.equi_pairs]
+        )
+        if node.method == JoinMethod.HASH:
+            return HashJoinOp(self.ctx, outer, inner, outer_positions,
+                              inner_positions, residual, node.schema,
+                              semi=node.semi)
+        if node.method == JoinMethod.MERGE:
+            return MergeJoinOp(self.ctx, outer, inner, outer_positions,
+                               inner_positions, residual, node.schema)
+        if node.method == JoinMethod.NLJ:
+            return BlockNLJoinOp(self.ctx, outer, inner, outer_positions,
+                                 inner_positions, residual, node.schema)
+        if node.method == JoinMethod.INL:
+            if node.index_column is None:
+                raise PlanError("INL join without an index column")
+            pair = next(
+                (p for p in node.equi_pairs if p[1] == node.index_column),
+                None,
+            )
+            if pair is None:
+                raise PlanError("INL join: no pair for the index column")
+            # non-probe equality pairs must be checked as residual
+            extra = [p for p in node.equi_pairs if p is not pair]
+            if extra:
+                from ..expr.nodes import ColumnRef, Comparison, conjoin
+                extras = [
+                    Comparison("=", ColumnRef(o), ColumnRef(i))
+                    for o, i in extra
+                ]
+                combined_pred = conjoin(
+                    extras + ([node.residual] if node.residual else [])
+                )
+                residual = combined_pred.resolve(combined)
+            inner_node = node.inner
+            if not isinstance(inner_node, SeqScanNode):
+                raise PlanError("INL join requires a base-table inner")
+            remote = (inner_node.relation.site is not None
+                      and inner_node.relation.site != node.site)
+            return IndexNLJoinOp(
+                self.ctx, outer, inner_node.relation.table,
+                inner_node.schema, node.index_column.split(".", 1)[1],
+                outer.schema.index_of(pair[0]), residual, node.schema,
+                remote=remote,
+            )
+        raise PlanError("unknown join method %r" % node.method)
+
+    def _filter_schema(self, node, outer_schema: Schema) -> Schema:
+        """Schema of the filter set, derived from the bind pairs."""
+        return Schema(
+            Column(filter_col, outer_schema.column(outer_col).dtype)
+            for outer_col, filter_col in node.bind_pairs
+        )
+
+    def _lower_NestedIterationNode(self, node: NestedIterationNode) -> Operator:
+        outer = self.lower(node.outer)
+        template = self.lower(node.inner_template)
+        combined = outer.schema.concat(template.schema)
+        residual = (
+            node.residual.resolve(combined)
+            if node.residual is not None else None
+        )
+        bind_positions = self._positions(
+            outer.schema, [o for o, _ in node.bind_pairs]
+        )
+        return NestedIterationOp(
+            self.ctx, outer, template, node.param_id, bind_positions,
+            self._filter_schema(node, outer.schema), residual, node.schema,
+        )
+
+    def _lower_FilterJoinNode(self, node: FilterJoinNode) -> Operator:
+        outer = self.lower(node.outer)
+        template = self.lower(node.inner_template)
+        combined = outer.schema.concat(template.schema)
+        residual = (
+            node.residual.resolve(combined)
+            if node.residual is not None else None
+        )
+        bind_positions = self._positions(
+            outer.schema, [o for o, _ in node.bind_pairs]
+        )
+        final_outer = self._positions(
+            outer.schema, [o for o, _ in node.final_equi_pairs]
+        )
+        final_inner = self._positions(
+            template.schema, [i for _, i in node.final_equi_pairs]
+        )
+        return FilterJoinOp(
+            self.ctx, outer, template, node.param_id, bind_positions,
+            self._filter_schema(node, outer.schema),
+            final_outer, final_inner, residual, node.schema,
+            materialize_production=node.materialize_production,
+            lossy=node.lossy, bloom_bits=node.bloom_bits,
+            ship_filter=node.ship_filter,
+        )
+
+    def _lower_FunctionJoinNode(self, node: FunctionJoinNode) -> Operator:
+        outer = self.lower(node.outer)
+        fn = node.function_relation
+        combined = outer.schema.concat(fn.output_schema)
+        residual = (
+            node.residual.resolve(combined)
+            if node.residual is not None else None
+        )
+        bind_positions = self._positions(
+            outer.schema, [o for o, _ in node.bind_pairs]
+        )
+        return FunctionJoinOp(self.ctx, outer, fn, bind_positions,
+                              node.mode, residual, node.schema)

@@ -1,0 +1,855 @@
+"""Physical operators (iterator model).
+
+Every operator exposes ``rows()``, returning a fresh iterator per call;
+re-invoking ``rows()`` re-executes the subtree (and re-charges its cost),
+which is exactly what correlated nested iteration needs. All work is
+charged to the shared :class:`RuntimeContext` ledger using the same
+formulas as the optimizer's :class:`~repro.optimizer.cost.CostModel`, so
+measured and estimated cost components are directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..bloom.filter import BloomFilter
+from ..errors import ExecutionError
+from ..expr.aggregates import Accumulator, AggregateSpec
+from ..expr.nodes import Expr, RuntimeMembership
+from ..stats.estimator import yao_blocks
+from ..storage.schema import Schema
+from ..storage.table import Table, pages_for
+from .runtime import RuntimeContext, TempTable
+
+Row = tuple
+
+
+def bind_memberships(expr: Optional[Expr], ctx: RuntimeContext) -> None:
+    """Bind every RuntimeMembership node in a resolved tree to its
+    run-time structure before evaluation."""
+    if expr is None:
+        return
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, RuntimeMembership):
+            node.membership = ctx.membership(node.param_id)
+        for attr in ("left", "right"):
+            child = getattr(node, attr, None)
+            if isinstance(child, Expr):
+                stack.append(child)
+        for child in getattr(node, "args", ()) or ():
+            if isinstance(child, Expr):
+                stack.append(child)
+
+
+class Operator:
+    """Base class for physical operators."""
+
+    def __init__(self, ctx: RuntimeContext, schema: Schema):
+        self.ctx = ctx
+        self.schema = schema
+
+    def rows(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def to_list(self) -> List[Row]:
+        return list(self.rows())
+
+
+def _sort_key(values: Sequence) -> tuple:
+    """Total-order key tolerant of NULLs (None sorts first)."""
+    return tuple((value is not None, value) for value in values)
+
+
+# ------------------------------------------------------------------ leaves
+
+class SeqScanOp(Operator):
+    """Full table scan with an optional pushed-down predicate."""
+
+    def __init__(self, ctx: RuntimeContext, table: Table, schema: Schema,
+                 predicate: Optional[Expr] = None):
+        super().__init__(ctx, schema)
+        self.table = table
+        self.predicate = predicate
+
+    def rows(self) -> Iterator[Row]:
+        self.ctx.charge_scan(self.table.num_pages)
+        bind_memberships(self.predicate, self.ctx)
+        for row in self.table.rows:
+            self.ctx.charge_cpu(1)
+            if self.predicate is not None:
+                self.ctx.charge_cpu(1)
+                if self.predicate.eval(row) is not True:
+                    continue
+            yield row
+
+
+def _probe_data_pages(table: Table, column: str, matches: int) -> float:
+    """Data pages touched by one index probe: contiguous when the table
+    is clustered on the probed column, Yao-scattered otherwise."""
+    if table.clustered_on == column:
+        if matches == 0:
+            return 0.0
+        return pages_for(matches, table.schema.row_width())
+    return yao_blocks(max(table.num_rows, 1), max(table.num_pages, 1),
+                      matches)
+
+
+class IndexScanOp(Operator):
+    """Equality or range probe through a secondary index."""
+
+    def __init__(self, ctx: RuntimeContext, table: Table, schema: Schema,
+                 column: str, op: str, value,
+                 residual: Optional[Expr] = None):
+        super().__init__(ctx, schema)
+        self.table = table
+        self.column = column
+        self.op = op
+        self.value = value
+        self.residual = residual
+
+    def _positions(self) -> Sequence[int]:
+        index = self.table.index_on(self.column)
+        if index is None:
+            raise ExecutionError(
+                "no index on %s.%s" % (self.table.name, self.column)
+            )
+        if self.op == "=":
+            return index.probe(self.value)
+        if index.kind != "sorted":
+            raise ExecutionError("range probe requires a sorted index")
+        if self.op == "<":
+            return index.probe_range(None, self.value, high_inclusive=False)
+        if self.op == "<=":
+            return index.probe_range(None, self.value, high_inclusive=True)
+        if self.op == ">":
+            return index.probe_range(self.value, None, low_inclusive=False)
+        if self.op == ">=":
+            return index.probe_range(self.value, None, low_inclusive=True)
+        raise ExecutionError("unsupported index operator %r" % self.op)
+
+    def rows(self) -> Iterator[Row]:
+        positions = self._positions()
+        self.ctx.ledger.charge_reads(1.0 + _probe_data_pages(
+            self.table, self.column, len(positions)))
+        self.ctx.charge_cpu(len(positions) + 1)
+        bind_memberships(self.residual, self.ctx)
+        for position in positions:
+            row = self.table.row_at(position)
+            if self.residual is not None:
+                self.ctx.charge_cpu(1)
+                if self.residual.eval(row) is not True:
+                    continue
+            yield row
+
+
+class FilterSetScanOp(Operator):
+    """Scan the run-time-bound filter set (magic set)."""
+
+    def __init__(self, ctx: RuntimeContext, param_id: str, schema: Schema):
+        super().__init__(ctx, schema)
+        self.param_id = param_id
+
+    def rows(self) -> Iterator[Row]:
+        temp = self.ctx.filter_set(self.param_id)
+        self.ctx.charge_rescan(temp)
+        return iter(temp.rows)
+
+
+class ValuesOp(Operator):
+    """A constant in-memory rowset (tests and utilities)."""
+
+    def __init__(self, ctx: RuntimeContext, rows: List[Row], schema: Schema):
+        super().__init__(ctx, schema)
+        self._rows = rows
+
+    def rows(self) -> Iterator[Row]:
+        self.ctx.charge_cpu(len(self._rows))
+        return iter(self._rows)
+
+
+# ------------------------------------------------------------- unary ops
+
+class FilterOp(Operator):
+    def __init__(self, ctx: RuntimeContext, child: Operator, predicate: Expr):
+        super().__init__(ctx, child.schema)
+        self.child = child
+        self.predicate = predicate
+
+    def rows(self) -> Iterator[Row]:
+        bind_memberships(self.predicate, self.ctx)
+        for row in self.child.rows():
+            self.ctx.charge_cpu(1)
+            if self.predicate.eval(row) is True:
+                yield row
+
+
+class ProjectOp(Operator):
+    def __init__(self, ctx: RuntimeContext, child: Operator,
+                 exprs: Sequence[Expr], schema: Schema):
+        super().__init__(ctx, schema)
+        self.child = child
+        self.exprs = list(exprs)
+
+    def rows(self) -> Iterator[Row]:
+        for expr in self.exprs:
+            bind_memberships(expr, self.ctx)
+        for row in self.child.rows():
+            self.ctx.charge_cpu(1)
+            yield tuple(expr.eval(row) for expr in self.exprs)
+
+
+class DistinctOp(Operator):
+    def __init__(self, ctx: RuntimeContext, child: Operator):
+        super().__init__(ctx, child.schema)
+        self.child = child
+
+    def rows(self) -> Iterator[Row]:
+        seen = set()
+        for row in self.child.rows():
+            self.ctx.charge_cpu(1)
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+
+class SortOp(Operator):
+    """Full sort; charges external-merge I/O when the input spills."""
+
+    def __init__(self, ctx: RuntimeContext, child: Operator,
+                 keys: Sequence[Tuple[int, bool]]):
+        super().__init__(ctx, child.schema)
+        self.child = child
+        self.keys = list(keys)
+
+    def rows(self) -> Iterator[Row]:
+        data = list(self.child.rows())
+        n = len(data)
+        if n > 1:
+            self.ctx.charge_cpu(n * math.log2(n))
+        sort_pages = pages_for(n, self.schema.row_width())
+        if not self.ctx.fits(sort_pages):
+            fan_in = max(2, self.ctx.memory_pages - 1)
+            runs = sort_pages / self.ctx.memory_pages
+            passes = max(1, math.ceil(math.log(max(runs, 2), fan_in)))
+            self.ctx.ledger.charge_writes(sort_pages * passes)
+            self.ctx.ledger.charge_reads(sort_pages * passes)
+        for position, ascending in reversed(self.keys):
+            data.sort(
+                key=lambda row: _sort_key((row[position],)),
+                reverse=not ascending,
+            )
+        return iter(data)
+
+
+class LimitOp(Operator):
+    def __init__(self, ctx: RuntimeContext, child: Operator, limit: int):
+        super().__init__(ctx, child.schema)
+        self.child = child
+        self.limit = limit
+
+    def rows(self) -> Iterator[Row]:
+        count = 0
+        for row in self.child.rows():
+            if count >= self.limit:
+                break
+            count += 1
+            yield row
+
+
+class AggregateOp(Operator):
+    """Hash aggregation. With no GROUP BY columns, produces exactly one
+    row (SQL scalar-aggregate semantics)."""
+
+    def __init__(self, ctx: RuntimeContext, child: Operator,
+                 group_positions: Sequence[int],
+                 aggregates: Sequence[Tuple[AggregateSpec, Optional[Expr]]],
+                 schema: Schema):
+        super().__init__(ctx, schema)
+        self.child = child
+        self.group_positions = list(group_positions)
+        self.aggregates = list(aggregates)  # (spec, resolved argument)
+
+    def rows(self) -> Iterator[Row]:
+        groups = {}
+        for spec, argument in self.aggregates:
+            bind_memberships(argument, self.ctx)
+        for row in self.child.rows():
+            self.ctx.charge_cpu(1)
+            key = tuple(row[p] for p in self.group_positions)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [
+                    Accumulator.for_spec(spec) for spec, _ in self.aggregates
+                ]
+                groups[key] = accumulators
+            for (spec, argument), accumulator in zip(self.aggregates,
+                                                     accumulators):
+                value = None if argument is None else argument.eval(row)
+                accumulator.add(value)
+        if not groups and not self.group_positions and self.aggregates:
+            groups[()] = [
+                Accumulator.for_spec(spec) for spec, _ in self.aggregates
+            ]
+        for key, accumulators in groups.items():
+            self.ctx.charge_cpu(1)
+            yield key + tuple(a.result() for a in accumulators)
+
+
+class MaterializeOp(Operator):
+    """Materialize the child into a temp each time it is consumed."""
+
+    def __init__(self, ctx: RuntimeContext, child: Operator):
+        super().__init__(ctx, child.schema)
+        self.child = child
+
+    def build(self) -> TempTable:
+        data = list(self.child.rows())
+        temp_pages = self.ctx.charge_materialize(
+            len(data), self.schema.row_width()
+        )
+        return TempTable(data, self.schema,
+                         spilled=not self.ctx.fits(temp_pages))
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self.build().rows)
+
+
+class RelabelOp(Operator):
+    """Pass rows through under a renamed schema."""
+
+    def __init__(self, ctx: RuntimeContext, child: Operator, schema: Schema):
+        super().__init__(ctx, schema)
+        self.child = child
+
+    def rows(self) -> Iterator[Row]:
+        return self.child.rows()
+
+
+class ShipOp(Operator):
+    """Move rows between sites, charging messages and bytes."""
+
+    def __init__(self, ctx: RuntimeContext, child: Operator):
+        super().__init__(ctx, child.schema)
+        self.child = child
+
+    def rows(self) -> Iterator[Row]:
+        data = list(self.child.rows())
+        self.ctx.charge_ship(len(data), self.schema.row_width())
+        return iter(data)
+
+
+class UnionOp(Operator):
+    """Concatenate children; optionally de-duplicate the whole output."""
+
+    def __init__(self, ctx: RuntimeContext, left: Operator, right: Operator,
+                 schema: Schema, distinct: bool):
+        super().__init__(ctx, schema)
+        self.left = left
+        self.right = right
+        self.distinct = distinct
+
+    def rows(self) -> Iterator[Row]:
+        seen = set() if self.distinct else None
+        for source in (self.left, self.right):
+            for row in source.rows():
+                self.ctx.charge_cpu(1)
+                if seen is not None:
+                    if row in seen:
+                        continue
+                    seen.add(row)
+                yield row
+
+
+# -------------------------------------------------------------- join ops
+
+def _null_free(key: tuple) -> bool:
+    return all(value is not None for value in key)
+
+
+class HashJoinOp(Operator):
+    """Hash join: build on the inner, probe with the outer."""
+
+    def __init__(self, ctx: RuntimeContext, outer: Operator, inner: Operator,
+                 outer_positions: Sequence[int],
+                 inner_positions: Sequence[int],
+                 residual: Optional[Expr], schema: Schema,
+                 semi: bool = False):
+        super().__init__(ctx, schema)
+        self.outer = outer
+        self.inner = inner
+        self.outer_positions = list(outer_positions)
+        self.inner_positions = list(inner_positions)
+        self.residual = residual
+        self.semi = semi
+
+    def rows(self) -> Iterator[Row]:
+        bind_memberships(self.residual, self.ctx)
+        table = {}
+        build_rows = 0
+        for row in self.inner.rows():
+            self.ctx.charge_cpu(1)
+            build_rows += 1
+            key = tuple(row[p] for p in self.inner_positions)
+            if _null_free(key):
+                table.setdefault(key, []).append(row)
+        build_pages = pages_for(build_rows, self.inner.schema.row_width())
+        probe_rows = 0
+        emitted_inner = set() if self.semi else None
+        for outer_row in self.outer.rows():
+            self.ctx.charge_cpu(1)
+            probe_rows += 1
+            key = tuple(outer_row[p] for p in self.outer_positions)
+            if not _null_free(key):
+                continue
+            for inner_row in table.get(key, ()):
+                self.ctx.charge_cpu(1)
+                if self.semi:
+                    if id(inner_row) not in emitted_inner:
+                        emitted_inner.add(id(inner_row))
+                        yield inner_row
+                    continue
+                combined = outer_row + inner_row
+                if self.residual is not None and \
+                        self.residual.eval(combined) is not True:
+                    continue
+                yield combined
+        if not self.ctx.fits(build_pages):
+            probe_pages = pages_for(probe_rows,
+                                    self.outer.schema.row_width())
+            self.ctx.ledger.charge_writes(build_pages + probe_pages)
+            self.ctx.ledger.charge_reads(build_pages + probe_pages)
+
+
+class MergeJoinOp(Operator):
+    """Merge join over inputs already sorted on the join keys."""
+
+    def __init__(self, ctx: RuntimeContext, outer: Operator, inner: Operator,
+                 outer_positions: Sequence[int],
+                 inner_positions: Sequence[int],
+                 residual: Optional[Expr], schema: Schema):
+        super().__init__(ctx, schema)
+        self.outer = outer
+        self.inner = inner
+        self.outer_positions = list(outer_positions)
+        self.inner_positions = list(inner_positions)
+        self.residual = residual
+
+    def rows(self) -> Iterator[Row]:
+        bind_memberships(self.residual, self.ctx)
+        left = list(self.outer.rows())
+        right = list(self.inner.rows())
+        self.ctx.charge_cpu(len(left) + len(right))
+        lkey = lambda row: _sort_key(
+            tuple(row[p] for p in self.outer_positions))
+        rkey = lambda row: _sort_key(
+            tuple(row[p] for p in self.inner_positions))
+        i = j = 0
+        while i < len(left) and j < len(right):
+            lval = tuple(left[i][p] for p in self.outer_positions)
+            rval = tuple(right[j][p] for p in self.inner_positions)
+            if not _null_free(lval):
+                i += 1
+                continue
+            if not _null_free(rval):
+                j += 1
+                continue
+            if lkey(left[i]) < rkey(right[j]):
+                i += 1
+            elif lkey(left[i]) > rkey(right[j]):
+                j += 1
+            else:
+                # gather the equal-key groups on both sides
+                i2 = i
+                while i2 < len(left) and tuple(
+                    left[i2][p] for p in self.outer_positions
+                ) == lval:
+                    i2 += 1
+                j2 = j
+                while j2 < len(right) and tuple(
+                    right[j2][p] for p in self.inner_positions
+                ) == rval:
+                    j2 += 1
+                for a in range(i, i2):
+                    for b in range(j, j2):
+                        self.ctx.charge_cpu(1)
+                        combined = left[a] + right[b]
+                        if self.residual is not None and \
+                                self.residual.eval(combined) is not True:
+                            continue
+                        yield combined
+                i, j = i2, j2
+
+
+class BlockNLJoinOp(Operator):
+    """Block nested loops over a materialized inner."""
+
+    def __init__(self, ctx: RuntimeContext, outer: Operator, inner: Operator,
+                 outer_positions: Sequence[int],
+                 inner_positions: Sequence[int],
+                 residual: Optional[Expr], schema: Schema):
+        super().__init__(ctx, schema)
+        self.outer = outer
+        self.inner = inner
+        self.outer_positions = list(outer_positions)
+        self.inner_positions = list(inner_positions)
+        self.residual = residual
+
+    def rows(self) -> Iterator[Row]:
+        bind_memberships(self.residual, self.ctx)
+        inner_rows = list(self.inner.rows())
+        inner_pages = pages_for(len(inner_rows),
+                                self.inner.schema.row_width())
+        inner_spilled = not self.ctx.fits(inner_pages)
+        outer_width = self.outer.schema.row_width()
+        block_pages = max(1, self.ctx.memory_pages - 2)
+        rows_per_block = max(
+            1, int(block_pages * max(1, 4096 // max(1, outer_width)))
+        )
+        block: List[Row] = []
+
+        # When the join is (partly) equi, matches can be located through a
+        # hash table without changing the *charged* cost: nested loops
+        # still pays one CPU step per (outer, inner) pair. This keeps the
+        # simulator honest while avoiding Python-level quadratic time.
+        inner_index = None
+        if self.inner_positions:
+            inner_index = {}
+            for inner_row in inner_rows:
+                key = tuple(inner_row[p] for p in self.inner_positions)
+                if _null_free(key):
+                    inner_index.setdefault(key, []).append(inner_row)
+
+        def flush(block_rows: List[Row]) -> Iterator[Row]:
+            if inner_spilled:
+                self.ctx.ledger.charge_reads(inner_pages)
+            self.ctx.charge_cpu(len(inner_rows))
+            if inner_index is not None:
+                # bulk-charge the pairwise comparisons NLJ would perform
+                self.ctx.charge_cpu(len(block_rows) * len(inner_rows))
+                for outer_row in block_rows:
+                    okey = tuple(outer_row[p] for p in self.outer_positions)
+                    if not _null_free(okey):
+                        continue
+                    for inner_row in inner_index.get(okey, ()):
+                        combined = outer_row + inner_row
+                        if self.residual is not None and \
+                                self.residual.eval(combined) is not True:
+                            continue
+                        yield combined
+                return
+            for outer_row in block_rows:
+                for inner_row in inner_rows:
+                    self.ctx.charge_cpu(1)
+                    combined = outer_row + inner_row
+                    if self.residual is not None and \
+                            self.residual.eval(combined) is not True:
+                        continue
+                    yield combined
+
+        for outer_row in self.outer.rows():
+            block.append(outer_row)
+            if len(block) >= rows_per_block:
+                for result in flush(block):
+                    yield result
+                block = []
+        if block:
+            for result in flush(block):
+                yield result
+
+
+class IndexNLJoinOp(Operator):
+    """Index nested loops; with a remote inner this is "fetch matches"."""
+
+    def __init__(self, ctx: RuntimeContext, outer: Operator, table: Table,
+                 inner_schema: Schema, index_column: str,
+                 outer_position: int, residual: Optional[Expr],
+                 schema: Schema, remote: bool = False):
+        super().__init__(ctx, schema)
+        self.outer = outer
+        self.table = table
+        self.inner_schema = inner_schema
+        self.index_column = index_column
+        self.outer_position = outer_position
+        self.residual = residual
+        self.remote = remote
+
+    def rows(self) -> Iterator[Row]:
+        bind_memberships(self.residual, self.ctx)
+        index = self.table.index_on(self.index_column)
+        if index is None:
+            raise ExecutionError(
+                "no index on %s.%s" % (self.table.name, self.index_column)
+            )
+        width = self.inner_schema.row_width()
+        for outer_row in self.outer.rows():
+            key = outer_row[self.outer_position]
+            if key is None:
+                continue
+            positions = index.probe(key)
+            self.ctx.ledger.charge_reads(1.0 + _probe_data_pages(
+                self.table, self.index_column, len(positions)))
+            self.ctx.charge_cpu(len(positions) + 1)
+            if self.remote:
+                self.ctx.ledger.net_msgs += 2
+                self.ctx.ledger.net_bytes += 16 + len(positions) * width
+            for position in positions:
+                combined = outer_row + self.table.row_at(position)
+                if self.residual is not None and \
+                        self.residual.eval(combined) is not True:
+                    continue
+                yield combined
+
+
+class NestedIterationOp(Operator):
+    """Correlated per-outer-row execution of a parameterized template."""
+
+    def __init__(self, ctx: RuntimeContext, outer: Operator,
+                 template: Operator, param_id: str,
+                 bind_positions: Sequence[int], filter_schema: Schema,
+                 residual: Optional[Expr], schema: Schema):
+        super().__init__(ctx, schema)
+        self.outer = outer
+        self.template = template
+        self.param_id = param_id
+        self.bind_positions = list(bind_positions)
+        self.filter_schema = filter_schema
+        self.residual = residual
+
+    def rows(self) -> Iterator[Row]:
+        bind_memberships(self.residual, self.ctx)
+        # Figure 6's "optimized nested iteration": consecutive outer rows
+        # with the same binding reuse the previous probe's result, so a
+        # sorted outer pays one template run per *distinct* binding.
+        last_key = object()
+        cached: List[Row] = []
+        for outer_row in self.outer.rows():
+            self.ctx.charge_cpu(1)
+            key = tuple(outer_row[p] for p in self.bind_positions)
+            if not _null_free(key):
+                continue
+            if key != last_key:
+                temp = TempTable([key], self.filter_schema)
+                self.ctx.bind_filter_set(self.param_id, temp)
+                cached = list(self.template.rows())
+                last_key = key
+            for inner_row in cached:
+                combined = outer_row + inner_row
+                if self.residual is not None and \
+                        self.residual.eval(combined) is not True:
+                    continue
+                yield combined
+
+
+class FilterJoinOp(Operator):
+    """The Filter Join (Definition 2.1), charging Table 1's components.
+
+    ``measured_components`` records each component's cost delta so the
+    Table 1 experiment can print estimate vs. measured side by side.
+    """
+
+    def __init__(self, ctx: RuntimeContext, outer: Operator,
+                 template: Operator, param_id: str,
+                 bind_positions: Sequence[int], filter_schema: Schema,
+                 final_outer_positions: Sequence[int],
+                 final_inner_positions: Sequence[int],
+                 residual: Optional[Expr], schema: Schema,
+                 materialize_production: bool = True,
+                 lossy: bool = False, bloom_bits: int = 64 * 1024,
+                 ship_filter: bool = False):
+        super().__init__(ctx, schema)
+        self.outer = outer
+        self.template = template
+        self.param_id = param_id
+        self.bind_positions = list(bind_positions)
+        self.filter_schema = filter_schema
+        self.final_outer_positions = list(final_outer_positions)
+        self.final_inner_positions = list(final_inner_positions)
+        self.residual = residual
+        self.materialize_production = materialize_production
+        self.lossy = lossy
+        self.bloom_bits = bloom_bits
+        self.ship_filter = ship_filter
+        self.measured_components = {}
+
+    def _component(self, name: str, before) -> None:
+        delta = self.ctx.ledger.delta(before)
+        self.measured_components[name] = delta.total(self.ctx.params)
+
+    def rows(self) -> Iterator[Row]:
+        bind_memberships(self.residual, self.ctx)
+        ledger = self.ctx.ledger
+        outer_width = self.outer.schema.row_width()
+
+        # 1. Production set (JoinCost_P + ProductionCost_P)
+        before = ledger.snapshot()
+        production = list(self.outer.rows())
+        self._component("JoinCost_P", before)
+        before = ledger.snapshot()
+        if self.materialize_production:
+            temp_pages = self.ctx.charge_materialize(
+                len(production), outer_width
+            )
+            production_spilled = not self.ctx.fits(temp_pages)
+        else:
+            production_spilled = False
+        self._component("ProductionCost_P", before)
+
+        # 2. Distinct projection into the filter set (ProjCost_F)
+        before = ledger.snapshot()
+        keys = set()
+        for row in production:
+            self.ctx.charge_cpu(1)
+            key = tuple(row[p] for p in self.bind_positions)
+            if _null_free(key):
+                keys.add(key)
+        self._component("ProjCost_F", before)
+
+        # 3. Make the filter available (AvailCost_F)
+        before = ledger.snapshot()
+        if self.lossy:
+            bloom = BloomFilter(self.bloom_bits,
+                                expected_items=max(1, len(keys)))
+            for key in keys:
+                self.ctx.charge_cpu(1)
+                bloom.add(key if len(key) > 1 else key[0])
+            self.ctx.bind_membership(self.param_id, bloom)
+            if self.ship_filter:
+                ledger.charge_message(bloom.size_bytes)
+        else:
+            temp = TempTable(sorted(keys, key=_sort_key),
+                             self.filter_schema)
+            self.ctx.bind_filter_set(self.param_id, temp)
+            if self.ship_filter:
+                self.ctx.charge_ship(len(keys),
+                                     self.filter_schema.row_width())
+        self._component("AvailCost_F", before)
+
+        # 4. Restricted inner (FilterCost_Rk). Any ship-home of a remote
+        # restriction is performed by the template's own Ship operator,
+        # so AvailCost_Rk' is zero here (it pipelines into the join).
+        before = ledger.snapshot()
+        restricted = list(self.template.rows())
+        self._component("FilterCost_Rk", before)
+        self.measured_components["AvailCost_Rk'"] = 0.0
+
+        # 5. Final join (FinalJoinCost): hash join production x restricted
+        before = ledger.snapshot()
+        if self.materialize_production:
+            self.ctx.charge_cpu(len(production))
+            if production_spilled:
+                ledger.charge_reads(pages_for(len(production), outer_width))
+        else:
+            # recompute the production set instead of re-reading a temp
+            production = list(self.outer.rows())
+        table = {}
+        for row in restricted:
+            self.ctx.charge_cpu(1)
+            key = tuple(row[p] for p in self.final_inner_positions)
+            if _null_free(key):
+                table.setdefault(key, []).append(row)
+        build_pages = pages_for(len(restricted),
+                                self.template.schema.row_width())
+        matches: List[Row] = []
+        for outer_row in production:
+            self.ctx.charge_cpu(1)
+            key = tuple(outer_row[p] for p in self.final_outer_positions)
+            if not _null_free(key):
+                continue
+            for inner_row in table.get(key, ()):
+                self.ctx.charge_cpu(1)
+                combined = outer_row + inner_row
+                if self.residual is not None and \
+                        self.residual.eval(combined) is not True:
+                    continue
+                matches.append(combined)
+        if not self.ctx.fits(build_pages):
+            probe_pages = pages_for(len(production), outer_width)
+            ledger.charge_writes(build_pages + probe_pages)
+            ledger.charge_reads(build_pages + probe_pages)
+        self._component("FinalJoinCost", before)
+        return iter(matches)
+
+
+class FunctionJoinOp(Operator):
+    """Join with a user-defined (function-backed) relation.
+
+    The three modes mirror Figure 6's UDF column: repeated invocation,
+    memoized invocation, and the Filter Join (distinct arguments invoked
+    consecutively, then joined back).
+    """
+
+    def __init__(self, ctx: RuntimeContext, outer: Operator,
+                 function_relation, bind_positions: Sequence[int],
+                 mode: str, residual: Optional[Expr], schema: Schema):
+        super().__init__(ctx, schema)
+        self.outer = outer
+        self.fn = function_relation
+        self.bind_positions = list(bind_positions)
+        self.mode = mode
+        self.residual = residual
+        self.invocation_count = 0
+
+    def _invoke(self, args: tuple, consecutive: bool = False) -> List[tuple]:
+        factor = self.fn.locality_factor if consecutive else 1.0
+        self.ctx.ledger.charge_invocation(
+            self.fn.cost_per_invocation * factor
+        )
+        self.invocation_count += 1
+        results = self.fn.invoke(args)
+        return [args + tuple(r) for r in results]
+
+    def rows(self) -> Iterator[Row]:
+        bind_memberships(self.residual, self.ctx)
+
+        def emit(outer_row: Row, fn_rows: List[tuple]) -> Iterator[Row]:
+            for fn_row in fn_rows:
+                combined = outer_row + fn_row
+                if self.residual is not None and \
+                        self.residual.eval(combined) is not True:
+                    continue
+                yield combined
+
+        if self.mode == "repeated":
+            for outer_row in self.outer.rows():
+                self.ctx.charge_cpu(1)
+                args = tuple(outer_row[p] for p in self.bind_positions)
+                if not _null_free(args):
+                    continue
+                for result in emit(outer_row, self._invoke(args)):
+                    yield result
+            return
+        if self.mode == "memo":
+            cache = {}
+            for outer_row in self.outer.rows():
+                self.ctx.charge_cpu(1)
+                args = tuple(outer_row[p] for p in self.bind_positions)
+                if not _null_free(args):
+                    continue
+                if args not in cache:
+                    cache[args] = self._invoke(args)
+                for result in emit(outer_row, cache[args]):
+                    yield result
+            return
+        # filter mode: materialize, distinct args, consecutive invocation
+        production = list(self.outer.rows())
+        self.ctx.charge_materialize(len(production),
+                                    self.outer.schema.row_width())
+        args_seen = set()
+        for row in production:
+            self.ctx.charge_cpu(1)
+            args = tuple(row[p] for p in self.bind_positions)
+            if _null_free(args):
+                args_seen.add(args)
+        results = {}
+        for args in sorted(args_seen, key=_sort_key):
+            results[args] = self._invoke(args, consecutive=True)
+        for outer_row in production:
+            self.ctx.charge_cpu(1)
+            args = tuple(outer_row[p] for p in self.bind_positions)
+            if not _null_free(args):
+                continue
+            for result in emit(outer_row, results[args]):
+                yield result

@@ -1,0 +1,111 @@
+"""Execution runtime: cost accounting and filter-set bindings.
+
+The :class:`RuntimeContext` is threaded through every operator. It holds
+the measured :class:`CostLedger`, the memory budget that decides when
+temps/sorts/hash tables "spill" (spills are charged, not performed — the
+page model substitutes for a disk, see DESIGN.md), and the run-time
+bindings of filter sets produced by Filter Join / nested-iteration
+operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ExecutionError
+from ..ledger import CostLedger, CostParams
+from ..storage.schema import Schema
+from ..storage.table import pages_for
+
+
+@dataclass
+class TempTable:
+    """A materialized intermediate: rows plus spill bookkeeping."""
+
+    rows: List[tuple]
+    schema: Schema
+    spilled: bool = False
+
+    @property
+    def num_pages(self) -> float:
+        return pages_for(len(self.rows), self.schema.row_width())
+
+
+class RuntimeContext:
+    """Shared state for one plan execution."""
+
+    def __init__(self, ledger: Optional[CostLedger] = None,
+                 params: Optional[CostParams] = None,
+                 memory_pages: int = 128,
+                 message_payload_bytes: int = 8192):
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.params = params or CostParams()
+        self.memory_pages = memory_pages
+        self.message_payload_bytes = message_payload_bytes
+        # param_id -> TempTable holding the exact filter set
+        self.filter_sets: Dict[str, TempTable] = {}
+        # param_id -> membership structure (set of keys, or a BloomFilter)
+        self.memberships: Dict[str, object] = {}
+
+    # -------------------------------------------------------------- charging
+
+    def fits(self, pages: float) -> bool:
+        return pages <= self.memory_pages
+
+    def charge_scan(self, num_pages: float) -> None:
+        self.ledger.charge_reads(max(1.0, num_pages))
+
+    def charge_cpu(self, steps: float = 1.0) -> None:
+        self.ledger.charge_cpu(steps)
+
+    def charge_materialize(self, rows: int, width: int) -> float:
+        """Charge building a temp; returns its page count."""
+        self.ledger.charge_cpu(rows)
+        temp_pages = pages_for(rows, width)
+        if not self.fits(temp_pages):
+            self.ledger.charge_writes(temp_pages)
+        return temp_pages
+
+    def charge_rescan(self, temp: TempTable) -> None:
+        self.ledger.charge_cpu(len(temp.rows))
+        if temp.spilled:
+            self.ledger.charge_reads(temp.num_pages)
+
+    def charge_ship(self, rows: float, width: int) -> None:
+        nbytes = max(0.0, rows) * width
+        messages = max(1, math.ceil(nbytes / self.message_payload_bytes))
+        self.ledger.net_msgs += messages
+        self.ledger.net_bytes += nbytes
+        self.ledger.charge_cpu(rows)
+
+    # --------------------------------------------------------- filter sets
+
+    def bind_filter_set(self, param_id: str, temp: TempTable) -> None:
+        self.filter_sets[param_id] = temp
+        # Exact sets double as membership structures for RuntimeMembership.
+        if len(temp.schema) == 1:
+            keys = {row[0] for row in temp.rows}
+        else:
+            keys = set(temp.rows)
+        self.memberships[param_id] = keys
+
+    def bind_membership(self, param_id: str, structure) -> None:
+        self.memberships[param_id] = structure
+
+    def filter_set(self, param_id: str) -> TempTable:
+        try:
+            return self.filter_sets[param_id]
+        except KeyError:
+            raise ExecutionError(
+                "filter set %r was not bound before execution" % param_id
+            )
+
+    def membership(self, param_id: str):
+        try:
+            return self.memberships[param_id]
+        except KeyError:
+            raise ExecutionError(
+                "membership %r was not bound before execution" % param_id
+            )

@@ -1,0 +1,38 @@
+"""Scalar expression language shared by the SQL front end, algebra,
+optimizer, and executor."""
+
+from .aggregates import AGGREGATE_FUNCTIONS, Accumulator, AggregateSpec
+from .nodes import (
+    ARITHMETIC_OPS,
+    COMPARISON_OPS,
+    Arithmetic,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    RuntimeMembership,
+    conjoin,
+    conjuncts,
+    is_equijoin,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "ARITHMETIC_OPS",
+    "COMPARISON_OPS",
+    "Accumulator",
+    "AggregateSpec",
+    "Arithmetic",
+    "BooleanExpr",
+    "ColumnRef",
+    "Comparison",
+    "Expr",
+    "InList",
+    "Literal",
+    "RuntimeMembership",
+    "conjoin",
+    "conjuncts",
+    "is_equijoin",
+]

@@ -1,0 +1,23 @@
+"""Experiment harness: runners, reporting, and the experiment registry."""
+
+from .report import ExperimentResult, TextTable, format_value
+from .runners import (
+    Measured,
+    STRATEGIES,
+    frozenset_rows,
+    plan_only,
+    run_query,
+    run_strategies,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Measured",
+    "STRATEGIES",
+    "TextTable",
+    "format_value",
+    "frozenset_rows",
+    "plan_only",
+    "run_query",
+    "run_strategies",
+]

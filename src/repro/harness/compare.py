@@ -1,0 +1,72 @@
+"""Compare evaluation strategies for one query from the command line.
+
+Usage::
+
+    python -m repro.harness.compare --setup schema.sql "SELECT ..."
+
+``--setup`` is a SQL script (CREATE TABLE / INSERT / CREATE VIEW ...)
+that builds the database; the positional argument is the query. The
+tool runs the query under every strategy in
+:data:`repro.harness.runners.STRATEGIES`, checks that all agree, and
+prints the measured-cost comparison plus the cost-based plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..database import Database
+from ..optimizer.config import OptimizerConfig
+from .report import TextTable
+from .runners import STRATEGIES, run_query
+
+
+def compare(db: Database, query: str) -> TextTable:
+    """Run every strategy; returns the comparison table."""
+    table = TextTable(
+        ["strategy", "rows", "estimated", "measured",
+         "page I/O", "net bytes"],
+        title="Strategy comparison",
+    )
+    reference = None
+    for name, transform in STRATEGIES.items():
+        config = transform(OptimizerConfig())
+        measured = run_query(db, query, config)
+        rows = sorted(map(repr, measured.rows))
+        if reference is None:
+            reference = rows
+        elif rows != reference:
+            raise AssertionError("strategy %r changed the answer" % name)
+        ledger = measured.ledger
+        table.add_row(
+            name, len(measured.rows), measured.estimated_cost,
+            measured.measured_cost,
+            ledger.page_reads + ledger.page_writes, ledger.net_bytes,
+        )
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("query", help="the SELECT to compare")
+    parser.add_argument("--setup", required=True,
+                        help="SQL script building the database")
+    parser.add_argument("--analyze", action="store_true", default=True,
+                        help="collect statistics after setup (default)")
+    args = parser.parse_args(argv)
+
+    db = Database()
+    with open(args.setup) as handle:
+        db.execute_script(handle.read())
+    db.analyze()
+
+    print(compare(db, args.query).render())
+    print()
+    print("Cost-based plan:")
+    print(db.explain(args.query))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

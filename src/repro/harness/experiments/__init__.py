@@ -1,0 +1,47 @@
+"""Experiment modules, one per paper figure/table/claim.
+
+Each module exposes ``EXPERIMENT_ID``, ``TITLE``, ``PAPER_CLAIM`` and a
+``run(quick=False) -> ExperimentResult``. :data:`ALL_EXPERIMENTS` lists
+them in DESIGN.md order; ``repro.harness.generate`` regenerates
+EXPERIMENTS.md from actual runs.
+"""
+
+from . import (
+    c1_crossover,
+    c2_complexity,
+    c3_heuristic,
+    c4_distributed,
+    c5_udf,
+    c6_local_semijoin,
+    c7_estimator,
+    e1_multiview,
+    e2_bloom_sizing,
+    e3_filter_columns,
+    fig1_fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+)
+
+ALL_EXPERIMENTS = [
+    fig1_fig2,
+    fig3,
+    table1,
+    fig4,
+    fig5,
+    fig6,
+    c1_crossover,
+    c2_complexity,
+    c3_heuristic,
+    c4_distributed,
+    c5_udf,
+    c6_local_semijoin,
+    c7_estimator,
+    e1_multiview,
+    e2_bloom_sizing,
+    e3_filter_columns,
+]
+
+__all__ = ["ALL_EXPERIMENTS"]

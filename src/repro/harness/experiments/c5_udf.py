@@ -1,0 +1,85 @@
+"""C5 — Filter Joins over user-defined relations.
+
+Section 5.2: evaluating a UDF join as a Filter Join means "there will be
+no duplicate function invocations, because of the elimination of
+duplicates in the filter set", plus "possible benefits of locality"
+from consecutive invocation. We sweep the duplication factor (outer
+rows per distinct argument) and count invocations and charged cost per
+mode.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...database import Database
+from ...optimizer.config import OptimizerConfig
+from ...storage.schema import DataType
+from ..report import ExperimentResult, TextTable
+from ..runners import run_query
+
+EXPERIMENT_ID = "C5"
+TITLE = "UDF joins: repeated vs memoized vs Filter Join"
+PAPER_CLAIM = (
+    "The Filter Join eliminates duplicate invocations and earns a "
+    "locality discount from consecutive execution; current systems do "
+    "not consider this option (Section 5.2)."
+)
+
+QUERY = "SELECT O.v, F.r FROM O, expensive F WHERE O.k = F.k"
+
+
+def make_db(outer_rows: int, distinct_args: int) -> Database:
+    rng = random.Random(111)
+    db = Database()
+    db.create_table("O", [("k", DataType.INT), ("v", DataType.INT)])
+    db.insert("O", [
+        (rng.randint(1, distinct_args), i) for i in range(outer_rows)
+    ])
+    db.analyze()
+
+    def expensive(args):
+        return [(args[0] ** 2,)]
+
+    db.functions.register_function(
+        "expensive", [("k", DataType.INT)], [("r", DataType.INT)],
+        expensive, cost_per_invocation=5.0, locality_factor=0.6,
+    )
+    return db
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_CLAIM)
+    outer_rows = 400 if quick else 1500
+    duplication = [2, 10, 50] if quick else [1, 5, 20, 100]
+    table = TextTable(
+        ["outer/distinct", "invocation cost: repeated", "memo",
+         "filter join", "total cost: cost-based", "picked mode"],
+        title="Charged invocation cost by mode (cost 5.0/call, "
+              "locality 0.6)",
+    )
+    for factor in duplication:
+        distinct_args = max(1, outer_rows // factor)
+        costs = {}
+        for mode in ("repeated", "memo", "filter"):
+            db = make_db(outer_rows, distinct_args)
+            config = OptimizerConfig(forced_function_join=mode)
+            measured = run_query(db, QUERY, config)
+            costs[mode] = measured.ledger.fn_invocations
+        db = make_db(outer_rows, distinct_args)
+        chosen = run_query(db, QUERY, OptimizerConfig())
+        picked = min(costs, key=costs.get)
+        table.add_row("%dx" % factor, costs["repeated"], costs["memo"],
+                      costs["filter"], chosen.measured_cost, picked)
+        assert costs["filter"] <= costs["repeated"]
+    result.add_table(table)
+    result.add_finding(
+        "filter-join invocation cost = distinct args x 5.0 x 0.6; "
+        "repeated = outer rows x 5.0 — the gap widens linearly with "
+        "the duplication factor"
+    )
+    result.add_finding(
+        "memoing removes duplicates but not the locality discount, so "
+        "the Filter Join is strictly cheaper in invocation cost"
+    )
+    return result

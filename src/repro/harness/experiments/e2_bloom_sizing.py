@@ -1,0 +1,98 @@
+"""E2 (extension) — sizing the lossy filter.
+
+Section 3.3 treats the Bloom filter as "fixed size"; Section 5.1 notes
+a lossy filter trades compactness for selectivity. We sweep the bit
+budget on a distributed semi-join: tiny filters ship almost nothing but
+admit false positives (shipping extra inner rows back); large filters
+approach the exact filter set's behaviour at a larger one-time shipping
+cost. The sweet spot is workload-dependent — a knob the paper's
+framework prices automatically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...bloom import BloomFilter
+from ...distributed import DistributedDatabase, distributed_config
+from ...storage.schema import DataType
+from ..report import ExperimentResult, TextTable
+from ..runners import run_query
+
+EXPERIMENT_ID = "E2"
+TITLE = "Lossy filter sizing (Bloom bits sweep)"
+PAPER_CLAIM = (
+    "A Bloom filter is 'a fixed size bit vector representing a superset "
+    "of the filter set' — compact to ship, lossy in selectivity "
+    "(Sections 3.3, 5.1). Size is a knob."
+)
+
+# O.payload is wide, so any plan that executes the join remotely must
+# ship the payload home inside the (larger) result — pinning the join
+# to the local site and making the filter's shipping cost the variable.
+QUERY = "SELECT O.payload, I.w FROM O, I WHERE O.k = I.k"
+
+BIT_SWEEP = [256, 1024, 8 * 1024, 64 * 1024, 512 * 1024]
+
+
+def make_db(quick: bool) -> DistributedDatabase:
+    rng = random.Random(161)
+    scale = 1 if quick else 3
+    db = DistributedDatabase(distributed_config(5.0, 0.01))
+    db.create_table("O", [("k", DataType.INT), ("v", DataType.INT),
+                          ("payload", DataType.STR)])
+    db.create_table("I", [("k", DataType.INT), ("w", DataType.INT),
+                          ("pad", DataType.STR)], site="remote")
+    # outer covers 300 of the inner's 6000 keys: selective semi-join
+    db.insert("O", [
+        (rng.randint(1, 300), i, "payload-%06d" % i)
+        for i in range(700 * scale)
+    ])
+    db.insert("I", [
+        (k % 6000 + 1, k, "x" * 20) for k in range(4000 * scale)
+    ])
+    db.analyze()
+    return db
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, PAPER_CLAIM)
+    sweep = BIT_SWEEP[1:4] if quick else BIT_SWEEP
+    db = make_db(quick)
+    base = distributed_config(5.0, 0.01)
+
+    exact = run_query(db, QUERY,
+                      base.replace(forced_stored_join="filter_join"))
+    table = TextTable(
+        ["filter", "bits", "measured FPR", "net bytes", "total cost"],
+        title="Exact filter set vs Bloom filters of increasing size",
+    )
+    table.add_row("exact set", "-", "0.0%", exact.ledger.net_bytes,
+                  exact.measured_cost)
+    reference = sorted(exact.rows)
+    for bits in sweep:
+        config = base.replace(forced_stored_join="bloom",
+                              bloom_bits=bits)
+        measured = run_query(db, QUERY, config)
+        assert sorted(measured.rows) == reference
+        # measure the FPR of an equivalent filter directly
+        bloom = BloomFilter(bits, expected_items=300)
+        bloom.add_all(range(1, 301))
+        false_positives = sum(
+            1 for key in range(301, 6001) if key in bloom
+        )
+        fpr = false_positives / 5700.0
+        table.add_row("bloom", bits, "%.1f%%" % (100 * fpr),
+                      measured.ledger.net_bytes, measured.measured_cost)
+    result.add_table(table)
+    result.add_finding(
+        "the classic U-curve: tiny filters saturate (high FPR, useless "
+        "inner rows shipped back); oversized filters pay their own "
+        "fixed shipping; the sweet spot in between can even undercut "
+        "the exact filter set, whose size grows with the key count"
+    )
+    result.add_finding(
+        "answers are identical at every size — lossiness only ever "
+        "admits a superset, which the final join removes"
+    )
+    return result

@@ -1,0 +1,104 @@
+"""Plain-text/markdown tables and series for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+def format_value(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 10:
+            return "%.1f" % value
+        return "%.3f" % value
+    return str(value)
+
+
+class TextTable:
+    """A small aligned-column table renderer (plain text or markdown)."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError("row arity %d != %d headers"
+                             % (len(values), len(self.headers)))
+        self.rows.append([format_value(v) for v in values])
+
+    def render(self, markdown: bool = False) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        if markdown:
+            lines.append("| " + " | ".join(
+                h.ljust(w) for h, w in zip(self.headers, widths)) + " |")
+            lines.append("|" + "|".join(
+                "-" * (w + 2) for w in widths) + "|")
+            for row in self.rows:
+                lines.append("| " + " | ".join(
+                    c.ljust(w) for c, w in zip(row, widths)) + " |")
+        else:
+            lines.append("  ".join(
+                h.ljust(w) for h, w in zip(self.headers, widths)))
+            lines.append("  ".join("-" * w for w in widths))
+            for row in self.rows:
+                lines.append("  ".join(
+                    c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class ExperimentResult:
+    """What one experiment produces: an id, a narrative, and tables."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    tables: List[TextTable] = field(default_factory=list)
+    findings: List[str] = field(default_factory=list)
+
+    def add_table(self, table: TextTable) -> None:
+        self.tables.append(table)
+
+    def add_finding(self, text: str) -> None:
+        self.findings.append(text)
+
+    def render(self, markdown: bool = False) -> str:
+        parts = []
+        if markdown:
+            parts.append("## %s — %s" % (self.experiment_id, self.title))
+            parts.append("**Paper:** %s" % self.paper_claim)
+        else:
+            parts.append("=== %s: %s ===" % (self.experiment_id, self.title))
+            parts.append("Paper: %s" % self.paper_claim)
+        for table in self.tables:
+            parts.append("")
+            if markdown:
+                parts.append(table.render(markdown=True))
+            else:
+                parts.append(table.render())
+        if self.findings:
+            parts.append("")
+            if markdown:
+                parts.append("**Measured:**")
+            else:
+                parts.append("Measured:")
+            for finding in self.findings:
+                parts.append(("- " if markdown else "  * ") + finding)
+        return "\n".join(parts)

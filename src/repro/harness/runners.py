@@ -1,0 +1,115 @@
+"""Execution helpers shared by all experiments.
+
+The central object is :func:`run_query`, which plans and executes one
+query under a given config and returns a :class:`Measured` record with
+both the optimizer's estimate and the executor's measured ledger — the
+estimate-vs-measured pairing every experiment reports.
+
+:data:`STRATEGIES` names the evaluation strategies the paper contrasts
+for a query joining a view (Figure 6's view column), each expressed as
+an optimizer-config transformer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..database import Database, QueryResult
+from ..ledger import CostLedger
+from ..optimizer.config import OptimizerConfig
+from ..optimizer.planner import PlannerMetrics
+from ..optimizer.plans import PlanNode
+
+
+@dataclass
+class Measured:
+    """One (query, config) execution with estimates and measurements."""
+
+    result: QueryResult
+    plan: PlanNode
+    metrics: PlannerMetrics
+    estimated_cost: float
+    measured_cost: float
+    optimize_seconds: float
+
+    @property
+    def rows(self):
+        return self.result.rows
+
+    @property
+    def ledger(self) -> CostLedger:
+        return self.result.ledger
+
+
+def run_query(db: Database, sql: str,
+              config: Optional[OptimizerConfig] = None) -> Measured:
+    """Plan + execute; returns estimates and measurements together."""
+    config = config or db.config
+    started = time.perf_counter()
+    plan, planner = db.plan(sql, config)
+    optimize_seconds = time.perf_counter() - started
+    result = db.run_plan(plan, planner.metrics, config)
+    return Measured(
+        result=result,
+        plan=plan,
+        metrics=planner.metrics,
+        estimated_cost=plan.est_cost,
+        measured_cost=result.ledger.total(config.cost_params),
+        optimize_seconds=optimize_seconds,
+    )
+
+
+def plan_only(db: Database, sql: str,
+              config: Optional[OptimizerConfig] = None):
+    """Optimize without executing (for complexity experiments)."""
+    config = config or db.config
+    started = time.perf_counter()
+    plan, planner = db.plan(sql, config)
+    return plan, planner, time.perf_counter() - started
+
+
+# The strategies the paper contrasts for joining a virtual relation.
+STRATEGIES: Dict[str, Callable[[OptimizerConfig], OptimizerConfig]] = {
+    # full computation of the view + classic join (no magic at all)
+    "full-computation": lambda c: c.replace(forced_view_join="full"),
+    # correlated per-tuple evaluation (nested iteration / repeated probe)
+    "nested-iteration": lambda c: c.replace(
+        forced_view_join="nested_iteration"),
+    # magic sets as a forced rewrite (exact filter join, always applied)
+    "filter-join": lambda c: c.replace(forced_view_join="filter_join"),
+    # lossy filter join (Bloom filter)
+    "bloom-filter-join": lambda c: c.replace(forced_view_join="bloom"),
+    # the paper's contribution: the optimizer picks by cost
+    "cost-based": lambda c: c,
+}
+
+
+def run_strategies(db: Database, sql: str,
+                   base_config: Optional[OptimizerConfig] = None,
+                   names=None) -> Dict[str, Measured]:
+    """Run the query once per strategy; asserts all agree on the answer."""
+    base = base_config or OptimizerConfig()
+    outputs: Dict[str, Measured] = {}
+    reference = None
+    for name in (names or STRATEGIES):
+        config = STRATEGIES[name](base)
+        measured = run_query(db, sql, config)
+        key = frozenset_rows(measured.rows)
+        if reference is None:
+            reference = key
+        elif key != reference:
+            raise AssertionError(
+                "strategy %r returned different rows" % name
+            )
+        outputs[name] = measured
+    return outputs
+
+
+def frozenset_rows(rows):
+    """Order-insensitive, duplicate-preserving row-set key."""
+    counts = {}
+    for row in rows:
+        counts[row] = counts.get(row, 0) + 1
+    return frozenset(counts.items())

@@ -1,0 +1,123 @@
+"""Cost accounting shared by the executor (measured) and optimizer (estimated).
+
+The paper's argument is entirely about *relative plan cost*, so rather than
+timing wall-clock execution we charge every physical operator's work to a
+:class:`CostLedger` in named units:
+
+- ``page_reads`` / ``page_writes``: simulated buffer-pool page I/O
+- ``tuple_cpu``: per-tuple processing steps (comparisons, hashing, copying)
+- ``net_msgs`` / ``net_bytes``: distributed shipping (Section 5.1)
+- ``fn_invocations``: user-defined-relation calls (Section 5.2)
+
+A :class:`CostParams` instance folds the unit counts into a single scalar,
+exactly the way the optimizer's estimates do, so experiments can print
+estimate vs. measured per component (Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class CostParams:
+    """Weights that convert unit counts into one scalar cost.
+
+    The defaults treat one page I/O as the unit of cost, a tuple-CPU step
+    as 1/200 of a page I/O, and network entirely free (the centralized
+    setting). Distributed experiments raise ``net_byte_weight`` /
+    ``net_msg_weight`` to explore the SDD-1 vs. System R* regimes.
+    """
+
+    page_read_weight: float = 1.0
+    page_write_weight: float = 1.0
+    tuple_cpu_weight: float = 0.005
+    net_msg_weight: float = 0.0
+    net_byte_weight: float = 0.0
+    fn_invocation_weight: float = 1.0
+
+    def scalar(self, counts: "CostLedger") -> float:
+        """Fold a ledger's unit counts into one scalar cost."""
+        return (
+            self.page_read_weight * counts.page_reads
+            + self.page_write_weight * counts.page_writes
+            + self.tuple_cpu_weight * counts.tuple_cpu
+            + self.net_msg_weight * counts.net_msgs
+            + self.net_byte_weight * counts.net_bytes
+            + self.fn_invocation_weight * counts.fn_invocations
+        )
+
+
+@dataclass
+class CostLedger:
+    """Accumulates measured (or estimated) work in named units.
+
+    Ledgers support ``+`` so sub-plan charges compose, and ``snapshot`` /
+    ``delta`` so an experiment can isolate the work done by one phase.
+    """
+
+    page_reads: float = 0.0
+    page_writes: float = 0.0
+    tuple_cpu: float = 0.0
+    net_msgs: float = 0.0
+    net_bytes: float = 0.0
+    fn_invocations: float = 0.0
+
+    def charge_reads(self, pages: float) -> None:
+        self.page_reads += pages
+
+    def charge_writes(self, pages: float) -> None:
+        self.page_writes += pages
+
+    def charge_cpu(self, steps: float) -> None:
+        self.tuple_cpu += steps
+
+    def charge_message(self, nbytes: float) -> None:
+        """One network message carrying ``nbytes`` of payload."""
+        self.net_msgs += 1
+        self.net_bytes += nbytes
+
+    def charge_invocation(self, count: float = 1.0) -> None:
+        self.fn_invocations += count
+
+    def snapshot(self) -> "CostLedger":
+        """A frozen copy of the current counts."""
+        return CostLedger(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, since: "CostLedger") -> "CostLedger":
+        """Counts accumulated since ``since`` was snapshotted."""
+        return CostLedger(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def merge(self, other: "CostLedger") -> None:
+        """Add another ledger's counts into this one, in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def __add__(self, other: "CostLedger") -> "CostLedger":
+        result = self.snapshot()
+        result.merge(other)
+        return result
+
+    def total(self, params: CostParams = None) -> float:
+        """Scalar cost under ``params`` (default weights if omitted)."""
+        return (params or CostParams()).scalar(self)
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0.0)
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:
+        parts = [
+            "%s=%.1f" % (name, value)
+            for name, value in self.as_dict().items()
+            if value
+        ]
+        return "CostLedger(%s)" % ", ".join(parts) if parts else "CostLedger(empty)"

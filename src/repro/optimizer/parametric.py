@@ -1,0 +1,166 @@
+"""Parametric costing of the restricted inner (Section 4.2).
+
+Costing a Filter Join needs the cost and output cardinality of the inner
+relation *as restricted by a filter set* — a function of the filter set's
+cardinality. Computing it exactly requires a nested invocation of the
+optimizer per candidate, which would wreck Assumption 1 (O(1) costing).
+
+Following the paper, :class:`ParametricInnerCoster` plans the restricted
+inner only at a small number of *equivalence classes* — anchor filter-set
+cardinalities spread geometrically over the join-column domain — then:
+
+- fits a straight line to the anchors' output cardinalities (Figure 4),
+- answers cost queries with the nearest class's planned cost (Figure 5).
+
+The number of classes is the paper's performance "knob": more classes,
+more nested optimizations, better estimates. Setting ``enabled=False``
+reverts to exact nested optimization on every costing call, which
+experiment F5 uses to measure what the knob buys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..rewrite.magic import RestrictedInner
+from .plans import PlanNode
+
+
+@dataclass
+class EquivalenceClass:
+    """One planned anchor: a filter-set cardinality and its plan."""
+
+    anchor_rows: float
+    plan: PlanNode
+    cost: float
+    rows: float
+
+
+# builder(assumed_rows, assumed_selectivity) -> RestrictedInner
+Builder = Callable[[float, float], RestrictedInner]
+# plan_fn(block) -> PlanNode  (a nested optimizer invocation)
+PlanFn = Callable[..., PlanNode]
+
+
+class ParametricInnerCoster:
+    """Cost/cardinality oracle for one (inner, bound-column set) pair."""
+
+    def __init__(self, builder: Builder, plan_fn: PlanFn,
+                 domain_distinct: float, num_classes: int = 4,
+                 enabled: bool = True, fpr_fn=None):
+        self.builder = builder
+        self.plan_fn = plan_fn
+        self.domain_distinct = max(1.0, domain_distinct)
+        self.num_classes = max(2, num_classes)
+        self.enabled = enabled
+        # False-positive rate of the lossy filter as a function of the
+        # number of keys inserted (0 for exact filter sets).
+        self.fpr_fn = fpr_fn or (lambda keys: 0.0)
+        self.classes: List[EquivalenceClass] = []
+        self.nested_optimizations = 0
+        self._fit: Optional[Tuple[float, float]] = None  # (slope, intercept)
+
+    # ---------------------------------------------------------------- anchors
+
+    def anchor_cardinalities(self) -> List[float]:
+        """Geometric grid of filter-set cardinalities over [1, domain]."""
+        top = max(2.0, self.domain_distinct)
+        n = self.num_classes
+        return [
+            round(math.exp(math.log(top) * i / (n - 1)))
+            for i in range(n)
+        ]
+
+    def _selectivity(self, filter_rows: float) -> float:
+        """Inner-restriction selectivity for a filter of this size,
+        inflated by the Bloom false-positive rate when lossy."""
+        true_sel = min(1.0, filter_rows / self.domain_distinct)
+        fpr = max(0.0, min(1.0, self.fpr_fn(filter_rows)))
+        return min(1.0, true_sel + fpr * (1.0 - true_sel))
+
+    def _plan_anchor(self, anchor_rows: float) -> EquivalenceClass:
+        restricted = self.builder(anchor_rows, self._selectivity(anchor_rows))
+        plan = self.plan_fn(restricted.block)
+        self.nested_optimizations += 1
+        return EquivalenceClass(anchor_rows, plan, plan.est_cost,
+                                plan.est_rows)
+
+    def ensure_classes(self) -> None:
+        if self.classes:
+            return
+        for anchor in self.anchor_cardinalities():
+            self.classes.append(self._plan_anchor(float(anchor)))
+        xs = np.array([c.anchor_rows for c in self.classes])
+        ys = np.array([c.rows for c in self.classes])
+        if len(xs) >= 2 and float(xs.max() - xs.min()) > 0:
+            slope, intercept = np.polyfit(xs, ys, 1)
+        else:
+            slope, intercept = 0.0, float(ys.mean())
+        self._fit = (float(slope), float(intercept))
+
+    # ---------------------------------------------------------------- oracle
+
+    def estimate(self, filter_rows: float) -> Tuple[float, float]:
+        """(cost, output rows) of the restricted inner for a filter set of
+        ``filter_rows`` distinct values. O(1) after the classes exist."""
+        filter_rows = max(0.0, filter_rows)
+        if not self.enabled:
+            cls = self._plan_anchor(max(1.0, filter_rows))
+            return cls.cost, cls.rows
+        self.ensure_classes()
+        slope, intercept = self._fit
+        rows = max(0.0, slope * filter_rows + intercept)
+        return self._interpolated_cost(filter_rows), rows
+
+    def _interpolated_cost(self, filter_rows: float) -> float:
+        """Cost by linear interpolation between the surrounding classes.
+
+        Section 4.2 allows determining a class's result "by
+        extrapolation, for instance" from neighbouring classes; linear
+        interpolation between the two bracketing anchors is the natural
+        instance, degrading to nearest-class at the grid's edges.
+        """
+        classes = sorted(self.classes, key=lambda c: c.anchor_rows)
+        if filter_rows <= classes[0].anchor_rows:
+            return classes[0].cost
+        if filter_rows >= classes[-1].anchor_rows:
+            return classes[-1].cost
+        for low, high in zip(classes, classes[1:]):
+            if low.anchor_rows <= filter_rows <= high.anchor_rows:
+                span = high.anchor_rows - low.anchor_rows
+                if span <= 0:
+                    return low.cost
+                frac = (filter_rows - low.anchor_rows) / span
+                return low.cost + frac * (high.cost - low.cost)
+        return classes[-1].cost
+
+    def template_for(self, filter_rows: float) -> PlanNode:
+        """The physical plan to execute for this filter-set size.
+
+        Uses the *floor* class — the largest anchor not exceeding the
+        filter size. A plan optimized for a smaller filter set degrades
+        gracefully when fed a larger one (it restricts a bit less
+        efficiently), whereas a plan optimized for a large filter (e.g.
+        ship-the-whole-inner) executed with a tiny filter forfeits the
+        entire restriction benefit.
+        """
+        if not self.enabled:
+            return self._plan_anchor(max(1.0, filter_rows)).plan
+        self.ensure_classes()
+        classes = sorted(self.classes, key=lambda c: c.anchor_rows)
+        chosen = classes[0]
+        for cls in classes:
+            if cls.anchor_rows <= filter_rows:
+                chosen = cls
+        return chosen.plan
+
+    def _nearest_class(self, filter_rows: float) -> EquivalenceClass:
+        target = math.log(max(1.0, filter_rows))
+        return min(
+            self.classes,
+            key=lambda c: abs(math.log(max(1.0, c.anchor_rows)) - target),
+        )

@@ -1,0 +1,1182 @@
+"""System-R dynamic-programming planner with Filter Joins.
+
+The planner enumerates left-deep join orders bottom-up, keeping the best
+partial plan per (relation subset, interesting order). At every join step
+it considers the classic methods — (block) nested loops, index nested
+loops, hash, sort-merge — *and* the paper's Filter Join family:
+
+- :class:`NestedIterationNode` — correlated, per-outer-row evaluation of a
+  virtual inner (the "repeated probe" cell of Figure 6);
+- :class:`FilterJoinNode` — distinct filter set restricting the inner
+  (magic sets / semi-join), exact or lossy (Bloom);
+- :class:`FunctionJoinNode` — the UDF analogues.
+
+Filter Joins are costed through :class:`ParametricInnerCoster`
+(Section 4.2), so the asymptotic complexity of the enumeration is
+unchanged: per join, one production set (Limitation 2), a constant
+number of filter-set variants (Limitation 3), and O(1) costing
+(Assumption 1). Relaxing Limitations 1/2 via the config widens the
+production-set choices, which experiment C2 uses to measure the blow-up.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..algebra.block import QueryBlock
+from ..algebra.predicates import (
+    alias_of,
+    aliases_in,
+    equijoin_pairs,
+    local_predicates,
+)
+from ..algebra.relations import (
+    FilterSetRelation,
+    RelationRef,
+    StoredRelation,
+    VirtualRelation,
+)
+from ..errors import PlanError
+from ..expr.nodes import ColumnRef, Comparison, Expr, Literal, conjoin
+from ..ledger import CostLedger
+from ..rewrite.magic import (
+    bindable_columns,
+    restricted_stored_block,
+    restricted_stored_block_lossy,
+    restricted_view_block,
+    restricted_view_block_lossy,
+)
+from ..storage.catalog import Catalog
+from .config import OptimizerConfig
+from .cost import CostModel
+from .parametric import ParametricInnerCoster
+from .plans import (
+    AggregateNode,
+    DistinctNode,
+    FilterJoinNode,
+    FilterNode,
+    FilterSetScanNode,
+    FunctionJoinNode,
+    IndexScanNode,
+    JoinMethod,
+    JoinNode,
+    LimitNode,
+    MaterializeNode,
+    NestedIterationNode,
+    PlanNode,
+    ProjectNode,
+    RelabelNode,
+    SeqScanNode,
+    ShipNode,
+    SortNode,
+    UnionNode,
+)
+from .properties import RelProps, StatsEstimator
+
+
+@dataclass
+class PlannerMetrics:
+    """Counters for the complexity experiments (C2, F5)."""
+
+    plans_considered: int = 0
+    joins_enumerated: int = 0
+    filter_joins_considered: int = 0
+    nested_optimizations: int = 0
+    dp_entries: int = 0
+
+
+@dataclass
+class PartialPlan:
+    """One DP table entry: the best plan found for a relation subset
+    (under one interesting order), plus its construction sequence."""
+
+    aliases: FrozenSet[str]
+    sequence: Tuple[str, ...]
+    plan: PlanNode
+    props: RelProps
+    cost: float
+    components: CostLedger
+    sort_order: Optional[Tuple[str, ...]] = None
+    parent: Optional["PartialPlan"] = None
+
+
+class Planner:
+    """Plans bound query blocks into physical plans."""
+
+    def __init__(self, catalog: Catalog,
+                 config: Optional[OptimizerConfig] = None):
+        self.catalog = catalog
+        self.config = config or OptimizerConfig()
+        self.config.validate()
+        self.estimator = StatsEstimator(catalog)
+        self.cost_model = CostModel(self.config)
+        self.metrics = PlannerMetrics()
+        self._param_counter = itertools.count(1)
+        self._restriction_depth = 0
+        self._costers: Dict[Tuple, ParametricInnerCoster] = {}
+        self._view_plans: Dict[int, PartialPlan] = {}
+        self._props_cache: Dict[Tuple[int, FrozenSet[str]], RelProps] = {}
+        # The caches above key by id(); keep the keyed objects alive so
+        # a dead object's id can never be recycled into a stale hit.
+        self._cache_pins: List[object] = []
+
+    # ------------------------------------------------------------ public API
+
+    def plan(self, block) -> PlanNode:
+        """Plan a bound query (a single block or a UNION chain)."""
+        from ..algebra.block import UnionQuery
+
+        if isinstance(block, UnionQuery):
+            return self.plan_union(block)
+        return self.plan_block(block)
+
+    def plan_union(self, union) -> PlanNode:
+        """Plan a UNION chain left-associatively."""
+        schema = union.output_schema()
+        plan = self.plan_block(union.parts[0])
+        components = plan.est_components.snapshot()
+        rows = plan.est_rows
+        for flag, part in zip(union.all_flags, union.parts[1:]):
+            right = self.plan_block(part)
+            components.merge(right.est_components)
+            rows += right.est_rows
+            distinct = not flag
+            if distinct:
+                components.merge(self.cost_model.dedup(rows))
+                rows *= 0.9  # mild overlap assumption
+            node = UnionNode(plan, right, schema, distinct)
+            self._finish(node, rows, components)
+            plan = node
+        if union.order_by:
+            components.merge(self.cost_model.sort(rows, schema.row_width()))
+            plan = SortNode(plan, [(ref.name, asc)
+                                   for ref, asc in union.order_by])
+            self._finish(plan, rows, components)
+        if union.limit is not None:
+            plan = LimitNode(plan, union.limit)
+            rows = min(rows, float(union.limit))
+            self._finish(plan, rows, components)
+        return plan
+
+    # ---------------------------------------------------------- block plans
+
+    def plan_block(self, block: QueryBlock) -> PlanNode:
+        best = self._plan_joins(block)
+        plan = best.plan
+        components = best.components.snapshot()
+        props = best.props
+        rows = props.rows
+
+        if block.is_grouped:
+            group_schema = block.group_output_schema()
+            grouped = self.estimator.grouped_props(block, props)
+            step = self.cost_model.hash_aggregate(rows, grouped.rows)
+            components.merge(step)
+            plan = AggregateNode(plan,
+                                 [g.name for g in block.group_by],
+                                 block.aggregates, group_schema)
+            self._finish(plan, grouped.rows, components)
+            props, rows = grouped, grouped.rows
+            if block.having is not None:
+                sel = self.estimator.selectivity(block.having, props)
+                step = self.cost_model.filter_rows(rows)
+                components.merge(step)
+                plan = FilterNode(plan, block.having)
+                rows = rows * sel
+                props = props.scaled(sel)
+                self._finish(plan, rows, components)
+
+        if block.select_items:
+            out_schema = block.output_schema()
+            step = self.cost_model.project_rows(rows)
+            components.merge(step)
+            new_columns = {}
+            for item, col in zip(block.select_items, out_schema.columns):
+                if isinstance(item.expr, ColumnRef):
+                    new_columns[col.name] = props.column(item.expr.name)
+            plan = ProjectNode(plan, block.select_items, out_schema)
+            props = RelProps(out_schema, rows, new_columns)
+            self._finish(plan, rows, components)
+
+        if block.distinct:
+            distinct_rows = 1.0
+            for name in props.schema.names():
+                distinct_rows *= max(1.0, props.column(name).distinct)
+            distinct_rows = min(distinct_rows, max(rows, 0.0))
+            step = self.cost_model.dedup(rows)
+            components.merge(step)
+            plan = DistinctNode(plan)
+            rows = distinct_rows
+            props = props.scaled(distinct_rows / rows if rows else 0.0)
+            self._finish(plan, distinct_rows, components)
+
+        if block.order_by:
+            wanted = tuple(ref.name for ref, asc in block.order_by if asc)
+            if not wanted or plan.sort_order is None or \
+                    plan.sort_order[:len(wanted)] != wanted:
+                step = self.cost_model.sort(rows, props.row_width)
+                components.merge(step)
+                plan = SortNode(
+                    plan, [(ref.name, asc) for ref, asc in block.order_by]
+                )
+                self._finish(plan, rows, components)
+
+        if block.limit is not None:
+            plan = LimitNode(plan, block.limit)
+            rows = min(rows, float(block.limit))
+            self._finish(plan, rows, components)
+
+        if plan.site is not None:
+            step = self.cost_model.ship(rows, props.row_width)
+            components.merge(step)
+            plan = ShipNode(plan, None)
+            self._finish(plan, rows, components)
+        return plan
+
+    # ------------------------------------------------------------- join DP
+
+    def _plan_joins(self, block: QueryBlock) -> PartialPlan:
+        relations = {rel.alias: rel for rel in block.relations}
+        n = len(relations)
+        table: Dict[FrozenSet[str], Dict[Optional[Tuple[str, ...]], PartialPlan]] = {}
+
+        forced = (self.config.forced_view_join
+                  if self._restriction_depth == 0 else None)
+        for rel in block.relations:
+            if (forced in ("nested_iteration", "filter_join", "bloom")
+                    and rel.kind == "view" and n > 1):
+                continue  # the forced strategy only joins the view as inner
+            for partial in self._access_plans(rel, block):
+                self._add_entry(table, partial)
+        if not any(len(key) == 1 for key in table):
+            raise PlanError(
+                "no relation in the block can be accessed standalone "
+                "(function relations need join bindings)"
+            )
+
+        for size in range(2, n + 1):
+            level_keys = [key for key in table if len(key) == size - 1]
+            for key in level_keys:
+                for partial in list(table[key].values()):
+                    partners = self._join_partners(block, partial, relations)
+                    for alias in partners:
+                        rel = relations[alias]
+                        for candidate in self._join_candidates(
+                            block, partial, rel
+                        ):
+                            self._add_entry(table, candidate)
+
+        full = frozenset(relations)
+        bucket = table.get(full)
+        if not bucket:
+            raise PlanError("optimizer found no complete join plan")
+        self.metrics.dp_entries += sum(len(b) for b in table.values())
+        return min(bucket.values(), key=self._cost_with_ship_home)
+
+    def _cost_with_ship_home(self, partial: PartialPlan) -> float:
+        """A remote-sited plan must eventually ship its result to the
+        query site; comparing complete plans ignores that at its peril."""
+        if partial.plan.site is None:
+            return partial.cost
+        ship = self.cost_model.ship(partial.props.rows,
+                                    partial.props.row_width)
+        return partial.cost + self.cost_model.scalar(ship)
+
+    def _join_partners(self, block: QueryBlock, partial: PartialPlan,
+                       relations: Dict[str, RelationRef]) -> List[str]:
+        """Relations joinable next: connected ones, or all when the join
+        graph leaves no connected choice (forced cross product)."""
+        remaining = [a for a in relations if a not in partial.aliases]
+        connected = []
+        for alias in remaining:
+            for pred in block.predicates:
+                refs = aliases_in(pred)
+                if alias in refs and refs & partial.aliases and \
+                        refs <= partial.aliases | {alias}:
+                    connected.append(alias)
+                    break
+        return connected or remaining
+
+    def _add_entry(self, table, candidate: PartialPlan) -> None:
+        self.metrics.plans_considered += 1
+        bucket = table.setdefault(candidate.aliases, {})
+        # Entries are comparable only at the same (interesting order,
+        # site): a differently-sited plan owes a future shipping cost.
+        entry_key = (candidate.sort_order, candidate.plan.site)
+        incumbent = bucket.get(entry_key)
+        if incumbent is None or candidate.cost < incumbent.cost:
+            bucket[entry_key] = candidate
+        # Prune ordered entries dominated by the same-site unordered best.
+        same_site = [p for p in bucket.values()
+                     if p.plan.site == candidate.plan.site]
+        best_any = min(same_site, key=lambda p: p.cost)
+        for key in list(bucket):
+            order_key, site_key = key
+            if site_key != candidate.plan.site or order_key is None:
+                continue
+            if bucket[key].cost > best_any.cost * 4:
+                del bucket[key]
+
+    # ----------------------------------------------------------- access paths
+
+    def _subset_props(self, block: QueryBlock,
+                      aliases: FrozenSet[str]) -> RelProps:
+        key = (id(block), frozenset(aliases))
+        props = self._props_cache.get(key)
+        if props is None:
+            props = self.estimator.join_subset_props(block, aliases)
+            self._props_cache[key] = props
+            self._cache_pins.append(block)
+        return props
+
+    def _access_plans(self, rel: RelationRef,
+                      block: QueryBlock) -> List[PartialPlan]:
+        if rel.kind == "function":
+            return []  # only joinable with bindings
+        locals_ = local_predicates(block.predicates, rel.alias)
+        props = self._subset_props(block, frozenset([rel.alias]))
+        plans: List[PartialPlan] = []
+
+        if rel.kind == "stored":
+            base = self.estimator.relation_props(rel)
+            table = rel.table
+            components = self.cost_model.seq_scan(table.num_pages,
+                                                  table.num_rows)
+            if locals_:
+                components.merge(self.cost_model.filter_rows(table.num_rows))
+            node = SeqScanNode(rel, conjoin(locals_))
+            node.site = rel.site
+            # A clustered table's heap order IS the cluster column's
+            # order — a free interesting order for merge joins/ORDER BY.
+            order = None
+            if table.clustered_on is not None:
+                order = ("%s.%s" % (rel.alias, table.clustered_on),)
+                node.sort_order = order
+            self._finish(node, props.rows, components)
+            plans.append(self._partial(rel, node, props, components,
+                                       sort_order=order))
+            plans.extend(self._index_access_plans(rel, block, locals_,
+                                                  base, props))
+        elif rel.kind == "view":
+            partial = self._view_full_computation(rel)
+            # Re-run local predicate filtering on top of the view output.
+            components = partial.components.snapshot()
+            node = partial.plan
+            if locals_:
+                components.merge(self.cost_model.filter_rows(partial.props.rows))
+                node = FilterNode(node, conjoin(locals_))
+                self._finish(node, props.rows, components)
+            plans.append(self._partial(rel, node, props, components,
+                                       sort_order=node.sort_order))
+        elif rel.kind == "filterset":
+            components = self.cost_model.rescan(rel.assumed_rows,
+                                                rel.base_schema.row_width())
+            node = FilterSetScanNode(rel)
+            self._finish(node, props.rows, components)
+            plans.append(self._partial(rel, node, props, components))
+        else:
+            raise PlanError("cannot access relation kind %r" % rel.kind)
+        return plans
+
+    def _index_access_plans(self, rel: StoredRelation, block: QueryBlock,
+                            locals_: List[Expr], base: RelProps,
+                            props: RelProps) -> List[PartialPlan]:
+        plans: List[PartialPlan] = []
+        table = rel.table
+        for pred in locals_:
+            if not isinstance(pred, Comparison):
+                continue
+            left, right = pred.left, pred.right
+            if isinstance(left, Literal) and isinstance(right, ColumnRef):
+                pred = pred.flipped()
+                left, right = pred.left, pred.right
+            if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+                continue
+            column = left.name.split(".", 1)[1]
+            index = table.index_on(column)
+            if index is None:
+                continue
+            if pred.op == "=" and index.kind in ("hash", "sorted"):
+                pass
+            elif pred.op in ("<", "<=", ">", ">=") and index.kind == "sorted":
+                pass
+            else:
+                continue
+            sel = self.estimator.selectivity(pred, base)
+            matches = base.rows * sel
+            components = self.cost_model.index_probe(
+                table.num_rows, table.num_pages, matches,
+                clustered=(table.clustered_on == column),
+                row_width=table.schema.row_width(),
+            )
+            residual = [p for p in locals_ if p is not pred]
+            if residual:
+                components.merge(self.cost_model.filter_rows(matches))
+            node = IndexScanNode(rel, left.name, pred.op, right.value,
+                                 conjoin(residual))
+            node.site = rel.site
+            order = (left.name,) if index.kind == "sorted" else None
+            node.sort_order = order
+            self._finish(node, props.rows, components)
+            plans.append(self._partial(rel, node, props, components,
+                                       sort_order=order))
+        return plans
+
+    def _view_full_computation(self, rel: VirtualRelation) -> PartialPlan:
+        """Fully compute the view (its own nested optimization), cached."""
+        cached = self._view_plans.get(id(rel))
+        if cached is not None:
+            return cached
+        inner_plan = self.plan(rel.block)  # block or union
+        self.metrics.nested_optimizations += 1
+        node = RelabelNode(inner_plan, rel.output_schema)
+        node.site = rel.site if rel.site is not None else inner_plan.site
+        components = inner_plan.est_components.snapshot()
+        props = self.estimator.relation_props(rel)
+        self._finish(node, props.rows, components)
+        partial = self._partial(rel, node, props, components)
+        self._view_plans[id(rel)] = partial
+        self._cache_pins.append(rel)
+        return partial
+
+    def _partial(self, rel: RelationRef, node: PlanNode, props: RelProps,
+                 components: CostLedger,
+                 sort_order: Optional[Tuple[str, ...]] = None) -> PartialPlan:
+        return PartialPlan(
+            aliases=frozenset([rel.alias]),
+            sequence=(rel.alias,),
+            plan=node,
+            props=props,
+            cost=self.cost_model.scalar(components),
+            components=components,
+            sort_order=sort_order,
+        )
+
+    # -------------------------------------------------------- join candidates
+
+    def _join_candidates(self, block: QueryBlock, partial: PartialPlan,
+                         rel: RelationRef) -> List[PartialPlan]:
+        self.metrics.joins_enumerated += 1
+        new_aliases = partial.aliases | {rel.alias}
+        join_preds = [
+            p for p in block.predicates
+            if aliases_in(p)
+            and aliases_in(p) <= new_aliases
+            and not aliases_in(p) <= partial.aliases
+            and not aliases_in(p) <= {rel.alias}
+        ]
+        pairs = equijoin_pairs(join_preds, partial.aliases, {rel.alias})
+        equi_names = [(o.name, i.name) for o, i in pairs]
+        equi_set = {
+            Comparison("=", o, i).display() for o, i in pairs
+        } | {
+            Comparison("=", i, o).display() for o, i in pairs
+        }
+        residual_list = [p for p in join_preds if p.display() not in equi_set]
+        residual = conjoin(residual_list)
+        new_props = self._subset_props(block, new_aliases)
+
+        # An experiment may pin the strategy used for view/stored inners.
+        forced = (
+            self.config.forced_view_join
+            if rel.kind == "view" and self._restriction_depth == 0
+            else None
+        )
+        forced_stored = (
+            self.config.forced_stored_join
+            if rel.kind == "stored" and self._restriction_depth == 0
+            else None
+        )
+        candidates: List[PartialPlan] = []
+        if (rel.kind in ("stored", "view", "filterset")
+                and forced in (None, "full")
+                and forced_stored in (None, "hash", "merge", "nlj")):
+            candidates.extend(self._standard_joins(
+                block, partial, rel, new_aliases, new_props,
+                equi_names, residual, residual_list,
+                only_method=forced_stored,
+            ))
+        if rel.kind == "stored" and forced_stored in (None, "inl"):
+            candidates.extend(self._index_nested_loops(
+                block, partial, rel, new_aliases, new_props,
+                equi_names, residual,
+            ))
+        if (rel.kind == "view" and self._restriction_depth == 0
+                and forced in (None, "nested_iteration")):
+            candidates.extend(self._view_probe_joins(
+                block, partial, rel, new_aliases, new_props,
+                equi_names, residual, forced=forced,
+            ))
+        view_filter_wanted = (
+            rel.kind == "view"
+            and (forced in ("filter_join", "bloom")
+                 or (forced is None and self.config.enable_filter_join))
+        )
+        stored_filter_wanted = (
+            rel.kind == "stored"
+            and (forced_stored in ("filter_join", "bloom")
+                 or (forced_stored is None
+                     and self.config.enable_filter_join))
+        )
+        if (self._restriction_depth == 0
+                and (view_filter_wanted or stored_filter_wanted)):
+            candidates.extend(self._filter_joins(
+                block, partial, rel, new_aliases, new_props,
+                equi_names, residual,
+                forced=forced if rel.kind == "view" else forced_stored,
+            ))
+        if rel.kind == "function":
+            candidates.extend(self._function_joins(
+                block, partial, rel, new_aliases, new_props,
+                equi_names, residual,
+            ))
+        return candidates
+
+    # .................................................. standard join methods
+
+    def _enabled(self, flag: bool) -> bool:
+        """Classic methods are always available inside a restriction
+        template, whatever the experiment config disables — otherwise a
+        filter set could have no way to join with the inner's body."""
+        return flag or self._restriction_depth > 0
+
+    def _standard_joins(self, block, partial, rel, new_aliases, new_props,
+                        equi_names, residual, residual_list,
+                        only_method: Optional[str] = None):
+        """Hash, sort-merge, and block-nested-loops over a computed inner.
+
+        ``only_method`` (experiments) restricts generation to one of
+        "hash" / "merge" / "nlj".
+        """
+        candidates: List[PartialPlan] = []
+        access = self._access_plans(rel, block)
+        if not access:
+            return candidates
+        cheapest = min(access, key=lambda p: p.cost)
+        outer_rows = partial.props.rows
+        out_rows = new_props.rows
+
+        def shipped(inner: PartialPlan,
+                    to_site: Optional[str]) -> Tuple[PlanNode, CostLedger]:
+            """Ship the inner to the join site when needed (fetch-inner)."""
+            comp = inner.components.snapshot()
+            node = inner.plan
+            if node.site != to_site:
+                comp.merge(self.cost_model.ship(inner.props.rows,
+                                                inner.props.row_width))
+                node = ShipNode(node, to_site)
+                self._finish(node, inner.props.rows, comp)
+            return node, comp
+
+        join_site = partial.plan.site
+
+        if self._enabled(self.config.enable_hash_join) and equi_names \
+                and only_method in (None, "hash"):
+            inner_node, comp = shipped(cheapest, join_site)
+            components = partial.components + comp
+            components.merge(self.cost_model.hash_join(
+                cheapest.props.rows, cheapest.props.row_width,
+                outer_rows, out_rows,
+            ))
+            if residual is not None:
+                components.merge(self.cost_model.filter_rows(out_rows))
+            node = JoinNode(JoinMethod.HASH, partial.plan, inner_node,
+                            equi_names, residual)
+            node.sort_order = partial.sort_order
+            node.site = join_site
+            self._finish(node, out_rows, components)
+            candidates.append(self._extend(partial, rel, node, new_props,
+                                           components, partial.sort_order))
+
+        if self._enabled(self.config.enable_merge_join) and equi_names \
+                and only_method in (None, "merge"):
+            okeys = tuple(name for name, _ in equi_names)
+            ikeys = tuple(name for _, name in equi_names)
+            components = partial.components.snapshot()
+            outer_node = partial.plan
+            if partial.sort_order is None or \
+                    partial.sort_order[:len(okeys)] != okeys:
+                components.merge(self.cost_model.sort(
+                    outer_rows, partial.props.row_width))
+                outer_node = SortNode(outer_node,
+                                      [(k, True) for k in okeys])
+                self._finish(outer_node, outer_rows, components)
+            # pick the access path already sorted on the keys when available
+            sorted_inner = None
+            for option in access:
+                if option.sort_order and option.sort_order[:len(ikeys)] == ikeys:
+                    sorted_inner = option
+                    break
+            inner_choice = sorted_inner or cheapest
+            inner_node, comp = shipped(inner_choice, join_site)
+            components.merge(comp)
+            if sorted_inner is None:
+                components.merge(self.cost_model.sort(
+                    inner_choice.props.rows, inner_choice.props.row_width))
+                inner_node = SortNode(inner_node, [(k, True) for k in ikeys])
+                self._finish(inner_node, inner_choice.props.rows, components)
+            components.merge(self.cost_model.merge_join(
+                outer_rows, inner_choice.props.rows, out_rows))
+            if residual is not None:
+                components.merge(self.cost_model.filter_rows(out_rows))
+            node = JoinNode(JoinMethod.MERGE, outer_node, inner_node,
+                            equi_names, residual)
+            node.sort_order = okeys
+            node.site = join_site
+            self._finish(node, out_rows, components)
+            candidates.append(self._extend(partial, rel, node, new_props,
+                                           components, okeys))
+
+        if self._enabled(self.config.enable_nested_loops) \
+                and only_method in (None, "nlj"):
+            inner_node, comp = shipped(cheapest, join_site)
+            components = partial.components + comp
+            components.merge(self.cost_model.materialize(
+                cheapest.props.rows, cheapest.props.row_width))
+            components.merge(self.cost_model.block_nested_loops(
+                outer_rows, partial.props.row_width,
+                cheapest.props.rows, cheapest.props.row_width, out_rows,
+            ))
+            node = JoinNode(JoinMethod.NLJ, partial.plan,
+                            MaterializeNode(inner_node), equi_names,
+                            residual)
+            node.site = join_site
+            self._finish(node.inner, cheapest.props.rows, comp)
+            self._finish(node, out_rows, components)
+            candidates.append(self._extend(partial, rel, node, new_props,
+                                           components, None))
+        return candidates
+
+    def _index_nested_loops(self, block, partial, rel, new_aliases,
+                            new_props, equi_names, residual):
+        """INL on a stored inner; with a remote inner this is System R*'s
+        "fetch matches" (one message round-trip per probe)."""
+        candidates: List[PartialPlan] = []
+        if not self.config.enable_index_nested_loops or not equi_names:
+            return candidates
+        outer_rows = partial.props.rows
+        out_rows = new_props.rows
+        base = self.estimator.relation_props(rel)
+        locals_ = local_predicates(block.predicates, rel.alias)
+        for outer_col, inner_col in equi_names:
+            column = inner_col.split(".", 1)[1]
+            index = rel.table.index_on(column)
+            if index is None:
+                continue
+            matches = base.rows / max(1.0, base.column(inner_col).distinct)
+            components = partial.components.snapshot()
+            components.merge(self.cost_model.index_nested_loops(
+                outer_rows, rel.table.num_rows, rel.table.num_pages,
+                matches, out_rows,
+                clustered=(rel.table.clustered_on == column),
+                row_width=rel.table.schema.row_width(),
+            ))
+            if rel.site is not None and rel.site != partial.plan.site:
+                # fetch matches: request + reply per probe
+                per_probe_bytes = matches * base.row_width
+                ship = CostLedger()
+                ship.net_msgs += 2 * outer_rows
+                ship.net_bytes += outer_rows * (
+                    16 + per_probe_bytes
+                )
+                components.merge(ship)
+            other = [
+                Comparison("=", ColumnRef(o), ColumnRef(i))
+                for o, i in equi_names if i != inner_col
+            ]
+            full_residual = conjoin(other + ([residual] if residual else [])
+                                    + locals_)
+            node = JoinNode(JoinMethod.INL, partial.plan,
+                            SeqScanNode(rel, None), equi_names,
+                            full_residual, index_column=inner_col)
+            node.sort_order = partial.sort_order
+            node.site = partial.plan.site
+            self._finish(node, out_rows, components)
+            candidates.append(self._extend(partial, rel, node, new_props,
+                                           components, partial.sort_order))
+        return candidates
+
+    # ................................................ view-specific methods
+
+    def _bindable_pairs(self, rel: VirtualRelation, equi_names):
+        """Equi-join pairs whose inner column can receive a filter set."""
+        bindable = bindable_columns(rel.block)
+        base_names = rel.base_schema.names()
+        block_names = rel.block.output_schema().names()
+        to_block = dict(zip(base_names, block_names))
+        out = []
+        for outer_col, inner_col in equi_names:
+            view_col = inner_col.split(".", 1)[1]
+            if to_block.get(view_col) in bindable:
+                out.append((outer_col, view_col))
+        return out
+
+    def _view_probe_joins(self, block, partial, rel, new_aliases,
+                          new_props, equi_names, residual, forced=None):
+        """Correlated nested iteration over a view inner."""
+        candidates: List[PartialPlan] = []
+        if forced != "nested_iteration" and \
+                not self.config.enable_nested_iteration:
+            return candidates
+        bind_pairs = self._bindable_pairs(rel, equi_names)
+        if not bind_pairs:
+            return candidates
+        bound_cols = [v for _, v in bind_pairs]
+        coster = self._coster_for(rel, bound_cols, lossy=False)
+        per_probe_cost, per_probe_rows = coster.estimate(1.0)
+        outer_rows = partial.props.rows
+        out_rows = new_props.rows
+        components = partial.components.snapshot()
+        probe_total = CostLedger()
+        probe_total.charge_cpu(outer_rows)  # binding setup per probe
+        components.merge(probe_total)
+        # Charge the per-probe plan cost outer_rows times.
+        template = coster.template_for(1.0)
+        scaled = _scale_ledger(template.est_components, outer_rows)
+        components.merge(scaled)
+        if residual is not None:
+            components.merge(self.cost_model.filter_rows(
+                outer_rows * max(per_probe_rows, 0.0)))
+        inner_labeled = RelabelNode(template, rel.output_schema)
+        self._finish(inner_labeled, per_probe_rows, template.est_components)
+        # Equi-join predicates not enforced by the binding, plus the view's
+        # local predicates, must still be evaluated on the joined row.
+        bound_view_cols = {v for _, v in bind_pairs}
+        unbound_equi = [
+            Comparison("=", ColumnRef(o), ColumnRef(i))
+            for o, i in equi_names
+            if i.split(".", 1)[1] not in bound_view_cols
+        ]
+        locals_ = local_predicates(block.predicates, rel.alias)
+        full_residual = conjoin(
+            unbound_equi + ([residual] if residual else []) + locals_
+        )
+        node = NestedIterationNode(
+            partial.plan, inner_labeled, coster_param_id(coster),
+            [(o, v) for o, v in bind_pairs], full_residual,
+        )
+        node.sort_order = partial.sort_order
+        node.site = partial.plan.site
+        self._finish(node, out_rows, components)
+        candidates.append(self._extend(partial, rel, node, new_props,
+                                       components, partial.sort_order))
+
+        # Figure 6's "optimized nested iteration": sort the outer on the
+        # binding columns so consecutive duplicates reuse the previous
+        # probe — one template run per *distinct* binding.
+        okeys = tuple(o for o, _ in bind_pairs)
+        distinct_probes = self.estimator.filter_set_distinct(
+            partial.props, list(okeys))
+        if distinct_probes < outer_rows * 0.95:
+            sorted_components = partial.components.snapshot()
+            sorted_outer = partial.plan
+            if partial.sort_order is None or \
+                    partial.sort_order[:len(okeys)] != okeys:
+                sorted_components.merge(self.cost_model.sort(
+                    outer_rows, partial.props.row_width))
+                sorted_outer = SortNode(partial.plan,
+                                        [(k, True) for k in okeys])
+                self._finish(sorted_outer, outer_rows, sorted_components)
+            sorted_components.charge_cpu(outer_rows)
+            sorted_components.merge(_scale_ledger(
+                template.est_components, distinct_probes))
+            if residual is not None:
+                sorted_components.merge(self.cost_model.filter_rows(
+                    outer_rows * max(per_probe_rows, 0.0)))
+            sorted_node = NestedIterationNode(
+                sorted_outer, inner_labeled, coster_param_id(coster),
+                [(o, v) for o, v in bind_pairs], full_residual,
+            )
+            sorted_node.sort_order = okeys
+            sorted_node.site = partial.plan.site
+            self._finish(sorted_node, out_rows, sorted_components)
+            candidates.append(self._extend(partial, rel, sorted_node,
+                                           new_props, sorted_components,
+                                           okeys))
+        return candidates
+
+    # ..................................................... the Filter Join
+
+    def _filter_column_choices(self, bind_pairs):
+        """Limitation 3: the full column set, plus singletons if enabled."""
+        choices = [tuple(bind_pairs)]
+        if (self.config.filter_column_strategy == "all_and_singles"
+                and len(bind_pairs) > 1):
+            choices.extend((pair,) for pair in bind_pairs)
+        return choices
+
+    def _production_choices(self, partial: PartialPlan):
+        """Production sets allowed by Limitations 1/2.
+
+        Limitation 2 on: just the full outer. Limitation 2 off but 1 on:
+        every prefix of the outer's construction sequence. Both off: every
+        nonempty subset (exponential — only for the blow-up experiment).
+        """
+        if self.config.limitation2_full_outer:
+            return [partial]
+        out = [partial]
+        if self.config.limitation1_prefix_production:
+            node = partial.parent
+            while node is not None:
+                out.append(node)
+                node = node.parent
+            return out
+        # Limitation 1 relaxed: cost arbitrary subsets. We approximate each
+        # subset's production by the chain prefix that covers it, plus
+        # fabricated single-relation productions; this is enough to show
+        # the combinatorial growth in candidates considered.
+        seen = {p.aliases for p in out}
+        node = partial.parent
+        while node is not None:
+            if node.aliases not in seen:
+                out.append(node)
+                seen.add(node.aliases)
+            node = node.parent
+        for r in range(1, len(partial.sequence)):
+            for combo in itertools.combinations(partial.sequence, r):
+                key = frozenset(combo)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(None)  # counted but not plannable
+        return out
+
+    def _filter_joins(self, block, partial, rel, new_aliases, new_props,
+                      equi_names, residual, forced=None):
+        candidates: List[PartialPlan] = []
+        if rel.kind == "view":
+            bind_pairs = self._bindable_pairs(rel, equi_names)
+            # View-local predicates are not pushed into the restricted
+            # template; evaluate them after the final join.
+            locals_ = local_predicates(block.predicates, rel.alias)
+            if locals_:
+                residual = conjoin(
+                    ([residual] if residual else []) + locals_
+                )
+        else:
+            bind_pairs = [(o, i.split(".", 1)[1]) for o, i in equi_names]
+        if not bind_pairs:
+            return candidates
+        if forced == "filter_join":
+            lossy_options = [False]
+        elif forced == "bloom":
+            lossy_options = [True]
+        else:
+            lossy_options = [False]
+            if self.config.enable_bloom_filter:
+                lossy_options.append(True)
+        out_rows = new_props.rows
+        for production in self._production_choices(partial):
+            if production is None:
+                self.metrics.filter_joins_considered += 1
+                self.metrics.plans_considered += 1
+                continue
+            for chosen in self._filter_column_choices(bind_pairs):
+                # every chosen outer column must come from the production set
+                if not all(alias_of(o) in production.aliases
+                           for o, _ in chosen):
+                    continue
+                for lossy in lossy_options:
+                    self.metrics.filter_joins_considered += 1
+                    candidate = self._one_filter_join(
+                        block, partial, production, rel, new_props,
+                        equi_names, residual, list(chosen), lossy,
+                    )
+                    if candidate is not None:
+                        candidates.append(candidate)
+        return candidates
+
+    def _one_filter_join(self, block, partial, production, rel, new_props,
+                         equi_names, residual, chosen, lossy):
+        outer_rows = partial.props.rows
+        out_rows = new_props.rows
+        outer_cols = [o for o, _ in chosen]
+        bound_cols = [v for _, v in chosen]
+        filter_distinct = self.estimator.filter_set_distinct(
+            production.props, outer_cols
+        )
+        coster = self._coster_for(rel, bound_cols, lossy,
+                                  block=block)
+        inner_cost, inner_rows = coster.estimate(filter_distinct)
+        template = coster.template_for(filter_distinct)
+
+        inner_site = rel.site if rel.kind == "view" else rel.site
+        join_site = partial.plan.site
+        model = self.cost_model
+        components = partial.components.snapshot()  # JoinCost_P
+        parts = {"JoinCost_P": partial.cost}
+
+        # ProductionCost_P: materialize vs recompute (Section 4's min rule)
+        mat = model.materialize(production.props.rows,
+                                production.props.row_width)
+        materialize_production = model.scalar(mat) <= production.cost
+        if production.aliases != partial.aliases:
+            # prefix production: the filter set's source is recomputed
+            prod = production.components.snapshot()
+            materialize_production = False
+        else:
+            prod = mat if materialize_production else production.components.snapshot()
+        components.merge(prod)
+        parts["ProductionCost_P"] = model.scalar(prod)
+
+        # ProjCost_F: distinct projection of the production set
+        sorted_production = (
+            production.sort_order is not None
+            and set(production.sort_order[:len(outer_cols)]) == set(outer_cols)
+        )
+        proj = model.dedup(production.props.rows, sorted_production)
+        components.merge(proj)
+        parts["ProjCost_F"] = model.scalar(proj)
+
+        # AvailCost_F: make the filter available to the inner. A remote
+        # inner needs the filter shipped to its site (Section 5.1's
+        # "minimal modification" to the formula).
+        ship_filter = inner_site is not None and inner_site != join_site
+        avail_f = CostLedger()
+        if ship_filter:
+            if lossy:
+                avail_f = model.ship_bloom()
+            else:
+                avail_f = model.ship(
+                    filter_distinct,
+                    sum(rel.base_schema.column(c).width for c in bound_cols)
+                    if rel.kind == "stored" else 8 * len(bound_cols),
+                )
+        elif lossy:
+            avail_f = model.bloom_build(filter_distinct)
+        components.merge(avail_f)
+        parts["AvailCost_F"] = model.scalar(avail_f)
+
+        # FilterCost_Rk: the parametric estimate of the restricted inner
+        filter_cost_ledger = _scale_ledger(
+            template.est_components,
+            inner_cost / template.est_cost if template.est_cost > 0 else 1.0,
+        )
+        components.merge(filter_cost_ledger)
+        parts["FilterCost_Rk"] = inner_cost
+
+        # AvailCost_Rk': ship back / materialize the restricted inner.
+        # The template plan already ends with a Ship node home when its
+        # body is remote (plan_block ships results to the query site),
+        # so that cost lives inside FilterCost_Rk; the restricted inner
+        # then pipelines into the final join and this term is zero.
+        inner_width = rel.output_schema.row_width()
+        parts["AvailCost_Rk'"] = 0.0
+
+        # FinalJoinCost: rescan production + best unindexed join
+        final = model.rescan(production.props.rows,
+                             production.props.row_width) \
+            if materialize_production else CostLedger()
+        hash_cost = model.hash_join(inner_rows, inner_width,
+                                    outer_rows, out_rows)
+        final.merge(hash_cost)
+        if residual is not None:
+            final.merge(model.filter_rows(out_rows))
+        components.merge(final)
+        parts["FinalJoinCost"] = model.scalar(final)
+
+        inner_labeled = RelabelNode(template, rel.output_schema)
+        self._finish(inner_labeled, inner_rows, template.est_components)
+        final_pairs = list(equi_names)
+        node = FilterJoinNode(
+            outer=partial.plan,
+            inner_template=inner_labeled,
+            param_id=coster_param_id(coster),
+            bind_pairs=[(o, v) for o, v in chosen],
+            final_method=JoinMethod.HASH,
+            final_equi_pairs=final_pairs,
+            residual=residual,
+            materialize_production=materialize_production,
+            lossy=lossy,
+            bloom_bits=self.config.bloom_bits,
+        )
+        node.component_estimates = parts
+        node.est_filter_rows = filter_distinct
+        node.ship_filter = ship_filter
+        node.sort_order = None
+        node.site = join_site
+        self._finish(node, out_rows, components)
+        return self._extend(partial, rel, node, new_props, components, None)
+
+    # ...................................................... function joins
+
+    def _function_joins(self, block, partial, rel, new_aliases, new_props,
+                        equi_names, residual):
+        candidates: List[PartialPlan] = []
+        needed = set(rel.arg_columns)
+        bound = {}
+        for outer_col, inner_col in equi_names:
+            arg = inner_col.split(".", 1)[1]
+            if arg in needed:
+                bound[arg] = outer_col
+        if set(bound) != needed:
+            return candidates  # not all arguments bound yet
+        bind_pairs = [(bound[a], a) for a in rel.arg_columns]
+        outer_rows = partial.props.rows
+        out_rows = new_props.rows
+        locals_ = local_predicates(block.predicates, rel.alias)
+        other_equi = [
+            Comparison("=", ColumnRef(o), ColumnRef(i))
+            for o, i in equi_names
+            if i.split(".", 1)[1] not in needed
+        ]
+        full_residual = conjoin(
+            other_equi + ([residual] if residual else []) + locals_
+        )
+        distinct_args = self.estimator.filter_set_distinct(
+            partial.props, [o for o, _ in bind_pairs]
+        )
+        model = self.cost_model
+        modes = [("repeated", outer_rows, False),
+                 ("memo", distinct_args, False)]
+        if self.config.enable_filter_join:
+            modes.append(("filter", distinct_args, True))
+        forced_mode = self.config.forced_function_join
+        if forced_mode is not None and self._restriction_depth == 0:
+            if forced_mode == "filter":
+                modes = [("filter", distinct_args, True)]
+            else:
+                modes = [m for m in modes if m[0] == forced_mode]
+        for mode, invocations, consecutive in modes:
+            components = partial.components.snapshot()
+            components.merge(model.function_invocations(
+                invocations, rel.cost_per_invocation,
+                consecutive=consecutive,
+                locality_factor=rel.locality_factor,
+            ))
+            components.merge(model.filter_rows(outer_rows))
+            if mode == "filter":
+                components.merge(model.dedup(outer_rows))
+                components.merge(model.materialize(
+                    outer_rows, partial.props.row_width))
+                components.merge(model.hash_join(
+                    distinct_args * rel.rows_per_invocation, 32,
+                    outer_rows, out_rows,
+                ))
+            node = FunctionJoinNode(partial.plan, rel, bind_pairs, mode,
+                                    full_residual)
+            node.sort_order = partial.sort_order if mode != "filter" else None
+            node.site = partial.plan.site
+            self._finish(node, out_rows, components)
+            candidates.append(self._extend(
+                partial, rel, node, new_props, components, node.sort_order,
+            ))
+        return candidates
+
+    # -------------------------------------------------------------- costers
+
+    def _coster_for(self, rel: RelationRef, bound_cols: Sequence[str],
+                    lossy: bool, block: Optional[QueryBlock] = None
+                    ) -> ParametricInnerCoster:
+        key = (id(rel), tuple(sorted(bound_cols)), lossy)
+        coster = self._costers.get(key)
+        if coster is not None:
+            return coster
+        param_id = "fset%d" % next(self._param_counter)
+        if rel.kind == "view":
+            domain = 1.0
+            inner_props = self.estimator.block_output_props(rel.block)
+            base_names = rel.base_schema.names()
+            block_names = rel.block.output_schema().names()
+            to_block = dict(zip(base_names, block_names))
+            for col in bound_cols:
+                domain *= max(1.0, inner_props.column(to_block[col]).distinct)
+
+            if lossy:
+                def builder(assumed_rows, assumed_sel, rel=rel,
+                            bound=tuple(bound_cols), pid=param_id):
+                    return restricted_view_block_lossy(
+                        rel, list(bound), pid, assumed_sel)
+            else:
+                def builder(assumed_rows, assumed_sel, rel=rel,
+                            bound=tuple(bound_cols), pid=param_id):
+                    restricted = restricted_view_block(rel, list(bound), pid)
+                    restricted.filter_relation.assumed_rows = assumed_rows
+                    return restricted
+        else:  # stored relation semi-join
+            locals_ = (local_predicates(block.predicates, rel.alias)
+                       if block is not None else [])
+            stats = self.estimator.relation_props(rel)
+            domain = 1.0
+            for col in bound_cols:
+                domain *= max(
+                    1.0, stats.column("%s.%s" % (rel.alias, col)).distinct
+                )
+
+            if lossy:
+                def builder(assumed_rows, assumed_sel, rel=rel,
+                            bound=tuple(bound_cols), pid=param_id,
+                            locals_=tuple(locals_)):
+                    return restricted_stored_block_lossy(
+                        rel, list(bound), pid, list(locals_), assumed_sel)
+            else:
+                def builder(assumed_rows, assumed_sel, rel=rel,
+                            bound=tuple(bound_cols), pid=param_id,
+                            locals_=tuple(locals_)):
+                    restricted = restricted_stored_block(
+                        rel, list(bound), pid, list(locals_))
+                    restricted.filter_relation.assumed_rows = assumed_rows
+                    return restricted
+
+        fpr_fn = (self.cost_model.bloom_false_positive_rate
+                  if lossy else None)
+
+        def plan_fn(restricted_block):
+            # Inside a restriction template, only the classic join methods
+            # apply (Section 4.1: the nested invocation costs the
+            # restriction with well-known filtering methods); this also
+            # keeps the nested optimization from recursing into itself.
+            self._restriction_depth += 1
+            try:
+                plan = self.plan_block(restricted_block)
+            finally:
+                self._restriction_depth -= 1
+            self.metrics.nested_optimizations += 1
+            return plan
+
+        coster = ParametricInnerCoster(
+            lambda rows, sel: builder(rows, sel),
+            plan_fn,
+            domain_distinct=domain,
+            num_classes=self.config.parametric_classes,
+            enabled=self.config.enable_parametric,
+            fpr_fn=fpr_fn,
+        )
+        coster.param_id = param_id
+        self._costers[key] = coster
+        self._cache_pins.append(rel)
+        return coster
+
+    # -------------------------------------------------------------- helpers
+
+    def _extend(self, partial: PartialPlan, rel: RelationRef, node: PlanNode,
+                props: RelProps, components: CostLedger,
+                sort_order) -> PartialPlan:
+        return PartialPlan(
+            aliases=partial.aliases | {rel.alias},
+            sequence=partial.sequence + (rel.alias,),
+            plan=node,
+            props=props,
+            cost=self.cost_model.scalar(components),
+            components=components,
+            sort_order=sort_order,
+            parent=partial,
+        )
+
+    def _finish(self, node: PlanNode, rows: float,
+                components: CostLedger) -> None:
+        node.est_rows = max(0.0, rows)
+        node.est_components = components.snapshot()
+        node.est_cost = self.cost_model.scalar(components)
+
+
+def coster_param_id(coster: ParametricInnerCoster) -> str:
+    return coster.param_id
+
+
+def _scale_ledger(ledger: CostLedger, factor: float) -> CostLedger:
+    scaled = CostLedger()
+    for name, value in ledger.as_dict().items():
+        setattr(scaled, name, value * factor)
+    return scaled

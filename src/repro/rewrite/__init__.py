@@ -1,0 +1,23 @@
+"""Magic-sets rewriting (SIPS-driven) over query blocks."""
+
+from .magic import (
+    MagicRewriting,
+    RestrictedInner,
+    bindable_columns,
+    magic_rewrite,
+    restricted_stored_block,
+    restricted_stored_block_lossy,
+    restricted_view_block,
+    restricted_view_block_lossy,
+)
+
+__all__ = [
+    "MagicRewriting",
+    "RestrictedInner",
+    "bindable_columns",
+    "magic_rewrite",
+    "restricted_stored_block",
+    "restricted_stored_block_lossy",
+    "restricted_view_block",
+    "restricted_view_block_lossy",
+]

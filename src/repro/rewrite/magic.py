@@ -1,0 +1,472 @@
+"""Magic-sets rewriting over query blocks.
+
+Two consumers share this module:
+
+- The optimizer, which uses :func:`restricted_view_block` /
+  :func:`restricted_stored_block` to build the *restricted inner* of a
+  Filter Join: the inner's definition with the filter set injected as an
+  extra relation (exactly Figure 2's ``RestrictedDepAvgSal``).
+- The textual rewriter :func:`magic_rewrite`, which, given a SIPS choice
+  (production aliases + bound columns), emits the full Figure-2 shape —
+  PartialResult / Filter / RestrictedView / final query — as query blocks
+  and SQL text. This is what a rewrite-based system like Starburst would
+  produce, and experiment C3 compares it against the cost-based plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.block import QueryBlock, SelectItem
+from ..algebra.predicates import aliases_in
+from ..algebra.relations import (
+    FilterSetRelation,
+    RelationRef,
+    StoredRelation,
+    VirtualRelation,
+)
+from ..errors import PlanError
+from ..expr.nodes import ColumnRef, Comparison, Expr, RuntimeMembership
+from ..storage.schema import Column, Schema
+
+
+def bindable_columns(block) -> Dict[str, str]:
+    """Map a block's output column names to the body columns they expose.
+
+    Only output columns that are direct references to a body column (for
+    grouped blocks: to a GROUP BY column) can receive a filter set —
+    restricting on them provably cannot change the surviving groups/rows.
+    Computed expressions, aggregate results, and UNION outputs are not
+    bindable.
+    """
+    if not isinstance(block, QueryBlock):
+        return {}  # e.g. a UnionQuery view body: full computation only
+    mapping: Dict[str, str] = {}
+    if block.is_grouped:
+        group_out_to_body: Dict[str, str] = {}
+        for ref in block.group_by:
+            group_out_to_body[ref.name.split(".")[-1]] = ref.name
+        if block.select_items:
+            for item, out_name in _items_with_names(block):
+                if isinstance(item.expr, ColumnRef):
+                    body = group_out_to_body.get(item.expr.name)
+                    if body is not None:
+                        mapping[out_name] = body
+        else:
+            mapping.update(group_out_to_body)
+        return mapping
+    if block.select_items:
+        for item, out_name in _items_with_names(block):
+            if isinstance(item.expr, ColumnRef):
+                mapping[out_name] = item.expr.name
+    else:
+        for column in block.combined_schema().columns:
+            mapping[column.name] = column.name
+    return mapping
+
+
+def _items_with_names(block: QueryBlock):
+    for item in block.select_items:
+        yield item, item.output_name
+
+
+@dataclass
+class RestrictedInner:
+    """A restricted inner block plus the filter-set bookkeeping.
+
+    ``filter_schema`` is the (unqualified) schema of the filter set;
+    ``bound_output_cols`` names the inner's output columns the filter
+    applies to, positionally matching ``filter_schema``.
+    """
+
+    block: QueryBlock
+    filter_relation: FilterSetRelation
+    filter_schema: Schema
+    bound_output_cols: List[str]
+
+
+_FILTER_ALIAS = "_F"
+
+
+def _fresh_filter_alias(relations) -> str:
+    """A filter-set alias that cannot collide with the block's own."""
+    taken = {rel.alias for rel in relations}
+    alias = _FILTER_ALIAS
+    counter = 2
+    while alias in taken:
+        alias = "%s%d" % (_FILTER_ALIAS, counter)
+        counter += 1
+    return alias
+
+
+def restricted_view_block(view: VirtualRelation,
+                          bound_output_cols: Sequence[str],
+                          param_id: str) -> RestrictedInner:
+    """The view's block with the filter set joined in (magic rewriting).
+
+    ``bound_output_cols`` are names in the view's *base schema* (i.e. the
+    names callers see, after any view column aliases). The result block
+    produces the same output schema as the original view block.
+    """
+    block = view.block
+    # Translate through view column aliases to the block's own output names.
+    base_names = view.base_schema.names()
+    block_names = block.output_schema().names()
+    to_block_name = dict(zip(base_names, block_names))
+    bindable = bindable_columns(block)
+
+    filter_alias = _fresh_filter_alias(block.relations)
+    filter_columns: List[Column] = []
+    predicates: List[Expr] = []
+    bound: List[str] = []
+    output_schema = view.base_schema
+    for name in bound_output_cols:
+        block_name = to_block_name.get(name)
+        if block_name is None or block_name not in bindable:
+            raise PlanError(
+                "column %r of view %s is not bindable" % (name, view.view_name)
+            )
+        body_col = bindable[block_name]
+        filter_col_name = name
+        filter_columns.append(
+            Column(filter_col_name, output_schema.column(name).dtype)
+        )
+        predicates.append(Comparison(
+            "=",
+            ColumnRef("%s.%s" % (filter_alias, filter_col_name)),
+            ColumnRef(body_col),
+        ))
+        bound.append(name)
+    if not filter_columns:
+        raise PlanError("no bindable columns for view %s" % view.view_name)
+
+    filter_schema = Schema(filter_columns)
+    filter_rel = FilterSetRelation(filter_alias, filter_schema, param_id)
+    new_block = QueryBlock(
+        relations=[filter_rel] + list(block.relations),
+        predicates=predicates + list(block.predicates),
+        select_items=list(block.select_items),
+        group_by=list(block.group_by),
+        aggregates=list(block.aggregates),
+        having=block.having,
+        distinct=block.distinct,
+        order_by=[],
+        limit=block.limit,
+    )
+    return RestrictedInner(new_block, filter_rel, filter_schema, bound)
+
+
+def restricted_stored_block(relation: StoredRelation,
+                            bound_columns: Sequence[str],
+                            param_id: str,
+                            local_predicates: Sequence[Expr] = ()) -> RestrictedInner:
+    """A stored relation restricted by a filter set (local/remote
+    semi-join). ``bound_columns`` are unqualified column names of the
+    table; the block's output is the full (unqualified) row.
+    """
+    if not bound_columns:
+        raise PlanError("semi-join needs at least one bound column")
+    schema = relation.base_schema
+    filter_columns = [
+        Column(name, schema.column(name).dtype) for name in bound_columns
+    ]
+    filter_schema = Schema(filter_columns)
+    filter_alias = _fresh_filter_alias([relation])
+    filter_rel = FilterSetRelation(filter_alias, filter_schema, param_id)
+    inner_copy = StoredRelation(relation.alias, relation.table,
+                                site=relation.site)
+    predicates: List[Expr] = [
+        Comparison(
+            "=",
+            ColumnRef("%s.%s" % (filter_alias, name)),
+            ColumnRef("%s.%s" % (relation.alias, name)),
+        )
+        for name in bound_columns
+    ]
+    predicates.extend(local_predicates)
+    select_items = [
+        SelectItem(ColumnRef("%s.%s" % (relation.alias, col.name)),
+                   alias=col.name)
+        for col in schema.columns
+    ]
+    block = QueryBlock(
+        relations=[filter_rel, inner_copy],
+        predicates=predicates,
+        select_items=select_items,
+    )
+    return RestrictedInner(block, filter_rel, filter_schema,
+                           list(bound_columns))
+
+
+def restricted_view_block_lossy(view: VirtualRelation,
+                                bound_output_cols: Sequence[str],
+                                param_id: str,
+                                assumed_selectivity: float = 1.0) -> RestrictedInner:
+    """The lossy variant: restrict the view body with a run-time Bloom
+    filter instead of joining an exact filter set.
+
+    Lossiness is safe here because a Bloom filter only admits a superset
+    of the true filter values; the Filter Join's final join discards the
+    false positives (Section 3.2's "lossy fashion").
+    """
+    block = view.block
+    base_names = view.base_schema.names()
+    block_names = block.output_schema().names()
+    to_block_name = dict(zip(base_names, block_names))
+    bindable = bindable_columns(block)
+    body_cols: List[ColumnRef] = []
+    bound: List[str] = []
+    for name in bound_output_cols:
+        block_name = to_block_name.get(name)
+        if block_name is None or block_name not in bindable:
+            raise PlanError(
+                "column %r of view %s is not bindable" % (name, view.view_name)
+            )
+        body_cols.append(ColumnRef(bindable[block_name]))
+        bound.append(name)
+    if not body_cols:
+        raise PlanError("no bindable columns for view %s" % view.view_name)
+    membership = RuntimeMembership(param_id, body_cols, assumed_selectivity)
+    filter_schema = Schema(
+        Column(name, view.base_schema.column(name).dtype) for name in bound
+    )
+    filter_rel = FilterSetRelation(_FILTER_ALIAS, filter_schema, param_id)
+    new_block = QueryBlock(
+        relations=list(block.relations),
+        predicates=[membership] + list(block.predicates),
+        select_items=list(block.select_items),
+        group_by=list(block.group_by),
+        aggregates=list(block.aggregates),
+        having=block.having,
+        distinct=block.distinct,
+        order_by=[],
+        limit=block.limit,
+    )
+    return RestrictedInner(new_block, filter_rel, filter_schema, bound)
+
+
+def restricted_stored_block_lossy(relation: StoredRelation,
+                                  bound_columns: Sequence[str],
+                                  param_id: str,
+                                  local_predicates: Sequence[Expr] = (),
+                                  assumed_selectivity: float = 1.0) -> RestrictedInner:
+    """A stored relation restricted by a Bloom filter on the given
+    columns (the "Bloom Filter" cell of Figure 6)."""
+    if not bound_columns:
+        raise PlanError("lossy semi-join needs at least one bound column")
+    schema = relation.base_schema
+    membership = RuntimeMembership(
+        param_id,
+        [ColumnRef("%s.%s" % (relation.alias, name)) for name in bound_columns],
+        assumed_selectivity,
+    )
+    filter_schema = Schema(
+        Column(name, schema.column(name).dtype) for name in bound_columns
+    )
+    filter_rel = FilterSetRelation(_FILTER_ALIAS, filter_schema, param_id)
+    inner_copy = StoredRelation(relation.alias, relation.table,
+                                site=relation.site)
+    select_items = [
+        SelectItem(ColumnRef("%s.%s" % (relation.alias, col.name)),
+                   alias=col.name)
+        for col in schema.columns
+    ]
+    block = QueryBlock(
+        relations=[inner_copy],
+        predicates=[membership] + list(local_predicates),
+        select_items=select_items,
+    )
+    return RestrictedInner(block, filter_rel, filter_schema,
+                           list(bound_columns))
+
+
+# --------------------------------------------------------------- Figure 2
+
+@dataclass
+class MagicRewriting:
+    """The Figure-2 decomposition of one query.
+
+    ``partial_result`` computes the production set; ``filter_block``
+    distinct-projects it into the filter set; ``restricted_view`` is the
+    view with the filter joined in; ``final_block`` joins everything
+    back. ``sql`` renders all four as CREATE VIEW + SELECT text.
+    """
+
+    partial_result: QueryBlock
+    filter_block: QueryBlock
+    restricted_view: QueryBlock
+    final_block: QueryBlock
+    view_alias: str
+    bound_columns: List[str]
+
+    def sql(self) -> str:
+        parts = [
+            "CREATE VIEW PartialResult AS\n(%s);" %
+            self.partial_result.display_sql(indent=2),
+            "CREATE VIEW FilterSet AS\n(%s);" %
+            self.filter_block.display_sql(indent=2),
+            "CREATE VIEW RestrictedView AS\n(%s);" %
+            self.restricted_view.display_sql(indent=2),
+            "%s;" % self.final_block.display_sql(),
+        ]
+        return "\n\n".join(parts)
+
+
+def magic_rewrite(block: QueryBlock, view_alias: str,
+                  production_aliases: Optional[Sequence[str]] = None,
+                  bound_columns: Optional[Sequence[str]] = None) -> MagicRewriting:
+    """Apply Figure-2 magic rewriting to ``block`` for one view.
+
+    ``production_aliases`` selects the SIPS production set (default: every
+    other relation in the block); ``bound_columns`` selects which of the
+    view's bindable equi-join columns feed the filter set (default: all).
+    """
+    view = block.relation(view_alias)
+    if view.kind != "view":
+        raise PlanError("%r is not a view in this block" % view_alias)
+    other_aliases = [r.alias for r in block.relations if r.alias != view_alias]
+    if production_aliases is None:
+        production_aliases = other_aliases
+    production_aliases = list(production_aliases)
+    unknown = set(production_aliases) - set(other_aliases)
+    if unknown:
+        raise PlanError("production aliases %s not in block" % sorted(unknown))
+    if not production_aliases:
+        raise PlanError("production set cannot be empty")
+
+    production_set = set(production_aliases)
+    # Candidate filter columns: view columns equated — directly or through
+    # the transitive closure of equalities — with a production column.
+    from ..algebra.predicates import equality_classes
+
+    candidates: List[Tuple[str, str]] = []  # (production col, view base col)
+    for members in equality_classes(block.predicates):
+        view_cols = [m for m in members
+                     if m.startswith(view_alias + ".")]
+        production_cols = [
+            m for m in members
+            if m.split(".", 1)[0] in production_set
+        ]
+        if view_cols and production_cols:
+            candidates.append(
+                (sorted(production_cols)[0],
+                 sorted(view_cols)[0].split(".", 1)[1])
+            )
+    bindable = bindable_columns(view.block)
+    base_names = view.base_schema.names()
+    block_names = view.block.output_schema().names()
+    to_block_name = dict(zip(base_names, block_names))
+    candidates = [
+        (prod, vcol) for prod, vcol in candidates
+        if to_block_name.get(vcol) in bindable
+    ]
+    if bound_columns is not None:
+        chosen = [c for c in candidates if c[1] in set(bound_columns)]
+    else:
+        chosen = candidates
+    if not chosen:
+        raise PlanError(
+            "no bindable equi-join columns between %s and the production set"
+            % view_alias
+        )
+
+    # PartialResult: production relations, their internal predicates, and
+    # every column of theirs the final block needs.
+    production_rels = [block.relation(a) for a in production_aliases]
+    production_preds = [
+        p for p in block.predicates
+        if aliases_in(p) and aliases_in(p) <= production_set
+    ]
+    needed: List[str] = []
+    for rel in production_rels:
+        needed.extend(rel.output_schema.names())
+    partial_items = [
+        SelectItem(ColumnRef(name), alias=name.replace(".", "_"))
+        for name in needed
+    ]
+    partial_result = QueryBlock(
+        relations=production_rels,
+        predicates=production_preds,
+        select_items=partial_items,
+    )
+
+    # FilterSet: DISTINCT projection of the chosen production columns.
+    filter_items = [
+        SelectItem(ColumnRef(prod.replace(".", "_")), alias=vcol)
+        for prod, vcol in chosen
+    ]
+    pr_rel = VirtualRelation("P", "PartialResult", partial_result)
+    filter_block = QueryBlock(
+        relations=[pr_rel],
+        predicates=[],
+        select_items=[
+            SelectItem(ColumnRef("P.%s" % item.expr.name), alias=item.alias)
+            for item in filter_items
+        ],
+        distinct=True,
+    )
+
+    # RestrictedView: the view body joined with the filter set.
+    restricted = restricted_view_block(
+        view, [vcol for _, vcol in chosen], param_id="magic"
+    )
+    f_rel = VirtualRelation("F", "FilterSet", filter_block)
+    restricted_relations = [f_rel] + [
+        r for r in restricted.block.relations if r.kind != "filterset"
+    ]
+    internal_alias = restricted.filter_relation.alias
+    restricted_preds = [
+        p.rename_columns({"%s.%s" % (internal_alias, vcol): "F.%s" % vcol
+                          for _, vcol in chosen})
+        for p in restricted.block.predicates
+    ]
+    restricted_view = QueryBlock(
+        relations=restricted_relations,
+        predicates=restricted_preds,
+        select_items=restricted.block.select_items,
+        group_by=restricted.block.group_by,
+        aggregates=restricted.block.aggregates,
+        having=restricted.block.having,
+        distinct=restricted.block.distinct,
+    )
+
+    # Final block: PartialResult x RestrictedView x untouched relations.
+    untouched = [
+        r for r in block.relations
+        if r.alias != view_alias and r.alias not in production_set
+    ]
+    rv_rel = VirtualRelation(view_alias, "RestrictedView", restricted_view,
+                             column_aliases=base_names)
+    pr_rename = {name: "P.%s" % name.replace(".", "_") for name in needed}
+    final_preds = []
+    for pred in block.predicates:
+        refs = aliases_in(pred)
+        if refs and refs <= production_set:
+            continue  # already applied inside PartialResult
+        final_preds.append(pred.rename_columns(pr_rename))
+    final_items = []
+    for item in block.select_items:
+        final_items.append(SelectItem(
+            item.expr.rename_columns(pr_rename), alias=item.output_name,
+        ))
+    final_block = QueryBlock(
+        relations=[VirtualRelation("P", "PartialResult", partial_result),
+                   rv_rel] + untouched,
+        predicates=final_preds,
+        select_items=final_items,
+        group_by=[g.rename_columns(pr_rename) for g in block.group_by],
+        aggregates=block.aggregates,
+        having=block.having,
+        distinct=block.distinct,
+        order_by=list(block.order_by),
+        limit=block.limit,
+    )
+    return MagicRewriting(
+        partial_result=partial_result,
+        filter_block=filter_block,
+        restricted_view=restricted_view,
+        final_block=final_block,
+        view_alias=view_alias,
+        bound_columns=[vcol for _, vcol in chosen],
+    )

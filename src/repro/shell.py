@@ -1,0 +1,204 @@
+"""An interactive SQL shell for the engine.
+
+Run with ``python -m repro``. Statements end with ``;``; meta-commands
+start with a backslash:
+
+    \\d             list tables and views
+    \\d NAME        describe one relation
+    \\e SELECT ...  EXPLAIN the query
+    \\ea SELECT ... EXPLAIN ANALYZE the query
+    \\config        show the optimizer configuration
+    \\set KEY VAL   change an optimizer switch (e.g. \\set enable_filter_join off)
+    \\q             quit
+
+The shell is also scriptable: pipe SQL on stdin.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional, TextIO
+
+from .database import Database, QueryResult
+from .errors import ReproError
+from .harness.report import TextTable
+
+PROMPT = "repro> "
+CONTINUATION = "  ...> "
+
+_BOOL_WORDS = {"on": True, "true": True, "1": True,
+               "off": False, "false": False, "0": False}
+
+
+def format_result(result: QueryResult, max_rows: int = 50) -> str:
+    """Render a query result as an aligned table with a cost footer."""
+    if result.statement_kind == "explain":
+        return "\n".join(row[0] for row in result.rows)
+    if result.statement_kind != "select":
+        if result.statement_kind == "insert" and result.rows:
+            return "INSERT: %d row(s)" % result.rows[0][0]
+        return "OK (%s)" % result.statement_kind
+    table = TextTable(result.columns or ["(no columns)"])
+    for row in result.rows[:max_rows]:
+        table.add_row(*row)
+    lines = [table.render()]
+    if len(result.rows) > max_rows:
+        lines.append("... (%d more rows)" % (len(result.rows) - max_rows))
+    lines.append("(%d row%s, cost %.1f)" % (
+        len(result.rows), "" if len(result.rows) == 1 else "s",
+        result.measured_cost(),
+    ))
+    return "\n".join(lines)
+
+
+class Shell:
+    """Stateful REPL over one Database."""
+
+    def __init__(self, db: Optional[Database] = None,
+                 out: TextIO = sys.stdout):
+        self.db = db or Database()
+        self.out = out
+        self.done = False
+
+    def write(self, text: str) -> None:
+        self.out.write(text + "\n")
+
+    # ------------------------------------------------------------- commands
+
+    def handle_meta(self, line: str) -> None:
+        parts = line.split(None, 1)
+        command = parts[0]
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if command in ("\\q", "\\quit", "\\exit"):
+            self.done = True
+            return
+        if command == "\\d":
+            if argument:
+                self._describe(argument)
+            else:
+                self._list_relations()
+            return
+        if command == "\\e":
+            self.write(self.db.explain(argument))
+            return
+        if command == "\\ea":
+            self.write(self.db.explain_analyze(argument))
+            return
+        if command == "\\config":
+            for key, value in sorted(vars(self.db.config).items()):
+                self.write("  %-32s %r" % (key, value))
+            return
+        if command == "\\set":
+            self._set_config(argument)
+            return
+        self.write("unknown command %r (try \\d, \\e, \\ea, \\config, "
+                   "\\set, \\q)" % command)
+
+    def _list_relations(self) -> None:
+        table = TextTable(["name", "kind", "rows", "columns"])
+        for t in self.db.catalog.tables():
+            table.add_row(t.name, "table", t.num_rows,
+                          ", ".join(t.schema.names()))
+        for view in self.db.catalog.views():
+            table.add_row(view.name, "view", "-",
+                          "(defined by query)")
+        self.write(table.render())
+
+    def _describe(self, name: str) -> None:
+        if self.db.catalog.has_table(name):
+            t = self.db.catalog.table(name)
+            table = TextTable(["column", "type", "indexed"])
+            for col in t.schema:
+                index = t.index_on(col.name)
+                marker = index.kind if index else ""
+                if t.clustered_on == col.name:
+                    marker = (marker + " clustered").strip()
+                table.add_row(col.name, col.dtype.value, marker)
+            self.write(table.render())
+            self.write("%d rows, %d pages" % (t.num_rows, t.num_pages))
+            return
+        if self.db.catalog.has_view(name):
+            view = self.db.catalog.view(name)
+            self.write("view %s:" % view.name)
+            self.write(view.sql_text)
+            return
+        self.write("no relation named %r" % name)
+
+    def _set_config(self, argument: str) -> None:
+        parts = argument.split()
+        if len(parts) != 2:
+            self.write("usage: \\set KEY VALUE")
+            return
+        key, raw = parts
+        if not hasattr(self.db.config, key):
+            self.write("unknown config key %r" % key)
+            return
+        current = getattr(self.db.config, key)
+        if isinstance(current, bool) or raw.lower() in _BOOL_WORDS:
+            value = _BOOL_WORDS.get(raw.lower())
+            if value is None:
+                self.write("expected on/off for %r" % key)
+                return
+        elif isinstance(current, int):
+            value = int(raw)
+        elif isinstance(current, float):
+            value = float(raw)
+        else:
+            value = None if raw.lower() == "none" else raw
+        try:
+            candidate = self.db.config.replace(**{key: value})
+            candidate.validate()
+        except (ValueError, TypeError) as exc:
+            self.write("rejected: %s" % exc)
+            return
+        self.db.config = candidate
+        self.write("%s = %r" % (key, value))
+
+    # ----------------------------------------------------------------- loop
+
+    def execute(self, text: str) -> None:
+        try:
+            for result in self.db.execute_script(text):
+                self.write(format_result(result))
+        except ReproError as exc:
+            self.write("error: %s" % exc)
+
+    def run(self, lines: Iterable[str],
+            interactive: bool = False) -> None:
+        buffer: list = []
+        if interactive:
+            self.out.write(PROMPT)
+            self.out.flush()
+        for raw in lines:
+            line = raw.rstrip("\n")
+            stripped = line.strip()
+            if not buffer and stripped.startswith("\\"):
+                self.handle_meta(stripped)
+                if self.done:
+                    return
+            elif stripped:
+                buffer.append(line)
+                if stripped.endswith(";"):
+                    self.execute("\n".join(buffer))
+                    buffer = []
+            if interactive:
+                self.out.write(CONTINUATION if buffer else PROMPT)
+                self.out.flush()
+        if buffer:
+            self.execute("\n".join(buffer))
+
+
+def main(argv=None) -> int:
+    shell = Shell()
+    interactive = sys.stdin.isatty()
+    if interactive:
+        shell.write("repro SQL shell — \\q to quit, \\d for relations")
+    try:
+        shell.run(sys.stdin, interactive=interactive)
+    except KeyboardInterrupt:
+        shell.write("")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

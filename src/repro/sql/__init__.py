@@ -1,0 +1,15 @@
+"""SQL front end: lexer, parser, binder."""
+
+from .binder import Binder
+from .lexer import Token, tokenize
+from .parser import Parser, parse, parse_script, parse_select
+
+__all__ = [
+    "Binder",
+    "Parser",
+    "Token",
+    "parse",
+    "parse_script",
+    "parse_select",
+    "tokenize",
+]

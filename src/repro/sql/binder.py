@@ -1,0 +1,495 @@
+"""Name resolution and semantic analysis: AST -> bound QueryBlock.
+
+The binder resolves FROM-list names against the catalog (tables, views,
+registered function relations), qualifies every column reference with its
+relation alias, separates aggregates from scalar expressions, and emits a
+:class:`~repro.algebra.block.QueryBlock` in canonical form.
+
+Views are bound *lazily but eagerly-nested*: a view name in a FROM list is
+parsed and bound into its own QueryBlock, wrapped in a
+:class:`VirtualRelation`. The optimizer — not the binder — decides whether
+that virtual relation is fully computed, iterated, or filter-joined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..algebra.block import QueryBlock, SelectItem, UnionQuery
+from ..algebra.relations import RelationRef, StoredRelation, VirtualRelation
+from ..errors import BindError
+from ..expr.aggregates import AGGREGATE_FUNCTIONS, AggregateSpec
+from ..expr.nodes import (
+    Arithmetic,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+)
+from ..storage.catalog import Catalog
+from . import ast
+from .parser import parse, parse_select
+
+
+class Binder:
+    """Binds parsed SELECT statements against a catalog.
+
+    ``functions`` maps lowercase names to factories
+    ``factory(alias) -> RelationRef`` for user-defined relations.
+    """
+
+    MAX_VIEW_DEPTH = 16
+
+    def __init__(self, catalog: Catalog, functions: Optional[Dict] = None):
+        self.catalog = catalog
+        self.functions = functions or {}
+
+    # ------------------------------------------------------------ FROM list
+
+    def bind(self, select: ast.SelectStmt, depth: int = 0) -> QueryBlock:
+        """Bind a SELECT statement into a canonical QueryBlock."""
+        if depth > self.MAX_VIEW_DEPTH:
+            raise BindError("view nesting deeper than %d (cycle?)"
+                            % self.MAX_VIEW_DEPTH)
+        relations = [self._bind_from_item(item, depth) for item in select.from_items]
+        block_relations: List[RelationRef] = []
+        seen_aliases = set()
+        for rel in relations:
+            if rel.alias in seen_aliases:
+                raise BindError("duplicate alias %r in FROM list" % rel.alias)
+            seen_aliases.add(rel.alias)
+            block_relations.append(rel)
+
+        # Decorrelate top-level `expr IN (SELECT ...)` conjuncts into
+        # joins with DISTINCT virtual relations (Figure 6's "full
+        # decorrelation" — which the optimizer may then Filter-Join).
+        # Operands are bound against the original FROM scope so the
+        # added relation cannot shadow their column names.
+        original_scope = _Scope(block_relations)
+        where_ast, subquery_predicates = self._rewrite_in_subqueries(
+            select.where, original_scope, block_relations, seen_aliases,
+            depth,
+        )
+
+        scope = _Scope(block_relations)
+
+        predicates: List[Expr] = list(subquery_predicates)
+        if where_ast is not None:
+            where = self._bind_scalar(where_ast, scope,
+                                      allow_aggregates=False)
+            predicates.extend(_flatten_conjuncts(where))
+
+        group_by = [scope.qualify(col) for col in select.group_by]
+
+        collector = _AggregateCollector()
+        select_items, star_expansion = self._bind_select_list(
+            select, scope, group_by, collector
+        )
+        having = None
+        if select.having is not None:
+            if not group_by and not collector.specs:
+                # HAVING without GROUP BY groups the whole input
+                pass
+            having = self._bind_group_scalar(
+                select.having, scope, group_by, collector
+            )
+
+        aggregates = collector.specs
+        block = QueryBlock(
+            relations=block_relations,
+            predicates=predicates,
+            select_items=select_items,
+            group_by=group_by,
+            aggregates=aggregates,
+            having=having,
+            distinct=select.distinct,
+            order_by=[],
+            limit=select.limit,
+        )
+        # ORDER BY references the output schema
+        output = block.output_schema()
+        order_by: List[Tuple[ColumnRef, bool]] = []
+        for col, ascending in select.order_by:
+            name = col.display()
+            if not output.has_column(name):
+                # allow unqualified match against output names
+                name = col.name
+            if not output.has_column(name):
+                raise BindError("ORDER BY column %r is not in the output"
+                                % col.display())
+            order_by.append((ColumnRef(name), ascending))
+        block.order_by = order_by
+        block.validate()
+        return block
+
+    def bind_sql(self, text: str, depth: int = 0) -> QueryBlock:
+        """Parse then bind a SELECT statement."""
+        return self.bind(parse_select(text), depth)
+
+    def bind_union(self, stmt: ast.UnionStmt, depth: int = 0) -> UnionQuery:
+        """Bind a UNION chain; branches bind independently, the trailing
+        ORDER BY / LIMIT binds against the union's output schema."""
+        parts = [self.bind(part, depth) for part in stmt.parts]
+        union = UnionQuery(parts, list(stmt.all_flags), [], stmt.limit)
+        output = union.output_schema()
+        for col, ascending in stmt.order_by:
+            name = col.display()
+            if not output.has_column(name):
+                name = col.name
+            if not output.has_column(name):
+                raise BindError(
+                    "ORDER BY column %r is not in the UNION output"
+                    % col.display()
+                )
+            union.order_by.append((ColumnRef(name), ascending))
+        union.validate()
+        return union
+
+    def _rewrite_in_subqueries(self, where: Optional[ast.AstExpr],
+                               original_scope: "_Scope",
+                               relations: List[RelationRef],
+                               seen_aliases: set, depth: int):
+        """Replace top-level IN-subquery conjuncts with join conditions.
+
+        Returns (remaining WHERE ast, extra bound join predicates). Only
+        top-level AND conjuncts are rewritable (under OR/NOT the join
+        rewrite would change semantics). NOT IN needs an anti-join,
+        which this engine does not implement.
+        """
+        if where is None:
+            return None, []
+
+        def conjuncts_of(node):
+            if isinstance(node, ast.AstBoolean) and node.op == "AND":
+                out = []
+                for arg in node.args:
+                    out.extend(conjuncts_of(arg))
+                return out
+            return [node]
+
+        def contains_subquery(node) -> bool:
+            if isinstance(node, ast.AstInSubquery):
+                return True
+            if isinstance(node, ast.AstBoolean):
+                return any(contains_subquery(a) for a in node.args)
+            if isinstance(node, (ast.AstComparison, ast.AstArithmetic)):
+                return (contains_subquery(node.left)
+                        or contains_subquery(node.right))
+            return False
+
+        rewritten = []
+        bound_predicates: List[Expr] = []
+        for conjunct in conjuncts_of(where):
+            if isinstance(conjunct, ast.AstInSubquery):
+                if conjunct.negated:
+                    raise BindError(
+                        "NOT IN (SELECT ...) requires an anti-join, "
+                        "which is not supported"
+                    )
+                operand = self._bind_scalar(conjunct.operand,
+                                            original_scope,
+                                            allow_aggregates=False)
+                sub_block = self.bind(conjunct.select, depth + 1)
+                output = sub_block.output_schema()
+                if len(output) != 1:
+                    raise BindError(
+                        "IN subquery must produce exactly one column"
+                    )
+                sub_block.distinct = True
+                alias = "_isub%d" % (len(seen_aliases) + 1)
+                while alias in seen_aliases:
+                    alias += "x"
+                seen_aliases.add(alias)
+                relations.append(VirtualRelation(
+                    alias, "<in-subquery>", sub_block,
+                ))
+                bound_predicates.append(Comparison(
+                    "=", operand,
+                    ColumnRef("%s.%s" % (alias, output.names()[0])),
+                ))
+                continue
+            if contains_subquery(conjunct):
+                raise BindError(
+                    "IN (SELECT ...) is only supported as a top-level "
+                    "AND conjunct of WHERE"
+                )
+            rewritten.append(conjunct)
+        if not rewritten:
+            return None, bound_predicates
+        if len(rewritten) == 1:
+            return rewritten[0], bound_predicates
+        return ast.AstBoolean("AND", tuple(rewritten)), bound_predicates
+
+    def _bind_from_item(self, item: ast.FromItem, depth: int) -> RelationRef:
+        if isinstance(item, ast.AstSubqueryRef):
+            block = self.bind(item.select, depth + 1)
+            return VirtualRelation(item.alias, "<subquery>", block)
+        assert isinstance(item, ast.AstTableRef)
+        alias = item.alias or item.name
+        key = item.name.lower()
+        if self.catalog.has_table(item.name):
+            table = self.catalog.table(item.name)
+            site = _table_site(self.catalog, item.name)
+            return StoredRelation(alias, table, site=site)
+        if self.catalog.has_view(item.name):
+            view = self.catalog.view(item.name)
+            parsed = parse(view.sql_text)
+            if isinstance(parsed, ast.UnionStmt):
+                block = self.bind_union(parsed, depth + 1)
+            elif isinstance(parsed, ast.SelectStmt):
+                block = self.bind(parsed, depth + 1)
+            else:
+                raise BindError(
+                    "view %s must be defined by a query" % view.name
+                )
+            return VirtualRelation(alias, view.name, block,
+                                   column_aliases=view.column_aliases)
+        if key in self.functions:
+            return self.functions[key](alias)
+        raise BindError("unknown relation %r" % item.name)
+
+    # -------------------------------------------------------- SELECT list
+
+    def _bind_select_list(self, select: ast.SelectStmt, scope: "_Scope",
+                          group_by: List[ColumnRef],
+                          collector: "_AggregateCollector"):
+        grouped = bool(group_by) or _mentions_aggregate(select)
+        items: List[SelectItem] = []
+        star = False
+        for raw in select.select_items:
+            if raw.star:
+                star = True
+                if grouped:
+                    raise BindError("SELECT * cannot be combined with GROUP BY")
+                for column in scope.combined.columns:
+                    plain = column.name.split(".")[-1]
+                    items.append(SelectItem(
+                        ColumnRef(column.name),
+                        alias=_dedup_name(plain, items),
+                    ))
+                continue
+            if grouped:
+                expr = self._bind_group_scalar(raw.expr, scope, group_by,
+                                               collector, alias=raw.alias)
+            else:
+                expr = self._bind_scalar(raw.expr, scope,
+                                         allow_aggregates=False)
+            alias = raw.alias or _implicit_alias(expr)
+            items.append(SelectItem(expr, alias=_dedup_name(alias, items)))
+        return items, star
+
+    # -------------------------------------------------- scalar expressions
+
+    def _bind_scalar(self, node: ast.AstExpr, scope: "_Scope",
+                     allow_aggregates: bool) -> Expr:
+        """Convert an AST expression over the combined (join-row) schema."""
+        if isinstance(node, ast.AstColumn):
+            return scope.qualify(node)
+        if isinstance(node, ast.AstLiteral):
+            return Literal(node.value)
+        if isinstance(node, ast.AstComparison):
+            return Comparison(
+                node.op,
+                self._bind_scalar(node.left, scope, allow_aggregates),
+                self._bind_scalar(node.right, scope, allow_aggregates),
+            )
+        if isinstance(node, ast.AstBoolean):
+            return BooleanExpr(node.op, [
+                self._bind_scalar(arg, scope, allow_aggregates)
+                for arg in node.args
+            ])
+        if isinstance(node, ast.AstArithmetic):
+            return Arithmetic(
+                node.op,
+                self._bind_scalar(node.left, scope, allow_aggregates),
+                self._bind_scalar(node.right, scope, allow_aggregates),
+            )
+        if isinstance(node, ast.AstInList):
+            return InList(
+                self._bind_scalar(node.operand, scope, allow_aggregates),
+                node.values, node.negated,
+            )
+        if isinstance(node, ast.AstFuncCall):
+            raise BindError(
+                "aggregate %s() is not allowed here" % node.name.upper()
+            )
+        raise BindError("unsupported expression %r" % (node,))
+
+    def _bind_group_scalar(self, node: ast.AstExpr, scope: "_Scope",
+                           group_by: List[ColumnRef],
+                           collector: "_AggregateCollector",
+                           alias: Optional[str] = None) -> Expr:
+        """Convert an expression in a grouped context (SELECT / HAVING).
+
+        Aggregate calls become references to aggregate output columns;
+        plain columns must be GROUP BY columns and become references to
+        their group-output names.
+        """
+        if isinstance(node, ast.AstFuncCall):
+            if node.name not in AGGREGATE_FUNCTIONS:
+                raise BindError("unknown function %r" % node.name)
+            argument = None
+            if not node.star:
+                argument = self._bind_scalar(node.argument, scope,
+                                             allow_aggregates=False)
+            spec_alias = collector.add(node.name, argument,
+                                       preferred=alias,
+                                       distinct=node.distinct)
+            return ColumnRef(spec_alias)
+        if isinstance(node, ast.AstColumn):
+            qualified = scope.qualify(node)
+            for ref in group_by:
+                if ref.name == qualified.name:
+                    return ColumnRef(qualified.name.split(".")[-1])
+            raise BindError(
+                "column %s must appear in GROUP BY or inside an aggregate"
+                % qualified.name
+            )
+        if isinstance(node, ast.AstLiteral):
+            return Literal(node.value)
+        if isinstance(node, ast.AstComparison):
+            return Comparison(
+                node.op,
+                self._bind_group_scalar(node.left, scope, group_by, collector),
+                self._bind_group_scalar(node.right, scope, group_by, collector),
+            )
+        if isinstance(node, ast.AstBoolean):
+            return BooleanExpr(node.op, [
+                self._bind_group_scalar(arg, scope, group_by, collector)
+                for arg in node.args
+            ])
+        if isinstance(node, ast.AstArithmetic):
+            return Arithmetic(
+                node.op,
+                self._bind_group_scalar(node.left, scope, group_by, collector),
+                self._bind_group_scalar(node.right, scope, group_by, collector),
+            )
+        if isinstance(node, ast.AstInList):
+            return InList(
+                self._bind_group_scalar(node.operand, scope, group_by,
+                                        collector),
+                node.values, node.negated,
+            )
+        raise BindError("unsupported expression %r" % (node,))
+
+
+# --------------------------------------------------------------- helpers
+
+class _Scope:
+    """Column-name resolution over a block's FROM list."""
+
+    def __init__(self, relations: List[RelationRef]):
+        self.relations = relations
+        self.combined = relations[0].output_schema if relations else None
+        for rel in relations[1:]:
+            self.combined = self.combined.concat(rel.output_schema)
+        # unqualified name -> list of qualified candidates
+        self.unqualified: Dict[str, List[str]] = {}
+        for rel in relations:
+            for col in rel.base_schema:
+                qualified = "%s.%s" % (rel.alias, col.name)
+                self.unqualified.setdefault(col.name, []).append(qualified)
+
+    def qualify(self, node: ast.AstColumn) -> ColumnRef:
+        if node.qualifier is not None:
+            qualified = "%s.%s" % (node.qualifier, node.name)
+            if not self.combined.has_column(qualified):
+                raise BindError("unknown column %s" % node.display())
+            return ColumnRef(qualified)
+        candidates = self.unqualified.get(node.name, [])
+        if not candidates:
+            raise BindError("unknown column %r" % node.name)
+        if len(candidates) > 1:
+            raise BindError(
+                "ambiguous column %r (could be %s)"
+                % (node.name, " or ".join(candidates))
+            )
+        return ColumnRef(candidates[0])
+
+
+class _AggregateCollector:
+    """Deduplicating collector of AggregateSpec objects."""
+
+    def __init__(self):
+        self.specs: List[AggregateSpec] = []
+        self._by_key: Dict[str, str] = {}
+
+    def add(self, function: str, argument: Optional[Expr],
+            preferred: Optional[str] = None, distinct: bool = False) -> str:
+        key = "%s(%s%s)" % (
+            function, "DISTINCT " if distinct else "",
+            argument.display() if argument else "*",
+        )
+        if key in self._by_key:
+            return self._by_key[key]
+        alias = preferred or self._default_alias(function, argument)
+        existing = {s.alias for s in self.specs}
+        base, n = alias, 2
+        while alias in existing:
+            alias = "%s_%d" % (base, n)
+            n += 1
+        self.specs.append(AggregateSpec(function, argument, alias,
+                                        distinct=distinct))
+        self._by_key[key] = alias
+        return alias
+
+    @staticmethod
+    def _default_alias(function: str, argument: Optional[Expr]) -> str:
+        if argument is None:
+            return "count_all"
+        if isinstance(argument, ColumnRef):
+            return "%s_%s" % (function, argument.name.split(".")[-1])
+        return "%s_expr" % function
+
+
+def _flatten_conjuncts(expr: Expr) -> List[Expr]:
+    if isinstance(expr, BooleanExpr) and expr.op == "AND":
+        out: List[Expr] = []
+        for arg in expr.args:
+            out.extend(_flatten_conjuncts(arg))
+        return out
+    return [expr]
+
+
+def _mentions_aggregate(select: ast.SelectStmt) -> bool:
+    def walk(node) -> bool:
+        if isinstance(node, ast.AstFuncCall):
+            return True
+        if isinstance(node, ast.AstBoolean):
+            return any(walk(a) for a in node.args)
+        if isinstance(node, (ast.AstComparison, ast.AstArithmetic)):
+            return walk(node.left) or walk(node.right)
+        return False
+
+    for item in select.select_items:
+        if item.expr is not None and walk(item.expr):
+            return True
+    return select.having is not None and walk(select.having)
+
+
+def _implicit_alias(expr: Expr) -> Optional[str]:
+    if isinstance(expr, ColumnRef):
+        return expr.name.split(".")[-1]
+    return None
+
+
+def _dedup_name(name: Optional[str], items: List[SelectItem]) -> Optional[str]:
+    if name is None:
+        return None
+    used = {item.output_name for item in items}
+    if name not in used:
+        return name
+    n = 2
+    while "%s_%d" % (name, n) in used:
+        n += 1
+    return "%s_%d" % (name, n)
+
+
+def _table_site(catalog: Catalog, name: str) -> Optional[str]:
+    """Site of a table, if the catalog tracks placement (distributed)."""
+    site_for = getattr(catalog, "site_for_table", None)
+    if site_for is None:
+        return None
+    return site_for(name)

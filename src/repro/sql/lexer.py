@@ -1,0 +1,121 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects. Keywords are recognized
+case-insensitively and tagged with their uppercase form; identifiers keep
+the case they were written with (catalog lookups lowercase them later).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "AND", "OR", "NOT", "IN", "BETWEEN",
+    "UNION", "ALL", "AS", "CREATE", "TABLE",
+    "VIEW", "INSERT", "INTO", "VALUES", "INT", "INTEGER", "FLOAT", "REAL",
+    "VARCHAR", "TEXT", "BOOLEAN", "BOOL", "TRUE", "FALSE", "NULL", "ON",
+    "INDEX", "DROP", "EXPLAIN", "LIMIT",
+}
+
+SYMBOLS = (
+    "<=", ">=", "!=", "<>", "(", ")", ",", ".", "=", "<", ">",
+    "+", "-", "*", "/", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # "keyword" | "ident" | "number" | "string" | "symbol" | "eof"
+    text: str
+    position: int
+    line: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.text in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind == "symbol" and self.text in symbols
+
+    def __str__(self) -> str:
+        return "<%s %r @%d>" % (self.kind, self.text, self.position)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text; raises SqlSyntaxError on an illegal character."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i:i + 2] == "--":  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, start, line))
+            else:
+                tokens.append(Token("ident", word, start, line))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            saw_dot = False
+            while i < n and (text[i].isdigit() or (text[i] == "." and not saw_dot)):
+                if text[i] == ".":
+                    # a dot not followed by a digit is a qualifier, not a decimal
+                    if i + 1 >= n or not text[i + 1].isdigit():
+                        break
+                    saw_dot = True
+                i += 1
+            tokens.append(Token("number", text[start:i], start, line))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chunks: List[str] = []
+            while True:
+                if i >= n:
+                    raise SqlSyntaxError(
+                        "unterminated string literal", start, line
+                    )
+                if text[i] == "'":
+                    if text[i:i + 2] == "''":  # escaped quote
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(text[i])
+                i += 1
+            tokens.append(Token("string", "".join(chunks), start, line))
+            continue
+        matched: Optional[str] = None
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                matched = symbol
+                break
+        if matched is None:
+            raise SqlSyntaxError("unexpected character %r" % ch, i, line)
+        tokens.append(Token("symbol", matched, i, line))
+        i += len(matched)
+    tokens.append(Token("eof", "", n, line))
+    return tokens

@@ -1,0 +1,25 @@
+"""Statistics substrate: histograms and closed-form estimators."""
+
+from .estimator import (
+    cardenas_distinct,
+    filter_selectivity,
+    join_selectivity,
+    yao_blocks,
+)
+from .histogram import (
+    Bucket,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    FrequencyHistogram,
+)
+
+__all__ = [
+    "Bucket",
+    "EquiDepthHistogram",
+    "EquiWidthHistogram",
+    "FrequencyHistogram",
+    "cardenas_distinct",
+    "filter_selectivity",
+    "join_selectivity",
+    "yao_blocks",
+]

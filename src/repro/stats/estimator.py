@@ -1,0 +1,84 @@
+"""Closed-form cardinality estimators cited by the paper.
+
+- :func:`yao_blocks` — Yao's formula [Yao77] for the number of pages
+  touched when selecting k of n tuples packed m-per-page; the paper cites
+  it for filter-set availability costing.
+- :func:`cardenas_distinct` — the classic Cardenas approximation for the
+  number of distinct values in a sample, used for projection-cardinality
+  (filter-set size) estimation, which the paper notes is "notoriously
+  difficult" [HOT88, LNSS93] but routinely approximated.
+- :func:`join_selectivity` — System-R's 1/max(d1, d2) equi-join rule.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import StatsError
+
+
+def yao_blocks(n_tuples: int, n_pages: int, k_selected: int) -> float:
+    """Expected number of pages touched selecting ``k_selected`` of
+    ``n_tuples`` tuples spread uniformly over ``n_pages`` pages [Yao77].
+
+    Uses the exact product form when feasible and the standard
+    approximation otherwise. Returns a float in [0, n_pages].
+    """
+    if n_pages <= 0 or n_tuples <= 0 or k_selected <= 0:
+        return 0.0
+    k = min(k_selected, n_tuples)
+    if k == n_tuples:
+        return float(n_pages)
+    m = n_tuples / n_pages  # tuples per page
+    if n_tuples - m < 1:
+        return float(n_pages)
+    # Yao: pages * (1 - prod_{i=0}^{k-1} (n - m - i) / (n - i))
+    if k <= 1000:
+        prob_untouched = 1.0
+        for i in range(int(k)):
+            numerator = n_tuples - m - i
+            denominator = n_tuples - i
+            if numerator <= 0 or denominator <= 0:
+                prob_untouched = 0.0
+                break
+            prob_untouched *= numerator / denominator
+    else:
+        # log-space approximation for large k
+        ratio = (n_tuples - m) / n_tuples
+        prob_untouched = math.exp(k * math.log(max(ratio, 1e-12)))
+    return n_pages * (1.0 - prob_untouched)
+
+
+def cardenas_distinct(domain_distinct: float, k_drawn: float) -> float:
+    """Expected distinct values when drawing ``k_drawn`` tuples uniformly
+    from a column with ``domain_distinct`` distinct values (Cardenas).
+
+    d * (1 - (1 - 1/d)^k); the standard projection-cardinality estimate.
+    """
+    if domain_distinct <= 0:
+        raise StatsError("domain_distinct must be positive")
+    if k_drawn <= 0:
+        return 0.0
+    d = float(domain_distinct)
+    if d == 1.0:
+        return min(1.0, k_drawn)
+    expected = d * (1.0 - math.pow(1.0 - 1.0 / d, k_drawn))
+    return min(expected, d, k_drawn)
+
+
+def join_selectivity(distinct_left: float, distinct_right: float) -> float:
+    """System-R equi-join selectivity: 1 / max(d_left, d_right)."""
+    d = max(distinct_left, distinct_right, 1.0)
+    return 1.0 / d
+
+
+def filter_selectivity(filter_distinct: float, inner_domain_distinct: float) -> float:
+    """Fraction of inner tuples surviving a semi-join with a filter set.
+
+    With ``filter_distinct`` distinct filter values drawn from a join
+    domain of ``inner_domain_distinct`` values (containment-of-values
+    assumption), the surviving fraction is their ratio, capped at 1.
+    """
+    if inner_domain_distinct <= 0:
+        return 1.0
+    return min(1.0, filter_distinct / inner_domain_distinct)

@@ -1,0 +1,29 @@
+"""Storage engine: schemas, tables, indexes, catalog, statistics."""
+
+from .catalog import (
+    Catalog,
+    ColumnStats,
+    TableStats,
+    ViewDefinition,
+    compute_table_stats,
+)
+from .index import HashIndex, Index, SortedIndex
+from .schema import Column, DataType, Schema
+from .table import PAGE_SIZE_BYTES, Table, pages_for
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "DataType",
+    "HashIndex",
+    "Index",
+    "PAGE_SIZE_BYTES",
+    "Schema",
+    "SortedIndex",
+    "Table",
+    "TableStats",
+    "ViewDefinition",
+    "compute_table_stats",
+    "pages_for",
+]

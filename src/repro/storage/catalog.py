@@ -1,0 +1,246 @@
+"""The catalog: tables, views, and their statistics.
+
+The catalog is the optimizer's window onto the database. Statistics are
+computed by :meth:`Catalog.analyze` (per table) and held in
+:class:`TableStats` / :class:`ColumnStats`; view definitions are stored as
+SQL text and bound on demand by the SQL front end, because the paper
+treats views as *virtual relations* whose plans are chosen per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import CatalogError
+from ..stats.histogram import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    FrequencyHistogram,
+)
+from .schema import DataType, Schema
+from .table import Table
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column of one table."""
+
+    num_distinct: float
+    min_value: object = None
+    max_value: object = None
+    null_fraction: float = 0.0
+    histogram: Optional[EquiWidthHistogram] = None
+    frequencies: Optional[FrequencyHistogram] = None
+
+    def selectivity_eq(self, value) -> float:
+        """Estimated fraction of rows equal to ``value``."""
+        if self.frequencies is not None:
+            return self.frequencies.selectivity_eq(value)
+        if self.histogram is not None:
+            return self.histogram.selectivity_eq(value)
+        return 1.0 / max(1.0, self.num_distinct)
+
+    def selectivity_cmp(self, op: str, value) -> float:
+        """Estimated selectivity of ``column <op> value``."""
+        if op == "=":
+            return self.selectivity_eq(value)
+        if op in ("!=", "<>"):
+            return max(0.0, 1.0 - self.selectivity_eq(value))
+        if self.frequencies is not None and value is not None:
+            # exact range selectivity from the tracked value counts
+            total = self.frequencies.total
+            if total > 0:
+                import operator as _op
+                compare = {"<": _op.lt, "<=": _op.le,
+                           ">": _op.gt, ">=": _op.ge}[op]
+                hits = sum(
+                    count
+                    for tracked, count in self.frequencies.counts.items()
+                    if compare(tracked, value)
+                )
+                return hits / total
+        if self.histogram is not None:
+            if op == "<":
+                return self.histogram.selectivity_lt(value)
+            if op == "<=":
+                return self.histogram.selectivity_lt(value, inclusive=True)
+            if op == ">":
+                return self.histogram.selectivity_gt(value)
+            if op == ">=":
+                return self.histogram.selectivity_gt(value, inclusive=True)
+        # No histogram: fall back to System R's magic 1/3.
+        return 1.0 / 3.0
+
+
+@dataclass
+class TableStats:
+    """Statistics for one stored table."""
+
+    num_rows: int
+    num_pages: int
+    row_width: int
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+
+@dataclass
+class ViewDefinition:
+    """A named view: SQL text plus optional output column aliases."""
+
+    name: str
+    sql_text: str
+    column_aliases: Optional[List[str]] = None
+
+
+def compute_table_stats(table: Table, num_buckets: int = 20,
+                        histogram_kind: str = "equi_depth") -> TableStats:
+    """Scan a table once and build full statistics for every column.
+
+    ``histogram_kind`` is "equi_depth" (default; robust to skew) or
+    "equi_width" (the classic System-R form).
+    """
+    if histogram_kind not in ("equi_depth", "equi_width"):
+        raise CatalogError("unknown histogram kind %r" % histogram_kind)
+    histogram_cls = (EquiDepthHistogram if histogram_kind == "equi_depth"
+                     else EquiWidthHistogram)
+    stats = TableStats(
+        num_rows=table.num_rows,
+        num_pages=table.num_pages,
+        row_width=table.schema.row_width(),
+    )
+    for position, column in enumerate(table.schema):
+        values = [row[position] for row in table.rows]
+        non_null = [v for v in values if v is not None]
+        null_fraction = (
+            (len(values) - len(non_null)) / len(values) if values else 0.0
+        )
+        distinct = len(set(non_null))
+        col_stats = ColumnStats(
+            num_distinct=float(max(distinct, 1)),
+            min_value=min(non_null) if non_null else None,
+            max_value=max(non_null) if non_null else None,
+            null_fraction=null_fraction,
+        )
+        if non_null and column.dtype in (DataType.INT, DataType.FLOAT):
+            col_stats.histogram = histogram_cls.build(
+                non_null, num_buckets=num_buckets
+            )
+        col_stats.frequencies = FrequencyHistogram.build(non_null)
+        stats.columns[column.name] = col_stats
+    return stats
+
+
+class Catalog:
+    """Registry of tables, views, and statistics."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+        self._views: Dict[str, ViewDefinition] = {}
+        self._stats: Dict[str, TableStats] = {}
+        self._sites: Dict[str, str] = {}
+
+    # ---------------------------------------------------------------- tables
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError("relation %r already exists" % name)
+        table = Table(name, schema)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError("no table named %r" % name)
+        del self._tables[key]
+        self._stats.pop(key, None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError("no table named %r" % name)
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    # ----------------------------------------------------------------- views
+
+    def create_view(self, name: str, sql_text: str,
+                    column_aliases: Optional[Sequence[str]] = None) -> ViewDefinition:
+        key = name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError("relation %r already exists" % name)
+        view = ViewDefinition(
+            name, sql_text,
+            list(column_aliases) if column_aliases else None,
+        )
+        self._views[key] = view
+        return view
+
+    def drop_view(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._views:
+            raise CatalogError("no view named %r" % name)
+        del self._views[key]
+
+    def view(self, name: str) -> ViewDefinition:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError("no view named %r" % name)
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def views(self) -> List[ViewDefinition]:
+        return list(self._views.values())
+
+    def has_relation(self, name: str) -> bool:
+        return self.has_table(name) or self.has_view(name)
+
+    # --------------------------------------------------------------- sites
+
+    def set_table_site(self, name: str, site: Optional[str]) -> None:
+        """Place a table at a named site (None = local) for the
+        distributed cost model (Section 5.1)."""
+        self.table(name)  # raises if unknown
+        if site is None:
+            self._sites.pop(name.lower(), None)
+        else:
+            self._sites[name.lower()] = site
+
+    def site_for_table(self, name: str) -> Optional[str]:
+        return self._sites.get(name.lower())
+
+    # ------------------------------------------------------------ statistics
+
+    def analyze(self, name: Optional[str] = None, num_buckets: int = 20,
+                histogram_kind: str = "equi_depth") -> None:
+        """(Re)build statistics for one table, or all tables if ``name``
+        is omitted."""
+        if name is not None:
+            table = self.table(name)
+            self._stats[name.lower()] = compute_table_stats(
+                table, num_buckets, histogram_kind)
+            return
+        for key, table in self._tables.items():
+            self._stats[key] = compute_table_stats(table, num_buckets,
+                                                   histogram_kind)
+
+    def stats(self, name: str) -> TableStats:
+        """Statistics for a table, computing them on first request."""
+        key = name.lower()
+        if key not in self._stats:
+            self.analyze(name)
+        return self._stats[key]
+
+    def has_stats(self, name: str) -> bool:
+        return name.lower() in self._stats

@@ -1,0 +1,132 @@
+"""In-memory tables with a simulated page layout.
+
+Rows live in a Python list, but every table exposes a *page model*: given
+its schema's row width and a fixed page size, ``num_pages`` says how many
+page I/Os a full scan costs. Executor operators charge those I/Os to the
+cost ledger; the optimizer's formulas predict the same quantities from
+catalog statistics. This is the substitution documented in DESIGN.md for
+the paper's disk-based engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import CatalogError
+from .index import HashIndex, Index, SortedIndex
+from .schema import Schema
+
+PAGE_SIZE_BYTES = 4096
+
+
+def pages_for(num_rows: float, row_width: int) -> float:
+    """Pages needed to hold ``num_rows`` rows of ``row_width`` bytes.
+
+    Returns a float so cost estimates stay smooth; callers that need a
+    whole-page count use ``math.ceil``. Zero rows still cost one page
+    (the header/read-to-discover-empty page).
+    """
+    if num_rows <= 0:
+        return 1.0
+    per_page = max(1, PAGE_SIZE_BYTES // max(1, row_width))
+    return max(1.0, num_rows / per_page)
+
+
+class Table:
+    """An append-only stored relation.
+
+    Tables own their secondary indexes; ``create_index`` builds over
+    existing rows and ``insert`` maintains all indexes incrementally.
+    """
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self.rows: List[tuple] = []
+        self.indexes: dict = {}
+        # Column the rows are physically ordered by (clustered), if any;
+        # equality probes on it touch contiguous pages.
+        self.clustered_on: Optional[str] = None
+
+    # ------------------------------------------------------------------ data
+
+    def insert(self, row: Sequence) -> None:
+        """Validate, coerce, and append one row, maintaining indexes."""
+        coerced = self.schema.validate_row(row)
+        position = len(self.rows)
+        self.rows.append(coerced)
+        for index in self.indexes.values():
+            key = coerced[self.schema.index_of(index.column_name)]
+            index.insert(key, position)
+
+    def insert_many(self, rows: Iterable[Sequence]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def row_at(self, position: int) -> tuple:
+        return self.rows[position]
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def tuples_per_page(self) -> int:
+        return max(1, PAGE_SIZE_BYTES // self.schema.row_width())
+
+    @property
+    def num_pages(self) -> int:
+        """Whole pages occupied (at least 1, even when empty)."""
+        return int(math.ceil(pages_for(self.num_rows, self.schema.row_width())))
+
+    def cluster_by(self, column_name: str) -> None:
+        """Physically sort the rows by one column and rebuild indexes.
+
+        Models a clustered table: equality/range probes on the cluster
+        column read contiguous pages instead of Yao-scattered ones.
+        """
+        position = self.schema.index_of(column_name)
+        self.rows.sort(key=lambda row: (row[position] is None,
+                                        row[position]))
+        self.clustered_on = column_name
+        for index in self.indexes.values():
+            col_pos = self.schema.index_of(index.column_name)
+            index.bulk_load(
+                (row[col_pos], at) for at, row in enumerate(self.rows)
+            )
+
+    # --------------------------------------------------------------- indexes
+
+    def create_index(self, column_name: str, kind: str = "hash") -> Index:
+        """Build a secondary index on one column over the existing rows."""
+        if column_name in self.indexes:
+            raise CatalogError(
+                "table %r already has an index on %r" % (self.name, column_name)
+            )
+        col_pos = self.schema.index_of(column_name)
+        if kind == "hash":
+            index: Index = HashIndex(column_name)
+        elif kind == "sorted":
+            index = SortedIndex(column_name)
+        else:
+            raise CatalogError("unknown index kind %r" % kind)
+        index.bulk_load(
+            (row[col_pos], position) for position, row in enumerate(self.rows)
+        )
+        self.indexes[column_name] = index
+        return index
+
+    def index_on(self, column_name: str) -> Optional[Index]:
+        return self.indexes.get(column_name)
+
+    def __repr__(self) -> str:
+        return "Table(%s, %d rows, %d pages)" % (
+            self.name,
+            self.num_rows,
+            self.num_pages,
+        )

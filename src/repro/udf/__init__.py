@@ -1,0 +1,5 @@
+"""User-defined relations (Section 5.2)."""
+
+from .relation import FunctionRegistry, FunctionRelation
+
+__all__ = ["FunctionRegistry", "FunctionRelation"]

@@ -1,0 +1,25 @@
+"""Deterministic synthetic workload generators."""
+
+from .empdept import (
+    BIG_BUDGET_THRESHOLD,
+    DEP_AVG_SAL_VIEW,
+    MOTIVATING_QUERY,
+    YOUNG_AGE_THRESHOLD,
+    EmpDeptConfig,
+    build_empdept,
+    fresh_empdept,
+)
+from .star import StarConfig, build_star, fresh_star
+
+__all__ = [
+    "BIG_BUDGET_THRESHOLD",
+    "DEP_AVG_SAL_VIEW",
+    "EmpDeptConfig",
+    "MOTIVATING_QUERY",
+    "StarConfig",
+    "YOUNG_AGE_THRESHOLD",
+    "build_empdept",
+    "build_star",
+    "fresh_empdept",
+    "fresh_star",
+]

@@ -1,0 +1,129 @@
+"""A small star-schema decision-support workload.
+
+Fact table ``Sales`` with three dimensions (``Customer``, ``Product``,
+``Store``) and aggregate views over each, giving the estimator-accuracy
+and multi-view experiments a join space richer than Emp/Dept. Value
+distributions are optionally Zipfian to stress the uniformity
+assumptions in the cost model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..database import Database
+from ..storage.schema import DataType
+
+
+@dataclass
+class StarConfig:
+    num_customers: int = 300
+    num_products: int = 100
+    num_stores: int = 20
+    num_sales: int = 8000
+    zipf_skew: float = 0.0  # 0 = uniform; ~1.0 = heavily skewed
+    seed: int = 7
+
+
+def _zipf_choice(rng: random.Random, n: int, skew: float) -> int:
+    """1-based Zipf-ish draw; skew 0 degenerates to uniform."""
+    if skew <= 0:
+        return rng.randint(1, n)
+    # inverse-CDF sampling over unnormalized 1/k^skew weights
+    weights = [1.0 / (k ** skew) for k in range(1, n + 1)]
+    total = sum(weights)
+    target = rng.random() * total
+    acc = 0.0
+    for k, w in enumerate(weights, start=1):
+        acc += w
+        if acc >= target:
+            return k
+    return n
+
+
+REGION_NAMES = ["north", "south", "east", "west", "central"]
+CATEGORY_NAMES = ["tools", "toys", "food", "media", "garden"]
+
+CUST_SPEND_VIEW = """
+SELECT S.cust_id, SUM(S.amount) AS total_spend, COUNT(*) AS num_orders
+FROM Sales S
+GROUP BY S.cust_id
+"""
+
+PRODUCT_VOLUME_VIEW = """
+SELECT S.prod_id, SUM(S.qty) AS total_qty, AVG(S.amount) AS avg_amount
+FROM Sales S
+GROUP BY S.prod_id
+"""
+
+STORE_REVENUE_VIEW = """
+SELECT S.store_id, SUM(S.amount) AS revenue
+FROM Sales S
+GROUP BY S.store_id
+"""
+
+
+def build_star(db: Database, config: StarConfig = None) -> Database:
+    """Create and load the star schema into ``db``; returns ``db``."""
+    config = config or StarConfig()
+    rng = random.Random(config.seed)
+
+    db.create_table("Customer", [
+        ("cust_id", DataType.INT),
+        ("region", DataType.STR),
+        ("segment", DataType.INT),
+    ])
+    db.create_table("Product", [
+        ("prod_id", DataType.INT),
+        ("category", DataType.STR),
+        ("price", DataType.INT),
+    ])
+    db.create_table("Store", [
+        ("store_id", DataType.INT),
+        ("region", DataType.STR),
+        ("sqft", DataType.INT),
+    ])
+    db.create_table("Sales", [
+        ("sale_id", DataType.INT),
+        ("cust_id", DataType.INT),
+        ("prod_id", DataType.INT),
+        ("store_id", DataType.INT),
+        ("amount", DataType.INT),
+        ("qty", DataType.INT),
+    ])
+
+    db.insert("Customer", [
+        (cid, rng.choice(REGION_NAMES), rng.randint(1, 5))
+        for cid in range(1, config.num_customers + 1)
+    ])
+    db.insert("Product", [
+        (pid, rng.choice(CATEGORY_NAMES), rng.randint(1, 500))
+        for pid in range(1, config.num_products + 1)
+    ])
+    db.insert("Store", [
+        (sid, rng.choice(REGION_NAMES), rng.randint(1_000, 50_000))
+        for sid in range(1, config.num_stores + 1)
+    ])
+    sales: List[tuple] = []
+    for sale_id in range(1, config.num_sales + 1):
+        sales.append((
+            sale_id,
+            _zipf_choice(rng, config.num_customers, config.zipf_skew),
+            _zipf_choice(rng, config.num_products, config.zipf_skew),
+            rng.randint(1, config.num_stores),
+            rng.randint(5, 2_000),
+            rng.randint(1, 10),
+        ))
+    db.insert("Sales", sales)
+
+    db.create_view("CustSpend", CUST_SPEND_VIEW.strip())
+    db.create_view("ProductVolume", PRODUCT_VOLUME_VIEW.strip())
+    db.create_view("StoreRevenue", STORE_REVENUE_VIEW.strip())
+    db.analyze()
+    return db
+
+
+def fresh_star(config: StarConfig = None, **db_kwargs) -> Database:
+    return build_star(Database(**db_kwargs), config)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro import Database, DataType
+from repro.workloads import EmpDeptConfig, fresh_empdept
+
+
+SMALL_EMPDEPT = EmpDeptConfig(
+    num_departments=40,
+    employees_per_department=15,
+    big_fraction=0.2,
+    young_fraction=0.3,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def empdept_db():
+    """A small Emp/Dept database shared within a test module.
+
+    Module-scoped for speed; tests must not mutate the data.
+    """
+    return fresh_empdept(SMALL_EMPDEPT)
+
+
+@pytest.fixture()
+def tiny_db():
+    """A tiny two-table database, rebuilt per test (mutable)."""
+    db = Database()
+    db.create_table("R", [("a", DataType.INT), ("b", DataType.INT)])
+    db.create_table("S", [("a", DataType.INT), ("c", DataType.STR)])
+    db.insert("R", [(i, i % 5) for i in range(20)])
+    db.insert("S", [(i, "s%d" % i) for i in range(0, 20, 2)])
+    db.analyze()
+    return db
+
+
+def reference_motivating_answer(db):
+    """Brute-force answer to the Figure-1 query for cross-checking."""
+    import collections
+
+    emp = db.catalog.table("Emp").rows
+    dept = db.catalog.table("Dept").rows
+    sals = collections.defaultdict(list)
+    for (_eid, did, sal, _age) in emp:
+        sals[did].append(sal)
+    avg = {d: sum(v) / len(v) for d, v in sals.items()}
+    budget = dict(dept)
+    return sorted(
+        (did, sal, avg[did])
+        for (_eid, did, sal, age) in emp
+        if age < 30 and budget[did] > 100_000 and sal > avg[did]
+    )

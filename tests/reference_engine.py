@@ -1,0 +1,89 @@
+"""A deliberately naive reference interpreter for bound query blocks.
+
+Evaluates a :class:`QueryBlock` by full cross product + filtering, with
+no optimizer and no physical operators, sharing only the expression
+interpreter with the engine under test. Differential tests compare the
+real engine's answers against this oracle.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List
+
+from repro.algebra.block import QueryBlock
+from repro.expr.aggregates import Accumulator
+
+
+def relation_rows_naive(relation) -> List[tuple]:
+    if relation.kind == "stored":
+        return list(relation.table.rows)
+    if relation.kind == "view":
+        return evaluate_block_naive(relation.block)
+    raise NotImplementedError(
+        "naive evaluation of %r relations" % relation.kind
+    )
+
+
+def evaluate_block_naive(block: QueryBlock) -> List[tuple]:
+    combined = block.combined_schema()
+    inputs = [relation_rows_naive(rel) for rel in block.relations]
+    predicates = [p.resolve(combined) for p in block.predicates]
+
+    joined = []
+    for parts in product(*inputs):
+        row = tuple(v for part in parts for v in part)
+        if all(p.eval(row) is True for p in predicates):
+            joined.append(row)
+
+    if block.is_grouped:
+        group_positions = [combined.index_of(g.name) for g in block.group_by]
+        agg_args = [
+            (spec, spec.argument.resolve(combined)
+             if spec.argument is not None else None)
+            for spec in block.aggregates
+        ]
+        groups = {}
+        for row in joined:
+            key = tuple(row[p] for p in group_positions)
+            accs = groups.setdefault(key, [
+                Accumulator.for_spec(spec) for spec, _ in agg_args
+            ])
+            for (spec, arg), acc in zip(agg_args, accs):
+                acc.add(None if arg is None else arg.eval(row))
+        if not groups and not group_positions and block.aggregates:
+            groups[()] = [Accumulator.for_spec(s) for s, _ in agg_args]
+        rows = [key + tuple(a.result() for a in accs)
+                for key, accs in groups.items()]
+        schema = block.group_output_schema()
+        if block.having is not None:
+            having = block.having.resolve(schema)
+            rows = [r for r in rows if having.eval(r) is True]
+    else:
+        rows = joined
+        schema = combined
+
+    if block.select_items:
+        exprs = [item.expr.resolve(schema) for item in block.select_items]
+        rows = [tuple(e.eval(r) for e in exprs) for r in rows]
+        schema = block.output_schema()
+
+    if block.distinct:
+        seen, dedup = set(), []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                dedup.append(row)
+        rows = dedup
+
+    if block.order_by:
+        for ref, ascending in reversed(block.order_by):
+            position = schema.index_of(ref.name)
+            rows.sort(
+                key=lambda r: (r[position] is not None, r[position]),
+                reverse=not ascending,
+            )
+
+    if block.limit is not None:
+        rows = rows[:block.limit]
+    return rows

@@ -1,0 +1,197 @@
+"""Unit tests for the SQL binder (name resolution, canonical form)."""
+
+import pytest
+
+from repro import Database, DataType
+from repro.errors import BindError
+from repro.expr.nodes import ColumnRef
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("Emp", [("eid", DataType.INT),
+                                  ("did", DataType.INT),
+                                  ("sal", DataType.INT),
+                                  ("age", DataType.INT)])
+    database.create_table("Dept", [("did", DataType.INT),
+                                   ("budget", DataType.INT)])
+    database.create_view(
+        "DepAvgSal",
+        "SELECT E.did, AVG(E.sal) AS avgsal FROM Emp E GROUP BY E.did",
+    )
+    return database
+
+
+class TestFromBinding:
+    def test_table_gets_default_alias(self, db):
+        block = db.bind("SELECT eid FROM Emp")
+        assert block.relations[0].alias == "Emp"
+        assert block.relations[0].kind == "stored"
+
+    def test_view_becomes_virtual_relation(self, db):
+        block = db.bind("SELECT V.did FROM DepAvgSal V")
+        rel = block.relations[0]
+        assert rel.kind == "view"
+        assert rel.base_schema.names() == ["did", "avgsal"]
+
+    def test_subquery_in_from(self, db):
+        block = db.bind(
+            "SELECT x.did FROM (SELECT did FROM Dept) x"
+        )
+        assert block.relations[0].kind == "view"
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT a FROM Nope")
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT E.eid FROM Emp E, Dept E")
+
+
+class TestColumnResolution:
+    def test_unqualified_unique_column(self, db):
+        block = db.bind("SELECT eid FROM Emp E")
+        assert block.select_items[0].expr == ColumnRef("E.eid")
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT did FROM Emp E, Dept D")
+
+    def test_qualified_resolves_ambiguity(self, db):
+        block = db.bind("SELECT E.did FROM Emp E, Dept D "
+                        "WHERE E.did = D.did")
+        assert block.select_items[0].expr == ColumnRef("E.did")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT bogus FROM Emp")
+
+    def test_unknown_qualifier(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT Z.did FROM Emp E")
+
+
+class TestPredicates:
+    def test_where_flattened_to_conjuncts(self, db):
+        block = db.bind(
+            "SELECT E.eid FROM Emp E WHERE E.age < 30 AND E.sal > 10 "
+            "AND E.did = 3"
+        )
+        assert len(block.predicates) == 3
+
+    def test_or_stays_single_conjunct(self, db):
+        block = db.bind(
+            "SELECT E.eid FROM Emp E WHERE E.age < 30 OR E.sal > 10"
+        )
+        assert len(block.predicates) == 1
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT eid FROM Emp WHERE AVG(sal) > 10")
+
+
+class TestGrouping:
+    def test_group_by_canonical_form(self, db):
+        block = db.bind(
+            "SELECT did, AVG(sal) AS avgsal FROM Emp GROUP BY did"
+        )
+        assert [g.name for g in block.group_by] == ["Emp.did"]
+        assert len(block.aggregates) == 1
+        assert block.aggregates[0].alias == "avgsal"
+        # select items reference the group-output schema
+        assert block.select_items[0].expr == ColumnRef("did")
+        assert block.select_items[1].expr == ColumnRef("avgsal")
+
+    def test_output_schema(self, db):
+        block = db.bind(
+            "SELECT did, AVG(sal) AS avgsal FROM Emp GROUP BY did"
+        )
+        out = block.output_schema()
+        assert out.names() == ["did", "avgsal"]
+        assert out.column("avgsal").dtype == DataType.FLOAT
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT sal, AVG(age) FROM Emp GROUP BY did")
+
+    def test_having_binds_against_group_output(self, db):
+        block = db.bind(
+            "SELECT did FROM Emp GROUP BY did HAVING COUNT(*) > 5"
+        )
+        assert block.having is not None
+        assert len(block.aggregates) == 1  # the COUNT(*) from HAVING
+
+    def test_duplicate_aggregates_deduplicated(self, db):
+        block = db.bind(
+            "SELECT did, AVG(sal) a1 FROM Emp GROUP BY did "
+            "HAVING AVG(sal) > 10"
+        )
+        assert len(block.aggregates) == 1
+
+    def test_scalar_aggregate_without_group_by(self, db):
+        block = db.bind("SELECT COUNT(*) AS n FROM Emp")
+        assert block.is_grouped
+        assert block.group_by == []
+
+    def test_unknown_function(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT MEDIAN(sal) FROM Emp GROUP BY did")
+
+
+class TestSelectList:
+    def test_star_expands_with_qualified_names(self, db):
+        block = db.bind("SELECT * FROM Emp E, Dept D WHERE E.did = D.did")
+        out = block.output_schema()
+        assert len(out) == 6
+        assert "did" in out.names() and "did_2" in out.names()
+
+    def test_expression_needs_alias(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT sal + 1 FROM Emp")
+
+    def test_expression_with_alias(self, db):
+        block = db.bind("SELECT sal + 1 AS nextsal FROM Emp")
+        assert block.output_schema().names() == ["nextsal"]
+
+
+class TestOrderByLimit:
+    def test_order_by_output_column(self, db):
+        block = db.bind("SELECT eid, sal FROM Emp ORDER BY sal DESC")
+        assert block.order_by[0][0].name == "sal"
+        assert block.order_by[0][1] is False
+
+    def test_order_by_unknown_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("SELECT eid FROM Emp ORDER BY nope")
+
+    def test_limit_captured(self, db):
+        assert db.bind("SELECT eid FROM Emp LIMIT 7").limit == 7
+
+
+class TestViewBinding:
+    def test_view_column_aliases(self, db):
+        db.create_view("V2", "SELECT did, budget FROM Dept",
+                       column_aliases=["d", "b"])
+        block = db.bind("SELECT x.d, x.b FROM V2 x")
+        assert block.output_schema().names() == ["d", "b"]
+
+    def test_view_of_view(self, db):
+        db.create_view("Rich", "SELECT V.did FROM DepAvgSal V "
+                               "WHERE V.avgsal > 50000")
+        block = db.bind("SELECT R.did FROM Rich R")
+        inner = block.relations[0]
+        assert inner.kind == "view"
+        assert inner.block.relations[0].kind == "view"
+
+    def test_view_cycle_detected(self, db):
+        # A view can't reference itself at creation (it doesn't exist yet),
+        # but deep nesting is capped.
+        sql = "SELECT did FROM Dept"
+        name = "Deep0"
+        db.create_view(name, sql)
+        for i in range(1, 20):
+            db.create_view("Deep%d" % i, "SELECT did FROM Deep%d" % (i - 1))
+        with pytest.raises(BindError):
+            db.bind("SELECT did FROM Deep19")

@@ -1,0 +1,68 @@
+"""Unit + property tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bloom import BloomFilter
+
+
+class TestBloomBasics:
+    def test_contains_added(self):
+        bloom = BloomFilter(1024, expected_items=10)
+        bloom.add(42)
+        assert 42 in bloom
+
+    def test_empty_contains_nothing(self):
+        bloom = BloomFilter(1024, expected_items=10)
+        assert 42 not in bloom
+
+    def test_add_all(self):
+        bloom = BloomFilter(4096, expected_items=100)
+        bloom.add_all(range(100))
+        assert all(i in bloom for i in range(100))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+
+    def test_size_bytes(self):
+        assert BloomFilter(8 * 100).size_bytes == 100
+
+    def test_tuple_keys(self):
+        bloom = BloomFilter(1024, expected_items=4)
+        bloom.add((1, "a"))
+        assert (1, "a") in bloom
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter(64 * 1024, expected_items=1000)
+        bloom.add_all(range(1000))
+        false_positives = sum(
+            1 for i in range(10_000, 20_000) if i in bloom
+        )
+        # with m/n = 65 bits/item the FPR should be tiny
+        assert false_positives < 50
+
+    def test_expected_fpr_tracks_fill(self):
+        bloom = BloomFilter(1024, expected_items=10)
+        assert bloom.expected_false_positive_rate() == 0.0
+        bloom.add_all(range(10))
+        low = bloom.expected_false_positive_rate()
+        bloom.add_all(range(10, 500))
+        assert bloom.expected_false_positive_rate() > low
+
+
+class TestBloomProperties:
+    @given(st.sets(st.integers(), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_no_false_negatives(self, items):
+        bloom = BloomFilter(8192, expected_items=max(1, len(items)))
+        bloom.add_all(items)
+        assert all(item in bloom for item in items)
+
+    @given(st.sets(st.text(max_size=8), max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives_strings(self, items):
+        bloom = BloomFilter(8192, expected_items=max(1, len(items)))
+        bloom.add_all(items)
+        assert all(item in bloom for item in items)

@@ -1,0 +1,122 @@
+"""Unit tests for the catalog (tables, views, sites, statistics)."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage.catalog import Catalog, compute_table_stats
+from repro.storage.schema import DataType, Schema
+
+
+def make_catalog():
+    catalog = Catalog()
+    table = catalog.create_table(
+        "Emp", Schema.of(("eid", DataType.INT), ("sal", DataType.INT)))
+    table.insert_many((i, 1000 * (i % 10)) for i in range(100))
+    return catalog
+
+
+class TestRelations:
+    def test_create_and_lookup(self):
+        catalog = make_catalog()
+        assert catalog.table("Emp").num_rows == 100
+        assert catalog.table("emp").name == "Emp"  # case-insensitive
+
+    def test_duplicate_rejected(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.create_table("EMP", Schema.of(("x", DataType.INT)))
+
+    def test_view_name_conflicts_with_table(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.create_view("Emp", "SELECT 1")
+
+    def test_drop_table(self):
+        catalog = make_catalog()
+        catalog.drop_table("Emp")
+        assert not catalog.has_table("Emp")
+        with pytest.raises(CatalogError):
+            catalog.table("Emp")
+
+    def test_drop_unknown(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_table("X")
+        with pytest.raises(CatalogError):
+            Catalog().drop_view("X")
+
+    def test_views_listed(self):
+        catalog = make_catalog()
+        catalog.create_view("V", "SELECT eid FROM Emp",
+                            column_aliases=["e"])
+        assert [v.name for v in catalog.views()] == ["V"]
+        assert catalog.view("v").column_aliases == ["e"]
+
+    def test_has_relation(self):
+        catalog = make_catalog()
+        catalog.create_view("V", "SELECT eid FROM Emp")
+        assert catalog.has_relation("Emp")
+        assert catalog.has_relation("V")
+        assert not catalog.has_relation("Zed")
+
+
+class TestSites:
+    def test_site_roundtrip(self):
+        catalog = make_catalog()
+        catalog.set_table_site("Emp", "mars")
+        assert catalog.site_for_table("Emp") == "mars"
+        catalog.set_table_site("Emp", None)
+        assert catalog.site_for_table("Emp") is None
+
+    def test_site_for_unknown_table(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.set_table_site("Nope", "x")
+
+
+class TestStatistics:
+    def test_lazy_stats(self):
+        catalog = make_catalog()
+        assert not catalog.has_stats("Emp")
+        stats = catalog.stats("Emp")
+        assert stats.num_rows == 100
+        assert catalog.has_stats("Emp")
+
+    def test_stats_column_details(self):
+        catalog = make_catalog()
+        stats = catalog.stats("Emp")
+        sal = stats.column("sal")
+        assert sal.num_distinct == 10
+        assert sal.min_value == 0
+        assert sal.max_value == 9000
+        assert sal.histogram is not None
+        assert sal.frequencies is not None
+
+    def test_null_fraction(self):
+        catalog = Catalog()
+        table = catalog.create_table(
+            "N", Schema.of(("x", DataType.INT)))
+        table.insert_many([(1,), (None,), (None,), (4,)])
+        stats = catalog.stats("N")
+        assert stats.column("x").null_fraction == pytest.approx(0.5)
+
+    def test_empty_table_stats(self):
+        catalog = Catalog()
+        catalog.create_table("E", Schema.of(("x", DataType.INT)))
+        stats = catalog.stats("E")
+        assert stats.num_rows == 0
+        assert stats.column("x").histogram is None
+
+    def test_drop_clears_stats(self):
+        catalog = make_catalog()
+        catalog.stats("Emp")
+        catalog.drop_table("Emp")
+        catalog.create_table("Emp", Schema.of(("z", DataType.INT)))
+        stats = catalog.stats("Emp")
+        assert stats.num_rows == 0
+
+    def test_selectivity_helpers(self):
+        catalog = make_catalog()
+        sal = catalog.stats("Emp").column("sal")
+        assert sal.selectivity_eq(1000) == pytest.approx(0.1)
+        assert sal.selectivity_cmp("<", 5000) == pytest.approx(0.5)
+        assert sal.selectivity_cmp("!=", 1000) == pytest.approx(0.9)

@@ -1,0 +1,148 @@
+"""Unit tests for the optimizer's cost formulas (optimizer.cost)."""
+
+import pytest
+
+from repro.ledger import CostParams
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.cost import CostModel
+
+
+def model(memory_pages=16, **config_kwargs):
+    return CostModel(OptimizerConfig(memory_pages=memory_pages,
+                                     **config_kwargs))
+
+
+class TestScans:
+    def test_seq_scan_charges_pages_and_cpu(self):
+        ledger = model().seq_scan(10, 500)
+        assert ledger.page_reads == 10
+        assert ledger.tuple_cpu == 500
+
+    def test_empty_table_still_one_page(self):
+        assert model().seq_scan(0, 0).page_reads == 1.0
+
+    def test_index_probe_unclustered_uses_yao(self):
+        m = model()
+        few = m.index_probe(10_000, 100, 5).page_reads
+        many = m.index_probe(10_000, 100, 500).page_reads
+        assert few < many <= 101.0
+
+    def test_index_probe_clustered_contiguous(self):
+        m = model()
+        clustered = m.index_probe(10_000, 100, 500, clustered=True,
+                                  row_width=40).page_reads
+        scattered = m.index_probe(10_000, 100, 500).page_reads
+        assert clustered < scattered
+
+
+class TestMaterializeAndSort:
+    def test_materialize_in_memory_no_io(self):
+        ledger = model(memory_pages=100).materialize(100, 40)
+        assert ledger.page_writes == 0
+        assert ledger.tuple_cpu == 100
+
+    def test_materialize_spills(self):
+        ledger = model(memory_pages=4).materialize(100_000, 40)
+        assert ledger.page_writes > 4
+
+    def test_rescan_mirrors_materialize(self):
+        m = model(memory_pages=4)
+        write = m.materialize(100_000, 40)
+        read = m.rescan(100_000, 40)
+        assert read.page_reads == pytest.approx(write.page_writes)
+
+    def test_sort_in_memory_cpu_only(self):
+        ledger = model(memory_pages=1000).sort(1000, 8)
+        assert ledger.page_reads == 0
+        assert ledger.tuple_cpu > 1000  # n log n
+
+    def test_sort_external_charges_passes(self):
+        ledger = model(memory_pages=4).sort(200_000, 40)
+        assert ledger.page_reads > 0
+        assert ledger.page_writes == ledger.page_reads
+
+    def test_dedup_sorted_discount(self):
+        m = model()
+        assert m.dedup(1000, sorted_input=True).tuple_cpu < \
+            m.dedup(1000, sorted_input=False).tuple_cpu
+
+
+class TestJoins:
+    def test_hash_join_no_spill_in_memory(self):
+        ledger = model(memory_pages=100).hash_join(100, 16, 100, 50)
+        assert ledger.page_reads == 0
+        assert ledger.page_writes == 0
+
+    def test_hash_join_spill_charges_both_sides(self):
+        ledger = model(memory_pages=2).hash_join(50_000, 40, 50_000, 100)
+        assert ledger.page_writes > 0
+        assert ledger.page_reads == ledger.page_writes
+
+    def test_nlj_cpu_quadratic(self):
+        m = model()
+        small = m.block_nested_loops(10, 8, 10, 8, 5).tuple_cpu
+        big = m.block_nested_loops(100, 8, 100, 8, 5).tuple_cpu
+        assert big > small * 50  # ~quadratic growth
+
+    def test_merge_join_linear(self):
+        ledger = model().merge_join(1000, 1000, 100)
+        assert ledger.tuple_cpu == 2100
+
+    def test_inl_scales_with_outer(self):
+        m = model()
+        one = m.index_nested_loops(1, 10_000, 100, 5, 5)
+        hundred = m.index_nested_loops(100, 10_000, 100, 5, 500)
+        assert hundred.page_reads == pytest.approx(
+            one.page_reads * 100, rel=0.01)
+
+
+class TestNetworkAndFunctions:
+    def test_ship_message_count(self):
+        config = OptimizerConfig(message_payload_bytes=1000)
+        m = CostModel(config)
+        ledger = m.ship(100, 25)  # 2500 bytes -> 3 messages
+        assert ledger.net_msgs == 3
+        assert ledger.net_bytes == 2500
+
+    def test_ship_minimum_one_message(self):
+        assert model().ship(0, 10).net_msgs == 1
+
+    def test_ship_bloom_fixed_size(self):
+        config = OptimizerConfig(bloom_bits=8 * 1024)
+        ledger = CostModel(config).ship_bloom()
+        assert ledger.net_bytes == 1024
+        assert ledger.net_msgs == 1
+
+    def test_function_invocations_locality(self):
+        m = model()
+        plain = m.function_invocations(10, 2.0)
+        discounted = m.function_invocations(10, 2.0, consecutive=True,
+                                            locality_factor=0.5)
+        assert discounted.fn_invocations == plain.fn_invocations / 2
+
+
+class TestBloomFpr:
+    def test_fpr_monotone_in_keys(self):
+        m = model()
+        rates = [m.bloom_false_positive_rate(n)
+                 for n in (10, 100, 1000, 100_000)]
+        assert rates == sorted(rates)
+        assert 0.0 <= rates[0] < rates[-1] <= 1.0
+
+    def test_fpr_zero_for_empty(self):
+        assert model().bloom_false_positive_rate(0) == 0.0
+
+    def test_bigger_filter_lower_fpr(self):
+        small = CostModel(OptimizerConfig(bloom_bits=512))
+        large = CostModel(OptimizerConfig(bloom_bits=1024 * 1024))
+        assert large.bloom_false_positive_rate(1000) < \
+            small.bloom_false_positive_rate(1000)
+
+
+class TestScalar:
+    def test_scalar_uses_params(self):
+        params = CostParams(page_read_weight=2.0, tuple_cpu_weight=0.0)
+        config = OptimizerConfig(cost_params=params)
+        m = CostModel(config)
+        ledger = m.seq_scan(10, 1000)
+        assert m.scalar(ledger) == 20.0

@@ -1,0 +1,180 @@
+"""Tests for the Database façade: DDL, DML, scripts, EXPLAIN, errors."""
+
+import pytest
+
+from repro import (
+    CatalogError,
+    Database,
+    DataType,
+    OptimizerConfig,
+    ReproError,
+    SqlSyntaxError,
+)
+
+
+class TestDdl:
+    def test_create_table_via_sql(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT, s VARCHAR(20), f FLOAT, b BOOLEAN)")
+        table = db.catalog.table("T")
+        assert table.schema.names() == ["a", "s", "f", "b"]
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        with pytest.raises(CatalogError):
+            db.sql("CREATE TABLE T (a INT)")
+
+    def test_create_view_and_query(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        db.sql("INSERT INTO T VALUES (1), (2), (3)")
+        db.sql("CREATE VIEW Big AS SELECT a FROM T WHERE a > 1")
+        assert sorted(db.sql("SELECT a FROM Big").rows) == [(2,), (3,)]
+
+    def test_view_name_collision_rejected(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        with pytest.raises(CatalogError):
+            db.sql("CREATE VIEW T AS SELECT a FROM T")
+
+    def test_drop_table_and_view(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        db.sql("CREATE VIEW V AS SELECT a FROM T")
+        db.sql("DROP VIEW V")
+        db.sql("DROP TABLE T")
+        assert not db.catalog.has_table("T")
+        assert not db.catalog.has_view("V")
+
+    def test_create_index_via_sql(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        db.sql("CREATE INDEX ON T (a)")
+        assert db.catalog.table("T").index_on("a") is not None
+
+
+class TestDml:
+    def test_insert_returns_count(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        result = db.sql("INSERT INTO T VALUES (1), (2)")
+        assert result.rows == [(2,)]
+
+    def test_insert_type_checked(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        with pytest.raises(CatalogError):
+            db.sql("INSERT INTO T VALUES ('nope')")
+
+    def test_null_insert_and_filter(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        db.sql("INSERT INTO T VALUES (1), (NULL)")
+        assert db.sql("SELECT a FROM T WHERE a = 1").rows == [(1,)]
+
+
+class TestScripts:
+    def test_script_executes_in_order(self):
+        db = Database()
+        results = db.execute_script("""
+            CREATE TABLE T (a INT, b INT);
+            INSERT INTO T VALUES (1, 10), (2, 20), (3, 30);
+            SELECT a FROM T WHERE b >= 20 ORDER BY a;
+        """)
+        assert len(results) == 3
+        assert results[2].rows == [(2,), (3,)]
+
+    def test_script_statement_kinds(self):
+        db = Database()
+        results = db.execute_script(
+            "CREATE TABLE T (a INT); INSERT INTO T VALUES (1);"
+        )
+        assert results[0].statement_kind == "create table"
+        assert results[1].statement_kind == "insert"
+
+
+class TestQueryResult:
+    def make(self):
+        db = Database()
+        db.execute_script("""
+            CREATE TABLE T (a INT, b INT);
+            INSERT INTO T VALUES (1, 10), (2, 20);
+        """)
+        db.analyze()
+        return db
+
+    def test_columns_and_dicts(self):
+        result = self.make().sql("SELECT a, b FROM T ORDER BY a")
+        assert result.columns == ["a", "b"]
+        assert result.to_dicts() == [{"a": 1, "b": 10}, {"a": 2, "b": 20}]
+
+    def test_iteration_and_len(self):
+        result = self.make().sql("SELECT a FROM T")
+        assert len(result) == 2
+        assert sorted(result) == [(1,), (2,)]
+
+    def test_measured_cost_positive(self):
+        result = self.make().sql("SELECT a FROM T")
+        assert result.measured_cost() > 0
+
+    def test_metrics_attached(self):
+        result = self.make().sql("SELECT a FROM T")
+        assert result.metrics is not None
+        assert result.metrics.plans_considered >= 1
+
+
+class TestExplain:
+    def test_explain_statement(self):
+        db = Database()
+        db.execute_script(
+            "CREATE TABLE T (a INT); INSERT INTO T VALUES (1);"
+        )
+        result = db.sql("EXPLAIN SELECT a FROM T")
+        assert result.statement_kind == "explain"
+        assert any("SeqScan" in row[0] for row in result.rows)
+
+    def test_explain_helper(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        text = db.explain("SELECT a FROM T")
+        assert "Project" in text
+
+
+class TestErrors:
+    def test_syntax_error(self):
+        with pytest.raises(SqlSyntaxError):
+            Database().sql("SELEC a FROM T")
+
+    def test_unsupported_config_validated(self):
+        with pytest.raises(ValueError):
+            Database(OptimizerConfig(parametric_classes=1))
+
+    def test_config_per_query_override(self):
+        db = Database()
+        db.execute_script(
+            "CREATE TABLE T (a INT); INSERT INTO T VALUES (1);"
+        )
+        result = db.sql("SELECT a FROM T",
+                        config=OptimizerConfig(enable_filter_join=False))
+        assert result.rows == [(1,)]
+
+
+class TestStatsLifecycle:
+    def test_stats_lazy_computed(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        db.sql("INSERT INTO T VALUES (1), (2)")
+        # no explicit analyze: planning must still work
+        assert db.sql("SELECT a FROM T WHERE a = 1").rows == [(1,)]
+
+    def test_analyze_refreshes(self):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        db.sql("INSERT INTO T VALUES (1)")
+        db.analyze()
+        before = db.catalog.stats("T").num_rows
+        db.sql("INSERT INTO T VALUES (2), (3)")
+        db.analyze("T")
+        after = db.catalog.stats("T").num_rows
+        assert (before, after) == (1, 3)

@@ -1,0 +1,130 @@
+"""Tests for equi-depth histograms and their estimation advantage."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, DataType
+from repro.stats.histogram import EquiDepthHistogram, EquiWidthHistogram
+
+
+class TestEquiDepthBasics:
+    def test_buckets_roughly_equal_counts(self):
+        hist = EquiDepthHistogram.build(list(range(1000)), num_buckets=10)
+        counts = [b.count for b in hist.buckets]
+        assert max(counts) - min(counts) <= 2
+
+    def test_single_value(self):
+        hist = EquiDepthHistogram.build([7] * 50)
+        assert hist.selectivity_eq(7) == pytest.approx(1.0)
+
+    def test_uniform_range_estimates(self):
+        hist = EquiDepthHistogram.build(list(range(1000)), num_buckets=20)
+        assert hist.selectivity_lt(250) == pytest.approx(0.25, abs=0.03)
+        assert hist.selectivity_range(100, 300) == pytest.approx(
+            0.2, abs=0.04)
+
+    def test_covers_full_span(self):
+        values = [5, 9, 100, 42, 7]
+        hist = EquiDepthHistogram.build(values)
+        assert hist.low == 5.0
+        assert hist.high == 100.0
+        assert hist.selectivity_range(None, None) == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=300),
+           st.integers(-1000, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_selectivities_bounded(self, values, probe):
+        hist = EquiDepthHistogram.build(values)
+        for sel in (hist.selectivity_eq(probe),
+                    hist.selectivity_lt(probe),
+                    hist.selectivity_gt(probe)):
+            assert 0.0 <= sel <= 1.0
+
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_total_mass_preserved(self, values):
+        hist = EquiDepthHistogram.build(values)
+        assert sum(b.count for b in hist.buckets) == len(values)
+
+
+class TestSkewAdvantage:
+    def make_skewed(self):
+        """90% of mass at small values, a long thin tail to 1e6."""
+        rng = random.Random(3)
+        values = [rng.randint(1, 100) for _ in range(9000)]
+        values += [rng.randint(100_000, 1_000_000) for _ in range(1000)]
+        return values
+
+    def true_selectivity(self, values, cutoff):
+        return sum(1 for v in values if v < cutoff) / len(values)
+
+    def test_equidepth_beats_equiwidth_on_skew(self):
+        values = self.make_skewed()
+        cutoff = 50
+        truth = self.true_selectivity(values, cutoff)
+        depth = EquiDepthHistogram.build(values, 20).selectivity_lt(cutoff)
+        width = EquiWidthHistogram.build(values, 20).selectivity_lt(cutoff)
+        assert abs(depth - truth) < abs(width - truth)
+        assert depth == pytest.approx(truth, abs=0.05)
+
+
+class TestCatalogIntegration:
+    def make_db(self, kind):
+        db = Database()
+        db.create_table("T", [("x", DataType.INT)])
+        rng = random.Random(5)
+        db.insert("T", [
+            (rng.randint(1, 50) if rng.random() < 0.9
+             else rng.randint(10_000, 99_999),)
+            for _ in range(2000)
+        ])
+        db.catalog.analyze(histogram_kind=kind)
+        return db
+
+    def test_analyze_kind_switch(self):
+        db = self.make_db("equi_width")
+        stats = db.catalog.stats("T")
+        assert isinstance(stats.column("x").histogram, EquiWidthHistogram)
+        db.catalog.analyze(histogram_kind="equi_depth")
+        stats = db.catalog.stats("T")
+        assert isinstance(stats.column("x").histogram, EquiDepthHistogram)
+
+    def test_unknown_kind_rejected(self):
+        from repro.errors import CatalogError
+        db = self.make_db("equi_depth")
+        with pytest.raises(CatalogError):
+            db.catalog.analyze(histogram_kind="v-optimal")
+
+    def test_row_estimate_on_skewed_predicate(self):
+        db = self.make_db("equi_depth")
+        plan, _ = db.plan("SELECT x FROM T WHERE x < 25")
+        true_rows = len(db.sql("SELECT x FROM T WHERE x < 25").rows)
+        assert plan.est_rows == pytest.approx(true_rows, rel=0.25)
+
+
+class TestClusteredOrderExploited:
+    def test_merge_join_without_sorts_on_clustered_tables(self):
+        from repro import OptimizerConfig
+        from repro.optimizer.plans import SortNode
+        from tests.test_planner_basic import find_nodes
+
+        db = Database()
+        db.create_table("A", [("k", DataType.INT), ("v", DataType.INT)])
+        db.create_table("B", [("k", DataType.INT), ("w", DataType.INT)])
+        db.insert("A", [(i % 40, i) for i in range(800)])
+        db.insert("B", [(i % 40, i) for i in range(800)])
+        db.catalog.table("A").cluster_by("k")
+        db.catalog.table("B").cluster_by("k")
+        db.analyze()
+        config = OptimizerConfig(
+            enable_hash_join=False, enable_nested_loops=False,
+            enable_index_nested_loops=False, enable_filter_join=False,
+            enable_bloom_filter=False,
+        )
+        plan, _ = db.plan("SELECT A.v FROM A, B WHERE A.k = B.k", config)
+        assert not find_nodes(plan, SortNode)
+        result = db.run_plan(plan)
+        assert len(result.rows) == 800 * 20

@@ -1,0 +1,86 @@
+"""Unit + property tests for the closed-form estimators (Yao, Cardenas)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatsError
+from repro.stats.estimator import (
+    cardenas_distinct,
+    filter_selectivity,
+    join_selectivity,
+    yao_blocks,
+)
+
+
+class TestYao:
+    def test_zero_selection(self):
+        assert yao_blocks(1000, 100, 0) == 0.0
+
+    def test_select_all_touches_all_pages(self):
+        assert yao_blocks(1000, 100, 1000) == 100.0
+
+    def test_single_tuple_touches_about_one_page(self):
+        assert yao_blocks(1000, 100, 1) == pytest.approx(1.0, abs=0.05)
+
+    def test_monotone_in_k(self):
+        values = [yao_blocks(10_000, 500, k) for k in (1, 10, 100, 1000, 9999)]
+        assert values == sorted(values)
+
+    def test_bounded_by_pages(self):
+        assert yao_blocks(10_000, 50, 9_999) <= 50.0
+
+    def test_large_k_approximation_close(self):
+        # exact (k<=1000) vs approximation shapes should both be near pages
+        assert yao_blocks(100_000, 1000, 50_000) == pytest.approx(
+            1000.0, rel=0.01
+        )
+
+    @given(st.integers(1, 50_000), st.integers(1, 1000),
+           st.integers(0, 50_000))
+    @settings(max_examples=80, deadline=None)
+    def test_always_in_range(self, n, pages, k):
+        result = yao_blocks(n, pages, k)
+        assert 0.0 <= result <= pages + 1e-9
+
+
+class TestCardenas:
+    def test_zero_draws(self):
+        assert cardenas_distinct(100, 0) == 0.0
+
+    def test_single_domain_value(self):
+        assert cardenas_distinct(1, 50) == 1.0
+
+    def test_many_draws_saturates(self):
+        assert cardenas_distinct(10, 10_000) == pytest.approx(10.0, rel=1e-3)
+
+    def test_few_draws_close_to_k(self):
+        assert cardenas_distinct(1_000_000, 10) == pytest.approx(10.0, rel=0.01)
+
+    def test_invalid_domain_raises(self):
+        with pytest.raises(StatsError):
+            cardenas_distinct(0, 5)
+
+    @given(st.floats(1, 1e6), st.floats(0, 1e6))
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_by_domain_and_draws(self, d, k):
+        result = cardenas_distinct(d, k)
+        assert 0.0 <= result <= min(d, k) + 1e-6
+
+
+class TestJoinAndFilterSelectivity:
+    def test_join_selectivity_uses_max(self):
+        assert join_selectivity(10, 100) == pytest.approx(0.01)
+        assert join_selectivity(100, 10) == pytest.approx(0.01)
+
+    def test_join_selectivity_floor(self):
+        assert join_selectivity(0, 0) == 1.0
+
+    def test_filter_selectivity_ratio(self):
+        assert filter_selectivity(20, 100) == pytest.approx(0.2)
+
+    def test_filter_selectivity_capped(self):
+        assert filter_selectivity(500, 100) == 1.0
+
+    def test_filter_selectivity_degenerate_domain(self):
+        assert filter_selectivity(5, 0) == 1.0

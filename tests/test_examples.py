@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs and prints its story."""
+
+import contextlib
+import io
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return out.getvalue()
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "Cost-based plan" in output
+    assert "cost-based" in output
+    assert "First five answers" in output
+
+
+def test_decision_support():
+    output = run_example("decision_support.py")
+    assert "Measured cost by rewrite policy" in output
+    assert "Example plan" in output
+
+
+def test_distributed_semijoin():
+    output = run_example("distributed_semijoin.py")
+    assert "Two-site join" in output
+    assert "winner" in output
+
+
+def test_udf_relations():
+    output = run_example("udf_relations.py")
+    assert "geocode" in output
+    assert "75 calls" in output
+
+
+def test_heterogeneous_view():
+    output = run_example("heterogeneous_view.py")
+    assert "remote" in output or "branch" in output
+    assert "cost-based optimizer" in output

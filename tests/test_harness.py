@@ -1,0 +1,150 @@
+"""Tests for the experiment harness (report, runners, registry)."""
+
+import pytest
+
+from repro import OptimizerConfig
+from repro.harness.report import ExperimentResult, TextTable, format_value
+from repro.harness.runners import (
+    STRATEGIES,
+    frozenset_rows,
+    plan_only,
+    run_query,
+    run_strategies,
+)
+from repro.workloads import EmpDeptConfig, MOTIVATING_QUERY, fresh_empdept
+
+TINY = EmpDeptConfig(num_departments=20, employees_per_department=8,
+                     seed=88)
+
+
+class TestTextTable:
+    def test_render_plain(self):
+        table = TextTable(["a", "bb"], title="t")
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "t" in text and "2.500" in text
+
+    def test_render_markdown(self):
+        table = TextTable(["a", "b"])
+        table.add_row("x", None)
+        text = table.render(markdown=True)
+        assert text.startswith("| a")
+        assert "| x" in text and "-" in text
+
+    def test_arity_checked(self):
+        table = TextTable(["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(0.0) == "0"
+        assert format_value(1234.6) == "1235"
+        assert format_value(12.34) == "12.3"
+        assert format_value(1.2345) == "1.234"
+        assert format_value("x") == "x"
+
+
+class TestExperimentResult:
+    def test_render_contains_sections(self):
+        result = ExperimentResult("X1", "Title", "Claim text")
+        table = TextTable(["c"])
+        table.add_row(1)
+        result.add_table(table)
+        result.add_finding("a finding")
+        plain = result.render()
+        md = result.render(markdown=True)
+        assert "X1" in plain and "Claim text" in plain
+        assert "a finding" in plain
+        assert md.startswith("## X1")
+
+
+class TestRunners:
+    def test_run_query_returns_estimates_and_measurements(self):
+        db = fresh_empdept(TINY)
+        measured = run_query(db, MOTIVATING_QUERY)
+        assert measured.estimated_cost > 0
+        assert measured.measured_cost > 0
+        assert measured.metrics.plans_considered > 0
+        assert measured.optimize_seconds >= 0
+
+    def test_plan_only_does_not_execute(self):
+        db = fresh_empdept(TINY)
+        plan, planner, seconds = plan_only(db, MOTIVATING_QUERY)
+        assert plan.est_cost > 0
+        assert seconds >= 0
+
+    def test_run_strategies_checks_agreement(self):
+        db = fresh_empdept(TINY)
+        outputs = run_strategies(db, MOTIVATING_QUERY)
+        assert set(outputs) == set(STRATEGIES)
+        row_sets = {frozenset_rows(m.rows) for m in outputs.values()}
+        assert len(row_sets) == 1
+
+    def test_frozenset_rows_preserves_duplicates(self):
+        assert frozenset_rows([(1,), (1,)]) != frozenset_rows([(1,)])
+        assert frozenset_rows([(1,), (2,)]) == frozenset_rows([(2,), (1,)])
+
+
+class TestRegistry:
+    def test_all_experiments_have_contract(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+        seen_ids = set()
+        for module in ALL_EXPERIMENTS:
+            assert module.EXPERIMENT_ID not in seen_ids
+            seen_ids.add(module.EXPERIMENT_ID)
+            assert module.TITLE
+            assert module.PAPER_CLAIM
+            assert callable(module.run)
+
+    def test_registry_covers_design_index(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+        ids = {m.EXPERIMENT_ID for m in ALL_EXPERIMENTS}
+        for required in ("F1/F2", "F3", "T1", "F4", "F5", "F6",
+                         "C1", "C2", "C3", "C4", "C5", "C6", "C7",
+                         "E1", "E2", "E3"):
+            assert required in ids
+
+
+class TestExperimentSmoke:
+    """Fast experiments run end-to-end in quick mode."""
+
+    @pytest.mark.parametrize("module_name", [
+        "table1", "c5_udf", "fig4",
+    ])
+    def test_quick_run_produces_tables(self, module_name):
+        import importlib
+        module = importlib.import_module(
+            "repro.harness.experiments.%s" % module_name
+        )
+        result = module.run(quick=True)
+        assert result.tables
+        assert result.findings
+        assert result.render(markdown=True)
+
+
+class TestCompareCli:
+    def test_compare_runs_and_agrees(self, tmp_path):
+        from repro.harness.compare import main
+
+        setup = tmp_path / "setup.sql"
+        setup.write_text("""
+            CREATE TABLE A (x INT, y INT);
+            CREATE TABLE B (x INT, z INT);
+            CREATE VIEW VAgg AS (
+                SELECT B.x, COUNT(*) AS n FROM B GROUP BY B.x);
+            INSERT INTO A VALUES (1, 10), (2, 20), (1, 30);
+            INSERT INTO B VALUES (1, 0), (1, 1), (3, 2);
+        """)
+        import contextlib, io
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = main([
+                "SELECT A.y, V.n FROM A, VAgg V WHERE A.x = V.x",
+                "--setup", str(setup),
+            ])
+        assert code == 0
+        text = out.getvalue()
+        assert "Strategy comparison" in text
+        assert "cost-based" in text
+        assert "Cost-based plan:" in text

@@ -1,0 +1,76 @@
+"""Unit tests for the cost ledger."""
+
+import pytest
+
+from repro.ledger import CostLedger, CostParams
+
+
+class TestCostLedger:
+    def test_charges_accumulate(self):
+        ledger = CostLedger()
+        ledger.charge_reads(3)
+        ledger.charge_reads(2)
+        ledger.charge_cpu(100)
+        assert ledger.page_reads == 5
+        assert ledger.tuple_cpu == 100
+
+    def test_message_charges_both_counters(self):
+        ledger = CostLedger()
+        ledger.charge_message(500)
+        assert ledger.net_msgs == 1
+        assert ledger.net_bytes == 500
+
+    def test_snapshot_is_independent(self):
+        ledger = CostLedger()
+        ledger.charge_reads(1)
+        snap = ledger.snapshot()
+        ledger.charge_reads(1)
+        assert snap.page_reads == 1
+        assert ledger.page_reads == 2
+
+    def test_delta(self):
+        ledger = CostLedger()
+        ledger.charge_cpu(10)
+        before = ledger.snapshot()
+        ledger.charge_cpu(5)
+        ledger.charge_writes(2)
+        delta = ledger.delta(before)
+        assert delta.tuple_cpu == 5
+        assert delta.page_writes == 2
+        assert delta.page_reads == 0
+
+    def test_add_and_merge(self):
+        a, b = CostLedger(page_reads=1), CostLedger(page_reads=2)
+        combined = a + b
+        assert combined.page_reads == 3
+        a.merge(b)
+        assert a.page_reads == 3
+        assert b.page_reads == 2  # untouched
+
+    def test_reset(self):
+        ledger = CostLedger(page_reads=5, tuple_cpu=10)
+        ledger.reset()
+        assert ledger.total() == 0.0
+
+    def test_str_compact(self):
+        assert "empty" in str(CostLedger())
+        assert "page_reads" in str(CostLedger(page_reads=1))
+
+
+class TestCostParams:
+    def test_default_weights(self):
+        ledger = CostLedger(page_reads=10, tuple_cpu=200)
+        assert ledger.total() == pytest.approx(10 + 200 * 0.005)
+
+    def test_network_free_by_default(self):
+        ledger = CostLedger(net_msgs=100, net_bytes=1e6)
+        assert ledger.total() == 0.0
+
+    def test_custom_network_weights(self):
+        params = CostParams(net_msg_weight=2.0, net_byte_weight=0.001)
+        ledger = CostLedger(net_msgs=3, net_bytes=1000)
+        assert ledger.total(params) == pytest.approx(6 + 1)
+
+    def test_fn_invocation_weight(self):
+        ledger = CostLedger(fn_invocations=4)
+        assert ledger.total(CostParams(fn_invocation_weight=2.5)) == 10.0

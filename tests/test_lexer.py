@@ -1,0 +1,68 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestTokenize:
+    def test_keywords_uppercased(self):
+        assert kinds("select from") == [("keyword", "SELECT"),
+                                        ("keyword", "FROM")]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("Emp dEpT") == [("ident", "Emp"), ("ident", "dEpT")]
+
+    def test_integer_and_float(self):
+        assert kinds("42 3.14") == [("number", "42"), ("number", "3.14")]
+
+    def test_qualified_name_not_a_float(self):
+        assert kinds("E.did") == [("ident", "E"), ("symbol", "."),
+                                  ("ident", "did")]
+
+    def test_number_then_qualifier_dot(self):
+        # "1.x" must lex as number 1, dot, ident x
+        assert kinds("1.x") == [("number", "1"), ("symbol", "."),
+                                ("ident", "x")]
+
+    def test_string_literal(self):
+        assert kinds("'hello'") == [("string", "hello")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'it''s'") == [("string", "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_two_char_symbols(self):
+        assert kinds("<= >= != <>") == [
+            ("symbol", "<="), ("symbol", ">="),
+            ("symbol", "!="), ("symbol", "<>"),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert kinds("select -- comment\n from") == [
+            ("keyword", "SELECT"), ("keyword", "FROM"),
+        ]
+
+    def test_illegal_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("select")[-1].kind == "eof"
+
+    def test_underscore_identifiers(self):
+        assert kinds("_tmp foo_bar") == [("ident", "_tmp"),
+                                         ("ident", "foo_bar")]

@@ -1,0 +1,125 @@
+"""Multi-view queries: the paper's Section-2.1 open question.
+
+Several virtual relations in one block: the DP must order them, give
+each inner a filter set from its prefix, and stay correct under every
+strategy. Also covers views over views feeding filter sets to each
+other ("should Emp be used to generate a filter set for DepAvgSal, or
+vice-versa?").
+"""
+
+import collections
+
+import pytest
+
+from repro import OptimizerConfig
+from repro.optimizer.plans import FilterJoinNode
+from repro.workloads import EmpDeptConfig, fresh_empdept
+
+from tests.test_planner_basic import find_nodes
+
+TWO_VIEW_QUERY = """
+SELECT D.did, V.avgsal, H.heads
+FROM Dept D, DepAvgSal V, DeptHeads H
+WHERE D.did = V.did AND D.did = H.did AND D.budget > 100000
+"""
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = fresh_empdept(EmpDeptConfig(
+        num_departments=60, employees_per_department=15, seed=77,
+    ))
+    database.create_view(
+        "DeptHeads",
+        "SELECT E.did, COUNT(*) AS heads FROM Emp E GROUP BY E.did",
+    )
+    database.create_view(
+        "RichDepts",
+        "SELECT V.did, V.avgsal FROM DepAvgSal V "
+        "WHERE V.avgsal > 80000",
+    )
+    return database
+
+
+def reference_two_views(db):
+    emp = db.catalog.table("Emp").rows
+    dept = dict(db.catalog.table("Dept").rows)
+    sal = collections.defaultdict(list)
+    for (_e, did, s, _a) in emp:
+        sal[did].append(s)
+    return sorted(
+        (did, sum(v) / len(v), len(v))
+        for did, v in sal.items() if dept[did] > 100_000
+    )
+
+
+class TestTwoViews:
+    def test_cost_based_correct(self, db):
+        result = db.sql(TWO_VIEW_QUERY)
+        assert sorted(result.rows) == reference_two_views(db)
+
+    @pytest.mark.parametrize("mode", [
+        "full", "nested_iteration", "filter_join", "bloom",
+    ])
+    def test_every_forced_strategy_correct(self, db, mode):
+        config = OptimizerConfig(forced_view_join=mode)
+        result = db.sql(TWO_VIEW_QUERY, config=config)
+        assert sorted(result.rows) == reference_two_views(db)
+
+    def test_forced_filter_join_cascades(self, db):
+        config = OptimizerConfig(forced_view_join="filter_join")
+        plan, _ = db.plan(TWO_VIEW_QUERY, config)
+        assert len(find_nodes(plan, FilterJoinNode)) == 2
+
+    def test_each_view_gets_own_filter_param(self, db):
+        config = OptimizerConfig(forced_view_join="filter_join")
+        plan, _ = db.plan(TWO_VIEW_QUERY, config)
+        params = {node.param_id
+                  for node in find_nodes(plan, FilterJoinNode)}
+        assert len(params) == 2
+
+
+class TestViewOverView:
+    def test_view_of_view_queryable(self, db):
+        result = db.sql("SELECT R.did FROM RichDepts R")
+        emp = db.catalog.table("Emp").rows
+        sal = collections.defaultdict(list)
+        for (_e, did, s, _a) in emp:
+            sal[did].append(s)
+        expected = sorted(
+            (did,) for did, v in sal.items() if sum(v) / len(v) > 80000
+        )
+        assert sorted(result.rows) == expected
+
+    def test_join_with_nested_view_all_strategies(self, db):
+        query = ("SELECT D.did, R.avgsal FROM Dept D, RichDepts R "
+                 "WHERE D.did = R.did AND D.budget > 100000")
+        reference = None
+        for mode in (None, "full", "filter_join"):
+            config = (OptimizerConfig(forced_view_join=mode)
+                      if mode else OptimizerConfig())
+            result = db.sql(query, config=config)
+            rows = sorted(result.rows)
+            if reference is None:
+                reference = rows
+            assert rows == reference
+
+    def test_mixed_view_and_table_three_way(self, db):
+        query = """
+            SELECT E.eid, V.avgsal
+            FROM Emp E, Dept D, DepAvgSal V
+            WHERE E.did = D.did AND D.did = V.did
+              AND E.age < 25 AND D.budget > 100000
+        """
+        result = db.sql(query)
+        emp = db.catalog.table("Emp").rows
+        dept = dict(db.catalog.table("Dept").rows)
+        sal = collections.defaultdict(list)
+        for (_e, did, s, _a) in emp:
+            sal[did].append(s)
+        expected = sorted(
+            (eid, sum(sal[did]) / len(sal[did]))
+            for (eid, did, _s, age) in emp
+            if age < 25 and dept[did] > 100_000
+        )
+        assert sorted(result.rows) == expected

@@ -1,0 +1,164 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_script, parse_select
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_select("SELECT a, b FROM T")
+        assert len(stmt.select_items) == 2
+        assert isinstance(stmt.from_items[0], ast.AstTableRef)
+        assert stmt.from_items[0].name == "T"
+
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM T")
+        assert stmt.select_items[0].star
+
+    def test_aliases(self):
+        stmt = parse_select("SELECT a AS x, b y FROM T u")
+        assert stmt.select_items[0].alias == "x"
+        assert stmt.select_items[1].alias == "y"
+        assert stmt.from_items[0].alias == "u"
+
+    def test_where_precedence(self):
+        stmt = parse_select("SELECT a FROM T WHERE a = 1 OR b = 2 AND c = 3")
+        where = stmt.where
+        assert isinstance(where, ast.AstBoolean)
+        assert where.op == "OR"
+        assert isinstance(where.args[1], ast.AstBoolean)
+        assert where.args[1].op == "AND"
+
+    def test_not(self):
+        stmt = parse_select("SELECT a FROM T WHERE NOT a = 1")
+        assert stmt.where.op == "NOT"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_select("SELECT a FROM T WHERE a + 2 * 3 = 7")
+        comparison = stmt.where
+        left = comparison.left
+        assert isinstance(left, ast.AstArithmetic)
+        assert left.op == "+"
+        assert isinstance(left.right, ast.AstArithmetic)
+        assert left.right.op == "*"
+
+    def test_parenthesized_expression(self):
+        stmt = parse_select("SELECT a FROM T WHERE (a + 2) * 3 = 7")
+        assert stmt.where.left.op == "*"
+
+    def test_group_by_having(self):
+        stmt = parse_select(
+            "SELECT d, AVG(s) FROM T GROUP BY d HAVING AVG(s) > 10"
+        )
+        assert stmt.group_by[0].name == "d"
+        assert isinstance(stmt.having, ast.AstComparison)
+
+    def test_count_star(self):
+        stmt = parse_select("SELECT COUNT(*) FROM T")
+        call = stmt.select_items[0].expr
+        assert isinstance(call, ast.AstFuncCall)
+        assert call.star
+        assert call.name == "count"
+
+    def test_order_by(self):
+        stmt = parse_select("SELECT a FROM T ORDER BY a DESC, b")
+        assert stmt.order_by[0][1] is False
+        assert stmt.order_by[1][1] is True
+
+    def test_limit(self):
+        assert parse_select("SELECT a FROM T LIMIT 5").limit == 5
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM T").distinct
+
+    def test_subquery_in_from(self):
+        stmt = parse_select("SELECT x.a FROM (SELECT a FROM T) x")
+        sub = stmt.from_items[0]
+        assert isinstance(sub, ast.AstSubqueryRef)
+        assert sub.alias == "x"
+
+    def test_qualified_columns(self):
+        stmt = parse_select("SELECT E.did FROM Emp E WHERE E.age < 30")
+        assert stmt.select_items[0].expr == ast.AstColumn("E", "did")
+
+    def test_negative_literal(self):
+        stmt = parse_select("SELECT a FROM T WHERE a > -5")
+        assert stmt.where.right == ast.AstLiteral(-5)
+
+    def test_string_and_bool_literals(self):
+        stmt = parse_select(
+            "SELECT a FROM T WHERE s = 'x' AND f = TRUE AND g = FALSE"
+        )
+        args = stmt.where.args
+        assert args[0].right == ast.AstLiteral("x")
+        assert args[1].right == ast.AstLiteral(True)
+        assert args[2].right == ast.AstLiteral(False)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM T extra stuff ~")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a")
+
+
+class TestDdlParsing:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE T (a INT, b VARCHAR(10), c FLOAT)")
+        assert isinstance(stmt, ast.CreateTableStmt)
+        assert [(c.name, c.type_name) for c in stmt.columns] == [
+            ("a", "int"), ("b", "str"), ("c", "float"),
+        ]
+
+    def test_create_view_captures_text(self):
+        stmt = parse("CREATE VIEW V AS (SELECT a FROM T)")
+        assert isinstance(stmt, ast.CreateViewStmt)
+        assert stmt.select_text.startswith("SELECT")
+        assert "FROM T" in stmt.select_text
+
+    def test_create_view_column_aliases(self):
+        stmt = parse("CREATE VIEW V (x, y) AS SELECT a, b FROM T")
+        assert stmt.column_aliases == ["x", "y"]
+
+    def test_create_index(self):
+        stmt = parse("CREATE INDEX ON T (a) sorted")
+        assert isinstance(stmt, ast.CreateIndexStmt)
+        assert (stmt.table, stmt.column, stmt.kind) == ("T", "a", "sorted")
+
+    def test_insert_multi_row(self):
+        stmt = parse("INSERT INTO T VALUES (1, 'a'), (2, NULL)")
+        assert stmt.rows == [[1, "a"], [2, None]]
+
+    def test_insert_negative_number(self):
+        stmt = parse("INSERT INTO T VALUES (-3, -2.5)")
+        assert stmt.rows == [[-3, -2.5]]
+
+    def test_drop(self):
+        assert parse("DROP TABLE T").kind == "table"
+        assert parse("DROP VIEW V").kind == "view"
+
+    def test_explain(self):
+        stmt = parse("EXPLAIN SELECT a FROM T")
+        assert isinstance(stmt, ast.ExplainStmt)
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        script = """
+        CREATE TABLE T (a INT);
+        INSERT INTO T VALUES (1);
+        SELECT a FROM T;
+        """
+        statements = parse_script(script)
+        assert len(statements) == 3
+        assert isinstance(statements[2], ast.SelectStmt)
+
+    def test_empty_script(self):
+        assert parse_script("") == []
+
+    def test_semicolons_optional_at_end(self):
+        assert len(parse_script("SELECT a FROM T")) == 1

@@ -1,0 +1,77 @@
+"""Unit tests for physical plan nodes (labels, children, explain)."""
+
+import pytest
+
+from repro import Database, OptimizerConfig
+from repro.optimizer.plans import (
+    FilterJoinNode,
+    JoinMethod,
+    PlanNode,
+    UnionNode,
+)
+from repro.storage.schema import DataType, Schema
+from tests.test_planner_basic import find_nodes
+from repro.workloads import EmpDeptConfig, MOTIVATING_QUERY, fresh_empdept
+
+
+@pytest.fixture(scope="module")
+def db():
+    return fresh_empdept(EmpDeptConfig(num_departments=30,
+                                       employees_per_department=10))
+
+
+class TestExplainRendering:
+    def test_every_node_renders_a_line(self, db):
+        plan, _ = db.plan(MOTIVATING_QUERY)
+        text = plan.explain()
+        node_count = len(find_nodes(plan, PlanNode))
+        assert len(text.splitlines()) == node_count
+
+    def test_indentation_reflects_depth(self, db):
+        plan, _ = db.plan("SELECT eid FROM Emp WHERE age < 25")
+        lines = plan.explain().splitlines()
+        assert not lines[0].startswith(" ")
+        assert lines[1].startswith("  ")
+
+    def test_estimates_in_every_line(self, db):
+        plan, _ = db.plan(MOTIVATING_QUERY)
+        for line in plan.explain().splitlines():
+            assert "rows=" in line and "cost=" in line
+
+    def test_filter_join_label_names_strategy(self, db):
+        config = OptimizerConfig(forced_view_join="bloom")
+        plan, _ = db.plan(MOTIVATING_QUERY, config)
+        labels = [n.label() for n in find_nodes(plan, FilterJoinNode)]
+        assert any("BloomFilterJoin" in label for label in labels)
+
+    def test_join_method_values(self):
+        assert JoinMethod.HASH.value == "hash"
+        assert JoinMethod.INL.value == "index-nested-loops"
+
+
+class TestChildrenTopology:
+    def test_children_cover_whole_tree(self, db):
+        plan, _ = db.plan(MOTIVATING_QUERY)
+        seen = set()
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            assert id(node) not in seen, "plan must be a tree, not a DAG"
+            seen.add(id(node))
+            stack.extend(node.children())
+        assert len(seen) >= 4
+
+    def test_union_node_binary(self):
+        schema = Schema.of(("x", DataType.INT))
+        left = PlanNode(schema)
+        right = PlanNode(schema)
+        union = UnionNode(left, right, schema, distinct=True)
+        assert union.children() == [left, right]
+        assert union.label() == "Union"
+        assert UnionNode(left, right, schema, False).label() == "UnionAll"
+
+    def test_filter_join_children_are_outer_and_template(self, db):
+        config = OptimizerConfig(forced_view_join="filter_join")
+        plan, _ = db.plan(MOTIVATING_QUERY, config)
+        node = find_nodes(plan, FilterJoinNode)[0]
+        assert node.children() == [node.outer, node.inner_template]

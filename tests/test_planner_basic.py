@@ -1,0 +1,194 @@
+"""Planner tests: access paths, join methods, DP behaviour."""
+
+import pytest
+
+from repro import Database, DataType, OptimizerConfig
+from repro.errors import PlanError
+from repro.optimizer.planner import Planner
+from repro.optimizer.plans import (
+    AggregateNode,
+    FilterJoinNode,
+    IndexScanNode,
+    JoinMethod,
+    JoinNode,
+    NestedIterationNode,
+    ProjectNode,
+    SeqScanNode,
+    SortNode,
+)
+
+
+def find_nodes(plan, node_type):
+    out = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, node_type):
+            out.append(node)
+        stack.extend(node.children())
+    return out
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("R", [("a", DataType.INT), ("b", DataType.INT)])
+    database.create_table("S", [("a", DataType.INT), ("c", DataType.INT)])
+    database.create_table("T", [("c", DataType.INT), ("d", DataType.INT)])
+    database.insert("R", [(i, i % 10) for i in range(500)])
+    database.insert("S", [(i % 50, i) for i in range(200)])
+    database.insert("T", [(i, i) for i in range(40)])
+    database.analyze()
+    return database
+
+
+class TestAccessPaths:
+    def test_single_table_seq_scan(self, db):
+        plan, _ = db.plan("SELECT a FROM R")
+        scans = find_nodes(plan, SeqScanNode)
+        assert len(scans) == 1
+
+    def test_local_predicate_pushed_into_scan(self, db):
+        plan, _ = db.plan("SELECT a FROM R WHERE b = 3")
+        scan = find_nodes(plan, SeqScanNode)[0]
+        assert scan.predicate is not None
+
+    def test_index_scan_chosen_for_selective_equality(self, db):
+        db.create_index("R", "a")
+        plan, _ = db.plan("SELECT b FROM R WHERE a = 7")
+        assert find_nodes(plan, IndexScanNode)
+
+    def test_sorted_index_supports_range(self, db):
+        db.create_index("R", "a", kind="sorted")
+        plan, _ = db.plan("SELECT b FROM R WHERE a < 5")
+        assert find_nodes(plan, IndexScanNode)
+
+    def test_estimates_populated(self, db):
+        plan, _ = db.plan("SELECT a FROM R WHERE b = 3")
+        assert plan.est_rows > 0
+        assert plan.est_cost > 0
+
+
+class TestJoinPlanning:
+    def test_two_way_join_produces_join_node(self, db):
+        plan, _ = db.plan("SELECT R.b FROM R, S WHERE R.a = S.a")
+        joins = find_nodes(plan, (JoinNode, FilterJoinNode))
+        assert joins
+
+    def test_three_way_chain(self, db):
+        plan, planner = db.plan(
+            "SELECT R.b FROM R, S, T WHERE R.a = S.a AND S.c = T.c"
+        )
+        result = db.run_plan(plan)
+        assert planner.metrics.plans_considered > 0
+
+    def test_hash_only_config(self, db):
+        config = OptimizerConfig(
+            enable_merge_join=False, enable_nested_loops=False,
+            enable_index_nested_loops=False, enable_filter_join=False,
+            enable_bloom_filter=False, enable_nested_iteration=False,
+        )
+        plan, _ = db.plan("SELECT R.b FROM R, S WHERE R.a = S.a", config)
+        joins = find_nodes(plan, JoinNode)
+        assert all(j.method == JoinMethod.HASH for j in joins)
+
+    def test_nlj_handles_non_equi_join(self, db):
+        plan, _ = db.plan("SELECT R.b FROM R, T WHERE R.a < T.c")
+        result = db.run_plan(plan)
+        assert len(result.rows) > 0
+
+    def test_cross_product_allowed_when_forced(self, db):
+        plan, _ = db.plan("SELECT R.b FROM R, T")
+        result = db.run_plan(plan)
+        assert len(result.rows) == 500 * 40
+
+    def test_index_nested_loops_considered(self, db):
+        db.create_index("S", "a")
+        config = OptimizerConfig(
+            enable_hash_join=False, enable_merge_join=False,
+            enable_nested_loops=False, enable_filter_join=False,
+            enable_bloom_filter=False,
+        )
+        plan, _ = db.plan("SELECT R.b FROM R, S WHERE R.a = S.a", config)
+        joins = find_nodes(plan, JoinNode)
+        assert any(j.method == JoinMethod.INL for j in joins)
+
+    def test_merge_join_output_order_reused(self, db):
+        config = OptimizerConfig(
+            enable_hash_join=False, enable_nested_loops=False,
+            enable_index_nested_loops=False, enable_filter_join=False,
+            enable_bloom_filter=False,
+        )
+        plan, _ = db.plan(
+            "SELECT R.a FROM R, S WHERE R.a = S.a ORDER BY a", config
+        )
+        result = db.run_plan(plan)
+        values = [r[0] for r in result.rows]
+        assert values == sorted(values)
+
+
+class TestBlockAssembly:
+    def test_aggregate_node_added(self, db):
+        plan, _ = db.plan("SELECT b, COUNT(*) AS n FROM R GROUP BY b")
+        assert find_nodes(plan, AggregateNode)
+
+    def test_order_by_adds_sort(self, db):
+        plan, _ = db.plan("SELECT a FROM R ORDER BY a DESC")
+        assert find_nodes(plan, SortNode)
+
+    def test_projection_node(self, db):
+        plan, _ = db.plan("SELECT a FROM R")
+        assert isinstance(plan, ProjectNode)
+
+    def test_explain_renders(self, db):
+        plan, _ = db.plan("SELECT R.b FROM R, S WHERE R.a = S.a")
+        text = plan.explain()
+        assert "rows=" in text and "cost=" in text
+
+
+class TestMetrics:
+    def test_plans_considered_grows_with_relations(self, db):
+        _, p2 = db.plan("SELECT R.b FROM R, S WHERE R.a = S.a")
+        _, p3 = db.plan(
+            "SELECT R.b FROM R, S, T WHERE R.a = S.a AND S.c = T.c"
+        )
+        assert p3.metrics.plans_considered > p2.metrics.plans_considered
+
+    def test_filter_join_counter(self, db):
+        _, planner = db.plan("SELECT R.b FROM R, S WHERE R.a = S.a")
+        assert planner.metrics.filter_joins_considered > 0
+
+    def test_disabling_filter_join_zeroes_counter(self, db):
+        config = OptimizerConfig(enable_filter_join=False,
+                                 enable_bloom_filter=False)
+        _, planner = db.plan("SELECT R.b FROM R, S WHERE R.a = S.a",
+                             config)
+        assert planner.metrics.filter_joins_considered == 0
+
+
+class TestPlanCorrectness:
+    """Every method must produce identical rows on the same query."""
+
+    QUERY = "SELECT R.a, S.c FROM R, S WHERE R.a = S.a AND R.b < 5"
+
+    def reference(self, db):
+        r = db.catalog.table("R").rows
+        s = db.catalog.table("S").rows
+        return sorted(
+            (ra, sc) for (ra, rb) in r for (sa, sc) in s
+            if ra == sa and rb < 5
+        )
+
+    @pytest.mark.parametrize("config_kwargs", [
+        {},
+        {"enable_filter_join": False, "enable_bloom_filter": False},
+        {"enable_hash_join": False},
+        {"enable_hash_join": False, "enable_merge_join": False,
+         "enable_filter_join": False, "enable_bloom_filter": False},
+        {"enable_bloom_filter": False},
+        {"memory_pages": 3},
+    ])
+    def test_all_configs_agree(self, db, config_kwargs):
+        config = OptimizerConfig(**config_kwargs)
+        result = db.sql(self.QUERY, config=config)
+        assert sorted(result.rows) == self.reference(db)

@@ -1,0 +1,188 @@
+"""Filter Join planning tests on the paper's motivating workload."""
+
+import pytest
+
+from repro import Database, DataType, OptimizerConfig
+from repro.workloads import (
+    MOTIVATING_QUERY,
+    EmpDeptConfig,
+    fresh_empdept,
+)
+
+from tests.conftest import reference_motivating_answer
+from tests.test_planner_basic import find_nodes
+from repro.optimizer.plans import (
+    FilterJoinNode,
+    FilterSetScanNode,
+    JoinNode,
+    NestedIterationNode,
+)
+
+
+class TestMotivatingQuery:
+    def test_answer_matches_reference(self, empdept_db):
+        result = empdept_db.sql(MOTIVATING_QUERY)
+        assert sorted(result.rows) == reference_motivating_answer(empdept_db)
+
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"enable_filter_join": False, "enable_bloom_filter": False},
+        {"enable_filter_join": False, "enable_bloom_filter": False,
+         "enable_nested_iteration": False},
+        {"enable_bloom_filter": False},
+        {"enable_parametric": False},
+        {"parametric_classes": 2},
+        {"parametric_classes": 8},
+        {"filter_column_strategy": "all"},
+        {"memory_pages": 4},
+    ])
+    def test_all_configs_same_answer(self, empdept_db, kwargs):
+        config = OptimizerConfig(**kwargs)
+        result = empdept_db.sql(MOTIVATING_QUERY, config=config)
+        assert sorted(result.rows) == reference_motivating_answer(empdept_db)
+
+    def test_filter_join_wins_when_selective(self):
+        """Few big departments -> the plan should restrict the view (or
+        at least cost no more than the no-magic plan)."""
+        db = fresh_empdept(EmpDeptConfig(
+            num_departments=400, employees_per_department=40,
+            big_fraction=0.02, young_fraction=0.1, seed=3,
+        ))
+        with_fj = db.sql(MOTIVATING_QUERY)
+        without = db.sql(MOTIVATING_QUERY, config=OptimizerConfig(
+            enable_filter_join=False, enable_bloom_filter=False,
+            enable_nested_iteration=False,
+        ))
+        assert sorted(with_fj.rows) == sorted(without.rows)
+        assert with_fj.ledger.total() <= without.ledger.total() * 1.05
+
+    def test_cost_based_never_much_worse_when_unselective(self):
+        """Every department big and young -> magic is pure overhead; the
+        cost-based optimizer should stay close to the no-magic plan."""
+        db = fresh_empdept(EmpDeptConfig(
+            num_departments=100, employees_per_department=30,
+            big_fraction=1.0, young_fraction=1.0, seed=5,
+        ))
+        with_fj = db.sql(MOTIVATING_QUERY)
+        without = db.sql(MOTIVATING_QUERY, config=OptimizerConfig(
+            enable_filter_join=False, enable_bloom_filter=False,
+            enable_nested_iteration=False,
+        ))
+        assert sorted(with_fj.rows) == sorted(without.rows)
+        assert with_fj.ledger.total() <= without.ledger.total() * 1.2
+
+
+class TestFilterJoinPlanShape:
+    def test_forced_filter_join_plan(self, empdept_db):
+        """With classic methods disabled, a Filter Join (or nested
+        iteration) must carry the view join."""
+        config = OptimizerConfig(
+            enable_nested_iteration=False, enable_bloom_filter=False,
+        )
+        plan, planner = empdept_db.plan(MOTIVATING_QUERY, config)
+        # The plan may or may not pick the filter join on this data size,
+        # but the planner must have costed it.
+        assert planner.metrics.filter_joins_considered > 0
+
+    def test_filter_join_component_estimates(self, empdept_db):
+        config = OptimizerConfig(enable_bloom_filter=False)
+        plan, planner = empdept_db.plan(MOTIVATING_QUERY, config)
+        nodes = find_nodes(plan, FilterJoinNode)
+        if not nodes:  # force the strategy if the data made it lose
+            config = OptimizerConfig(forced_view_join="filter_join")
+            plan, planner = empdept_db.plan(MOTIVATING_QUERY, config)
+            nodes = find_nodes(plan, FilterJoinNode)
+        assert nodes
+        parts = nodes[0].component_estimates
+        for key in ("JoinCost_P", "ProductionCost_P", "ProjCost_F",
+                    "AvailCost_F", "FilterCost_Rk", "AvailCost_Rk'",
+                    "FinalJoinCost"):
+            assert key in parts
+
+    def test_template_contains_filter_set_scan(self, empdept_db):
+        config = OptimizerConfig(forced_view_join="filter_join")
+        plan, _ = empdept_db.plan(MOTIVATING_QUERY, config)
+        fj = find_nodes(plan, FilterJoinNode)
+        assert fj
+        assert find_nodes(fj[0].inner_template, FilterSetScanNode)
+
+    def test_forced_filter_join_executes_correctly(self, empdept_db):
+        config = OptimizerConfig(forced_view_join="filter_join")
+        result = empdept_db.sql(MOTIVATING_QUERY, config=config)
+        assert sorted(result.rows) == reference_motivating_answer(empdept_db)
+
+    def test_measured_components_populated(self, empdept_db):
+        from repro.executor.lowering import lower
+        from repro.executor.runtime import RuntimeContext
+        from repro.executor.operators import FilterJoinOp
+
+        config = OptimizerConfig(forced_view_join="filter_join")
+        plan, _ = empdept_db.plan(MOTIVATING_QUERY, config)
+        ctx = RuntimeContext(memory_pages=config.memory_pages)
+        op = lower(plan, ctx)
+        list(op.rows())
+
+        def find_op(node):
+            if isinstance(node, FilterJoinOp):
+                return node
+            for attr in ("child", "outer", "inner", "template"):
+                sub = getattr(node, attr, None)
+                if sub is not None:
+                    found = find_op(sub)
+                    if found:
+                        return found
+            return None
+
+        fj_op = find_op(op)
+        assert fj_op is not None
+        assert "FilterCost_Rk" in fj_op.measured_components
+        assert fj_op.measured_components["JoinCost_P"] > 0
+
+
+class TestNestedIteration:
+    def test_forced_nested_iteration_correct(self, empdept_db):
+        config = OptimizerConfig(forced_view_join="nested_iteration")
+        result = empdept_db.sql(MOTIVATING_QUERY, config=config)
+        assert sorted(result.rows) == reference_motivating_answer(empdept_db)
+
+    def test_nested_iteration_plan_node(self, empdept_db):
+        config = OptimizerConfig(forced_view_join="nested_iteration")
+        plan, _ = empdept_db.plan(MOTIVATING_QUERY, config)
+        assert find_nodes(plan, NestedIterationNode)
+
+
+class TestBloomFilterJoin:
+    def test_forced_bloom_correct(self, empdept_db):
+        """Bloom (lossy) filter joins must still give exact answers —
+        the final join removes false positives."""
+        config = OptimizerConfig(forced_view_join="bloom")
+        plan, _ = empdept_db.plan(MOTIVATING_QUERY, config)
+        result = empdept_db.run_plan(plan)
+        assert sorted(result.rows) == reference_motivating_answer(empdept_db)
+
+    def test_tiny_bloom_still_correct(self, empdept_db):
+        """A heavily saturated Bloom filter admits many false positives
+        but never wrong answers."""
+        config = OptimizerConfig(forced_view_join="bloom", bloom_bits=64)
+        result = empdept_db.sql(MOTIVATING_QUERY, config=config)
+        assert sorted(result.rows) == reference_motivating_answer(empdept_db)
+
+
+class TestLimitations:
+    def test_limitation2_off_considers_prefix_productions(self):
+        db = fresh_empdept(EmpDeptConfig(num_departments=30,
+                                         employees_per_department=10))
+        base = OptimizerConfig()
+        relaxed = OptimizerConfig(limitation2_full_outer=False)
+        _, p_base = db.plan(MOTIVATING_QUERY, base)
+        _, p_relaxed = db.plan(MOTIVATING_QUERY, relaxed)
+        assert (p_relaxed.metrics.filter_joins_considered
+                >= p_base.metrics.filter_joins_considered)
+
+    def test_limitation2_off_still_correct(self):
+        db = fresh_empdept(EmpDeptConfig(num_departments=30,
+                                         employees_per_department=10))
+        result = db.sql(MOTIVATING_QUERY, config=OptimizerConfig(
+            limitation2_full_outer=False,
+        ))
+        assert sorted(result.rows) == reference_motivating_answer(db)

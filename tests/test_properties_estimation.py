@@ -1,0 +1,137 @@
+"""Tests for derived-statistics propagation (optimizer.properties)."""
+
+import pytest
+
+from repro import Database, DataType
+from repro.optimizer.properties import StatsEstimator
+from repro.expr.nodes import ColumnRef, Comparison, Literal
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("R", [("a", DataType.INT), ("b", DataType.INT)])
+    database.create_table("S", [("a", DataType.INT), ("c", DataType.INT)])
+    database.insert("R", [(i % 20, i) for i in range(1000)])
+    database.insert("S", [(i % 20, i % 5) for i in range(100)])
+    database.analyze()
+    return database
+
+
+@pytest.fixture()
+def estimator(db):
+    return StatsEstimator(db.catalog)
+
+
+class TestRelationProps:
+    def test_stored_props(self, db, estimator):
+        block = db.bind("SELECT R.a FROM R")
+        props = estimator.relation_props(block.relations[0])
+        assert props.rows == 1000
+        assert props.column("R.a").distinct == pytest.approx(20)
+        assert props.column("R.b").distinct == pytest.approx(1000)
+
+    def test_view_props(self, db, estimator):
+        db.create_view("V", "SELECT R.a, COUNT(*) AS n FROM R GROUP BY R.a")
+        block = db.bind("SELECT V.a FROM V")
+        props = estimator.relation_props(block.relations[0])
+        assert props.rows == pytest.approx(20, rel=0.2)
+
+
+class TestSelectivity:
+    def test_equality_via_frequency(self, db, estimator):
+        block = db.bind("SELECT R.a FROM R")
+        props = estimator.relation_props(block.relations[0])
+        pred = Comparison("=", ColumnRef("R.a"), Literal(3))
+        assert estimator.selectivity(pred, props) == pytest.approx(
+            0.05, abs=0.01
+        )
+
+    def test_range_via_histogram(self, db, estimator):
+        block = db.bind("SELECT R.b FROM R")
+        props = estimator.relation_props(block.relations[0])
+        pred = Comparison("<", ColumnRef("R.b"), Literal(500))
+        assert estimator.selectivity(pred, props) == pytest.approx(
+            0.5, abs=0.05
+        )
+
+    def test_col_col_join_selectivity(self, db, estimator):
+        block = db.bind("SELECT R.a FROM R, S WHERE R.a = S.a")
+        props = estimator.join_all_props(block)
+        # 1000 * 100 / 20 = 5000
+        assert props.rows == pytest.approx(5000, rel=0.05)
+
+    def test_and_multiplies(self, db, estimator):
+        block = db.bind("SELECT R.a FROM R")
+        props = estimator.relation_props(block.relations[0])
+        single = estimator.selectivity(
+            Comparison("<", ColumnRef("R.b"), Literal(500)), props
+        )
+        from repro.expr.nodes import BooleanExpr
+        double = estimator.selectivity(
+            BooleanExpr("AND", [
+                Comparison("<", ColumnRef("R.b"), Literal(500)),
+                Comparison("=", ColumnRef("R.a"), Literal(1)),
+            ]), props,
+        )
+        assert double < single
+
+    def test_or_bounded(self, db, estimator):
+        from repro.expr.nodes import BooleanExpr
+        block = db.bind("SELECT R.a FROM R")
+        props = estimator.relation_props(block.relations[0])
+        sel = estimator.selectivity(
+            BooleanExpr("OR", [
+                Comparison("<", ColumnRef("R.b"), Literal(900)),
+                Comparison("=", ColumnRef("R.a"), Literal(1)),
+            ]), props,
+        )
+        assert 0.0 <= sel <= 1.0
+
+    def test_not_complements(self, db, estimator):
+        from repro.expr.nodes import BooleanExpr
+        block = db.bind("SELECT R.a FROM R")
+        props = estimator.relation_props(block.relations[0])
+        pred = Comparison("<", ColumnRef("R.b"), Literal(300))
+        s = estimator.selectivity(pred, props)
+        ns = estimator.selectivity(BooleanExpr("NOT", [pred]), props)
+        assert s + ns == pytest.approx(1.0, abs=0.02)
+
+
+class TestGroupedProps:
+    def test_groups_bounded_by_distinct(self, db, estimator):
+        block = db.bind("SELECT a, COUNT(*) AS n FROM R GROUP BY a")
+        joined = estimator.join_all_props(block)
+        grouped = estimator.grouped_props(block, joined)
+        assert grouped.rows == pytest.approx(20, rel=0.05)
+
+    def test_block_output_props_with_having(self, db, estimator):
+        block = db.bind(
+            "SELECT a, COUNT(*) AS n FROM R GROUP BY a HAVING COUNT(*) > 10"
+        )
+        props = estimator.block_output_props(block)
+        assert props.rows <= 20
+
+    def test_distinct_caps_rows(self, db, estimator):
+        block = db.bind("SELECT DISTINCT a FROM R")
+        props = estimator.block_output_props(block)
+        assert props.rows == pytest.approx(20, rel=0.1)
+
+    def test_limit_caps_rows(self, db, estimator):
+        block = db.bind("SELECT b FROM R LIMIT 5")
+        props = estimator.block_output_props(block)
+        assert props.rows == 5
+
+
+class TestFilterSetDistinct:
+    def test_single_column(self, db, estimator):
+        block = db.bind("SELECT R.a FROM R WHERE R.b < 100")
+        props = estimator.join_all_props(block)
+        distinct = estimator.filter_set_distinct(props, ["R.a"])
+        assert 1 <= distinct <= 20.001
+
+    def test_multi_column_product_capped(self, db, estimator):
+        block = db.bind("SELECT R.a FROM R")
+        props = estimator.join_all_props(block)
+        distinct = estimator.filter_set_distinct(props, ["R.a", "R.b"])
+        assert distinct <= props.rows

@@ -1,0 +1,126 @@
+"""Property-based tests on the statistics estimator's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, DataType
+from repro.expr.nodes import (
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    InList,
+    Literal,
+)
+from repro.optimizer.properties import StatsEstimator
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(-100, 100)),
+    min_size=1, max_size=120,
+)
+
+
+def make_db(rows):
+    db = Database()
+    db.create_table("T", [("k", DataType.INT), ("v", DataType.INT)])
+    db.create_table("U", [("k", DataType.INT), ("w", DataType.INT)])
+    db.insert("T", rows)
+    db.insert("U", [(k, v) for (k, v) in rows][: max(1, len(rows) // 2)])
+    db.analyze()
+    return db
+
+
+predicates = st.one_of(
+    st.builds(lambda v: Comparison("=", ColumnRef("T.k"), Literal(v)),
+              st.integers(-5, 20)),
+    st.builds(lambda v: Comparison("<", ColumnRef("T.v"), Literal(v)),
+              st.integers(-120, 120)),
+    st.builds(lambda v: Comparison(">=", ColumnRef("T.k"), Literal(v)),
+              st.integers(-5, 20)),
+    st.builds(lambda a, b: InList(ColumnRef("T.k"), (a, b)),
+              st.integers(0, 15), st.integers(0, 15)),
+    st.builds(
+        lambda v: BooleanExpr("NOT", [
+            Comparison("=", ColumnRef("T.k"), Literal(v))]),
+        st.integers(0, 15),
+    ),
+)
+
+
+class TestSelectivityBounds:
+    @given(rows_strategy, predicates)
+    @settings(max_examples=60, deadline=None)
+    def test_selectivity_in_unit_interval(self, rows, predicate):
+        db = make_db(rows)
+        estimator = StatsEstimator(db.catalog)
+        block = db.bind("SELECT T.k FROM T")
+        props = estimator.relation_props(block.relations[0])
+        sel = estimator.selectivity(predicate, props)
+        assert 0.0 <= sel <= 1.0
+
+    @given(rows_strategy, predicates, predicates)
+    @settings(max_examples=40, deadline=None)
+    def test_conjunction_never_increases_selectivity(self, rows, p1, p2):
+        db = make_db(rows)
+        estimator = StatsEstimator(db.catalog)
+        block = db.bind("SELECT T.k FROM T")
+        props = estimator.relation_props(block.relations[0])
+        s1 = estimator.selectivity(p1, props)
+        both = estimator.selectivity(BooleanExpr("AND", [p1, p2]), props)
+        assert both <= s1 + 1e-9
+
+
+class TestCardinalityBounds:
+    @given(rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_join_rows_bounded_by_cross_product(self, rows):
+        db = make_db(rows)
+        estimator = StatsEstimator(db.catalog)
+        block = db.bind("SELECT T.v FROM T, U WHERE T.k = U.k")
+        props = estimator.join_all_props(block)
+        t_rows = db.catalog.stats("T").num_rows
+        u_rows = db.catalog.stats("U").num_rows
+        assert 0.0 <= props.rows <= t_rows * u_rows + 1e-9
+
+    @given(rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_never_exceeds_rows(self, rows):
+        db = make_db(rows)
+        estimator = StatsEstimator(db.catalog)
+        block = db.bind("SELECT T.v FROM T, U WHERE T.k = U.k")
+        props = estimator.join_all_props(block)
+        for name in props.schema.names():
+            assert props.column(name).distinct <= max(props.rows, 1.0) + 1e-9
+
+    @given(rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_filter_set_distinct_bounded(self, rows):
+        db = make_db(rows)
+        estimator = StatsEstimator(db.catalog)
+        block = db.bind("SELECT T.k FROM T")
+        props = estimator.relation_props(block.relations[0])
+        distinct = estimator.filter_set_distinct(props, ["T.k"])
+        assert 0.0 <= distinct <= props.rows + 1e-9
+
+    @given(rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_grouped_output_bounded(self, rows):
+        db = make_db(rows)
+        estimator = StatsEstimator(db.catalog)
+        block = db.bind("SELECT k, COUNT(*) AS n FROM T GROUP BY k")
+        props = estimator.block_output_props(block)
+        assert 0.0 <= props.rows <= db.catalog.stats("T").num_rows + 1e-9
+
+
+class TestEstimatesNeverCrash:
+    @given(rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_plan_cost_finite_and_positive(self, rows):
+        import math
+        db = make_db(rows)
+        plan, _ = db.plan(
+            "SELECT T.v, U.w FROM T, U WHERE T.k = U.k AND T.v > 0"
+        )
+        assert math.isfinite(plan.est_cost)
+        assert plan.est_cost > 0
+        assert plan.est_rows >= 0

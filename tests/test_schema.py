@@ -1,0 +1,124 @@
+"""Unit tests for storage.schema."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage.schema import Column, DataType, Schema
+
+
+def make_schema():
+    return Schema.of(("did", DataType.INT), ("name", DataType.STR),
+                     ("budget", DataType.FLOAT), ("active", DataType.BOOL))
+
+
+class TestDataType:
+    def test_coerce_int(self):
+        assert DataType.INT.coerce(7) == 7
+        assert DataType.INT.coerce(7.0) == 7
+
+    def test_coerce_float_from_int(self):
+        assert DataType.FLOAT.coerce(3) == 3.0
+        assert isinstance(DataType.FLOAT.coerce(3), float)
+
+    def test_coerce_none_passes_through(self):
+        for dtype in DataType:
+            assert dtype.coerce(None) is None
+
+    def test_coerce_bool_rejects_int(self):
+        with pytest.raises(CatalogError):
+            DataType.BOOL.coerce(1)
+
+    def test_coerce_int_rejects_bool(self):
+        with pytest.raises(CatalogError):
+            DataType.INT.coerce(True)
+
+    def test_coerce_str_rejects_number(self):
+        with pytest.raises(CatalogError):
+            DataType.STR.coerce(12)
+
+    def test_coerce_int_rejects_text(self):
+        with pytest.raises(CatalogError):
+            DataType.INT.coerce("twelve")
+
+    def test_default_widths(self):
+        assert DataType.INT.default_width == 4
+        assert DataType.FLOAT.default_width == 8
+        assert DataType.BOOL.default_width == 1
+
+
+class TestColumn:
+    def test_width_defaults_from_type(self):
+        assert Column("x", DataType.INT).width == 4
+
+    def test_explicit_width_kept(self):
+        assert Column("x", DataType.STR, width=100).width == 100
+
+    def test_renamed_preserves_type_and_width(self):
+        col = Column("x", DataType.STR, width=64).renamed("y")
+        assert col.name == "y"
+        assert col.dtype == DataType.STR
+        assert col.width == 64
+
+
+class TestSchema:
+    def test_len_and_names(self):
+        schema = make_schema()
+        assert len(schema) == 4
+        assert schema.names() == ["did", "name", "budget", "active"]
+
+    def test_index_of(self):
+        schema = make_schema()
+        assert schema.index_of("did") == 0
+        assert schema.index_of("active") == 3
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(CatalogError):
+            make_schema().index_of("nope")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema.of(("a", DataType.INT), ("a", DataType.INT))
+
+    def test_row_width_sums_columns(self):
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.FLOAT))
+        assert schema.row_width() == 12
+
+    def test_row_width_never_zero(self):
+        assert Schema(()).row_width() == 1
+
+    def test_project_reorders(self):
+        schema = make_schema().project(["budget", "did"])
+        assert schema.names() == ["budget", "did"]
+        assert schema.column("budget").dtype == DataType.FLOAT
+
+    def test_concat(self):
+        left = Schema.of(("a", DataType.INT))
+        right = Schema.of(("b", DataType.INT))
+        assert left.concat(right).names() == ["a", "b"]
+
+    def test_concat_collision_raises(self):
+        left = Schema.of(("a", DataType.INT))
+        with pytest.raises(CatalogError):
+            left.concat(left)
+
+    def test_qualified(self):
+        schema = Schema.of(("a", DataType.INT)).qualified("T")
+        assert schema.names() == ["T.a"]
+
+    def test_validate_row_coerces(self):
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.FLOAT))
+        assert schema.validate_row([1, 2]) == (1, 2.0)
+
+    def test_validate_row_arity_mismatch(self):
+        schema = Schema.of(("a", DataType.INT))
+        with pytest.raises(CatalogError):
+            schema.validate_row([1, 2])
+
+    def test_equality_and_hash(self):
+        assert make_schema() == make_schema()
+        assert hash(make_schema()) == hash(make_schema())
+
+    def test_has_column(self):
+        schema = make_schema()
+        assert schema.has_column("name")
+        assert not schema.has_column("xyz")

@@ -1,0 +1,105 @@
+"""Tests for the interactive SQL shell."""
+
+import io
+
+import pytest
+
+from repro import Database, DataType
+from repro.shell import Shell, format_result
+
+
+def run_shell(script: str, db=None) -> str:
+    out = io.StringIO()
+    shell = Shell(db=db, out=out)
+    shell.run(io.StringIO(script))
+    return out.getvalue()
+
+
+SETUP = """
+CREATE TABLE T (a INT, b INT);
+INSERT INTO T VALUES (1, 10), (2, 20), (3, 30);
+"""
+
+
+class TestShellStatements:
+    def test_ddl_and_select(self):
+        output = run_shell(SETUP + "SELECT a FROM T WHERE b > 15;\n")
+        assert "OK (create table)" in output
+        assert "INSERT: 3 row(s)" in output
+        assert "(2 rows" in output
+
+    def test_multiline_statement(self):
+        output = run_shell(
+            SETUP + "SELECT a\nFROM T\nWHERE b = 10;\n"
+        )
+        assert "(1 row," in output
+
+    def test_error_reported_not_raised(self):
+        output = run_shell("SELECT nope FROM missing;\n")
+        assert "error:" in output
+
+    def test_union_in_shell(self):
+        output = run_shell(
+            SETUP + "SELECT a FROM T UNION ALL SELECT a FROM T;\n"
+        )
+        assert "(6 rows" in output
+
+
+class TestMetaCommands:
+    def test_list_relations(self):
+        output = run_shell(SETUP + "\\d\n")
+        assert "T" in output and "table" in output
+
+    def test_describe_table(self):
+        output = run_shell(SETUP + "\\d T\n")
+        assert "column" in output and "int" in output
+
+    def test_describe_missing(self):
+        output = run_shell("\\d Nope\n")
+        assert "no relation" in output
+
+    def test_explain(self):
+        output = run_shell(SETUP + "\\e SELECT a FROM T\n")
+        assert "SeqScan" in output
+
+    def test_explain_analyze(self):
+        output = run_shell(SETUP + "\\ea SELECT a FROM T\n")
+        assert "measured cost" in output
+
+    def test_set_boolean(self):
+        db = Database()
+        run_shell("\\set enable_filter_join off\n", db=db)
+        assert db.config.enable_filter_join is False
+
+    def test_set_integer(self):
+        db = Database()
+        run_shell("\\set memory_pages 64\n", db=db)
+        assert db.config.memory_pages == 64
+
+    def test_set_invalid_value_rejected(self):
+        db = Database()
+        output = run_shell("\\set parametric_classes 1\n", db=db)
+        assert "rejected" in output
+        assert db.config.parametric_classes != 1
+
+    def test_set_unknown_key(self):
+        output = run_shell("\\set no_such_key on\n")
+        assert "unknown config key" in output
+
+    def test_quit_stops_processing(self):
+        output = run_shell("\\q\nSELECT 1;\n")
+        assert "error" not in output
+
+    def test_unknown_meta(self):
+        output = run_shell("\\frobnicate\n")
+        assert "unknown command" in output
+
+
+class TestFormatResult:
+    def test_truncates_long_results(self):
+        db = Database()
+        db.sql("CREATE TABLE Big (x INT)")
+        db.insert("Big", [(i,) for i in range(100)])
+        result = db.sql("SELECT x FROM Big")
+        text = format_result(result, max_rows=10)
+        assert "90 more rows" in text

@@ -1,0 +1,287 @@
+"""Tests for SQL surface features: IN lists, BETWEEN, explain_analyze,
+and a broad behavioural corpus."""
+
+import pytest
+
+from repro import Database, DataType
+from repro.errors import SqlSyntaxError
+from repro.expr.nodes import ColumnRef, InList, Literal
+from repro.storage.schema import Schema
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.create_table("T", [("a", DataType.INT), ("b", DataType.INT),
+                                ("s", DataType.STR)])
+    database.insert("T", [
+        (1, 10, "x"), (2, 20, "y"), (3, 30, "x"), (4, None, "z"),
+        (None, 50, "y"),
+    ])
+    database.analyze()
+    return database
+
+
+class TestInListExpr:
+    SCHEMA = Schema.of(("a", DataType.INT))
+
+    def run(self, expr, row):
+        return expr.resolve(self.SCHEMA).eval(row)
+
+    def test_membership(self):
+        expr = InList(ColumnRef("a"), (1, 2, 3))
+        assert self.run(expr, (2,)) is True
+        assert self.run(expr, (9,)) is False
+
+    def test_negated(self):
+        expr = InList(ColumnRef("a"), (1, 2), negated=True)
+        assert self.run(expr, (9,)) is True
+        assert self.run(expr, (1,)) is False
+
+    def test_null_operand_unknown(self):
+        expr = InList(ColumnRef("a"), (1,))
+        assert self.run(expr, (None,)) is None
+
+    def test_null_in_list_makes_miss_unknown(self):
+        expr = InList(ColumnRef("a"), (1, None))
+        assert self.run(expr, (1,)) is True
+        assert self.run(expr, (9,)) is None
+
+    def test_empty_list_rejected(self):
+        from repro.errors import BindError
+        with pytest.raises(BindError):
+            InList(ColumnRef("a"), ())
+
+    def test_display(self):
+        expr = InList(ColumnRef("a"), (1, "x"), negated=True)
+        assert expr.display() == "a NOT IN (1, 'x')"
+
+
+class TestInListSql:
+    def test_basic_in(self, db):
+        result = db.sql("SELECT a FROM T WHERE a IN (1, 3)")
+        assert sorted(result.rows) == [(1,), (3,)]
+
+    def test_not_in(self, db):
+        result = db.sql("SELECT a FROM T WHERE a NOT IN (1, 3)")
+        assert sorted(result.rows) == [(2,), (4,)]
+
+    def test_string_in(self, db):
+        result = db.sql("SELECT a FROM T WHERE s IN ('x')")
+        assert sorted(result.rows) == [(1,), (3,)]
+
+    def test_in_in_join_query(self, db):
+        db.create_table("U", [("a", DataType.INT)])
+        db.insert("U", [(1,), (2,), (3,)])
+        db.analyze("U")
+        result = db.sql(
+            "SELECT T.b FROM T, U WHERE T.a = U.a AND T.a IN (1, 2)"
+        )
+        assert sorted(result.rows) == [(10,), (20,)]
+
+    def test_in_selectivity_reasonable(self, db):
+        plan, _ = db.plan("SELECT a FROM T WHERE a IN (1, 2)")
+        assert 0 < plan.est_rows <= 3
+
+
+class TestBetween:
+    def test_between(self, db):
+        result = db.sql("SELECT a FROM T WHERE b BETWEEN 15 AND 35")
+        assert sorted(result.rows) == [(2,), (3,)]
+
+    def test_not_between(self, db):
+        result = db.sql("SELECT a FROM T WHERE b NOT BETWEEN 15 AND 35")
+        # rows with b=10 and b=50 qualify; the NULL-b row is excluded
+        assert set(result.rows) == {(1,), (None,)}
+
+    def test_between_with_and_chain(self, db):
+        result = db.sql(
+            "SELECT a FROM T WHERE b BETWEEN 5 AND 25 AND s = 'x'"
+        )
+        assert sorted(result.rows) == [(1,)]
+
+    def test_not_without_in_or_between_still_works(self, db):
+        result = db.sql("SELECT a FROM T WHERE NOT a = 1")
+        assert sorted(result.rows) == [(2,), (3,), (4,)]
+
+
+class TestExplainAnalyze:
+    def test_contains_plan_and_measurements(self, db):
+        text = db.explain_analyze("SELECT a FROM T WHERE a IN (1, 2)")
+        assert "SeqScan" in text
+        assert "actual rows: 2" in text
+        assert "measured cost" in text
+        assert "plans considered" in text
+
+
+class TestInSubquery:
+    @pytest.fixture()
+    def orders_db(self):
+        database = Database()
+        database.create_table("Orders", [("oid", DataType.INT),
+                                         ("cid", DataType.INT),
+                                         ("amt", DataType.INT)])
+        database.create_table("Cust", [("cid", DataType.INT),
+                                       ("vip", DataType.BOOL)])
+        database.insert("Orders", [(i, i % 10, i * 3) for i in range(40)])
+        database.insert("Cust", [(c, c < 3) for c in range(10)])
+        database.analyze()
+        return database
+
+    def test_semi_join_semantics(self, orders_db):
+        result = orders_db.sql(
+            "SELECT oid FROM Orders WHERE cid IN "
+            "(SELECT cid FROM Cust WHERE vip = TRUE)"
+        )
+        expected = sorted((i,) for i in range(40) if i % 10 < 3)
+        assert sorted(result.rows) == expected
+
+    def test_duplicates_in_subquery_do_not_multiply(self, orders_db):
+        orders_db.insert("Cust", [(1, True), (1, True)])  # dup cid
+        orders_db.analyze("Cust")
+        result = orders_db.sql(
+            "SELECT oid FROM Orders WHERE cid IN (SELECT cid FROM Cust)"
+        )
+        assert len(result) == 40  # one output row per order, not more
+
+    def test_combined_with_other_predicates(self, orders_db):
+        result = orders_db.sql(
+            "SELECT oid FROM Orders WHERE amt > 10 AND cid IN "
+            "(SELECT cid FROM Cust WHERE vip = TRUE)"
+        )
+        expected = sorted(
+            (i,) for i in range(40) if i % 10 < 3 and i * 3 > 10
+        )
+        assert sorted(result.rows) == expected
+
+    def test_subquery_over_view(self, orders_db):
+        orders_db.create_view(
+            "Vips", "SELECT cid FROM Cust WHERE vip = TRUE"
+        )
+        result = orders_db.sql(
+            "SELECT oid FROM Orders WHERE cid IN (SELECT cid FROM Vips)"
+        )
+        assert len(result) == 12
+
+    def test_not_in_subquery_rejected(self, orders_db):
+        from repro.errors import BindError
+        with pytest.raises(BindError):
+            orders_db.sql(
+                "SELECT oid FROM Orders WHERE cid NOT IN "
+                "(SELECT cid FROM Cust)"
+            )
+
+    def test_nested_under_or_rejected(self, orders_db):
+        from repro.errors import BindError
+        with pytest.raises(BindError):
+            orders_db.sql(
+                "SELECT oid FROM Orders WHERE cid IN "
+                "(SELECT cid FROM Cust) OR amt > 5"
+            )
+
+    def test_multi_column_subquery_rejected(self, orders_db):
+        from repro.errors import BindError
+        with pytest.raises(BindError):
+            orders_db.sql(
+                "SELECT oid FROM Orders WHERE cid IN "
+                "(SELECT cid, vip FROM Cust)"
+            )
+
+
+class TestDistinctAggregates:
+    @pytest.fixture()
+    def agg_db(self):
+        database = Database()
+        database.create_table("T", [("g", DataType.INT),
+                                    ("x", DataType.INT)])
+        database.insert("T", [(1, 5), (1, 5), (1, 7), (2, 9), (2, None)])
+        database.analyze()
+        return database
+
+    def test_count_distinct(self, agg_db):
+        result = agg_db.sql(
+            "SELECT g, COUNT(DISTINCT x) AS d FROM T GROUP BY g "
+            "ORDER BY g"
+        )
+        assert result.rows == [(1, 2), (2, 1)]
+
+    def test_sum_distinct(self, agg_db):
+        result = agg_db.sql("SELECT SUM(DISTINCT x) AS s FROM T")
+        assert result.rows == [(21,)]
+
+    def test_distinct_and_plain_coexist(self, agg_db):
+        result = agg_db.sql(
+            "SELECT COUNT(DISTINCT x) AS d, COUNT(x) AS plain FROM T"
+        )
+        assert result.rows == [(3, 4)]
+
+    def test_avg_distinct(self, agg_db):
+        result = agg_db.sql("SELECT AVG(DISTINCT x) AS m FROM T")
+        assert result.rows == [(7.0,)]
+
+
+class TestBehaviouralCorpus:
+    def test_order_by_string_desc(self, db):
+        result = db.sql("SELECT s FROM T WHERE a IN (1, 2, 3) "
+                        "ORDER BY s DESC")
+        assert [r[0] for r in result.rows] == ["y", "x", "x"]
+
+    def test_arithmetic_projection(self, db):
+        result = db.sql("SELECT a * 2 + 1 AS z FROM T WHERE a = 3")
+        assert result.rows == [(7,)]
+
+    def test_scalar_aggregates(self, db):
+        result = db.sql(
+            "SELECT COUNT(*) AS n, MIN(b) AS lo, MAX(b) AS hi, "
+            "SUM(b) AS total FROM T"
+        )
+        assert result.rows == [(5, 10, 50, 110)]
+
+    def test_having_on_count(self, db):
+        result = db.sql(
+            "SELECT s, COUNT(*) AS n FROM T GROUP BY s "
+            "HAVING COUNT(*) > 1 ORDER BY s"
+        )
+        assert result.rows == [("x", 2), ("y", 2)]
+
+    def test_limit_zero(self, db):
+        assert db.sql("SELECT a FROM T LIMIT 0").rows == []
+
+    def test_distinct_with_nulls(self, db):
+        db.insert("T", [(None, 50, "y")])
+        result = db.sql("SELECT DISTINCT a, s FROM T WHERE b = 50")
+        assert result.rows == [(None, "y")]
+
+    def test_view_with_in_predicate(self, db):
+        db.create_view("Picked", "SELECT a, b FROM T WHERE a IN (1, 3)")
+        result = db.sql("SELECT P.b FROM Picked P ORDER BY b")
+        assert result.rows == [(10,), (30,)]
+
+
+class TestCreateTableAs:
+    def test_ctas_materializes_query(self, db):
+        db.sql("CREATE TABLE Snapshot AS SELECT a, b FROM T WHERE b > 15")
+        result = db.sql("SELECT a FROM Snapshot ORDER BY a")
+        # NULLs sort first; the b=50 row has a NULL a
+        assert result.rows == [(None,), (2,), (3,)]
+
+    def test_ctas_infers_schema(self, db):
+        db.sql("CREATE TABLE Agg AS "
+               "SELECT s, COUNT(*) AS n FROM T GROUP BY s")
+        schema = db.catalog.table("Agg").schema
+        assert schema.names() == ["s", "n"]
+
+    def test_ctas_from_union(self, db):
+        db.sql("CREATE TABLE U AS "
+               "SELECT a FROM T UNION ALL SELECT b FROM T")
+        assert db.catalog.table("U").num_rows == 10
+
+    def test_ctas_reports_row_count(self, db):
+        result = db.sql("CREATE TABLE C2 AS SELECT a FROM T WHERE a = 1")
+        assert result.rows == [(1,)]
+        assert result.statement_kind == "create table as"
+
+    def test_ctas_duplicate_name_rejected(self, db):
+        from repro import CatalogError
+        with pytest.raises(CatalogError):
+            db.sql("CREATE TABLE T AS SELECT a FROM T")

@@ -1,0 +1,127 @@
+"""Unit tests for storage.table and storage.index."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.schema import DataType, Schema
+from repro.storage.table import PAGE_SIZE_BYTES, Table, pages_for
+
+
+def make_table(rows=100):
+    table = Table("T", Schema.of(("k", DataType.INT), ("v", DataType.INT)))
+    table.insert_many((i, i % 10) for i in range(rows))
+    return table
+
+
+class TestPagesFor:
+    def test_empty_is_one_page(self):
+        assert pages_for(0, 8) == 1.0
+
+    def test_small_rowset_is_one_page(self):
+        assert pages_for(10, 8) == 1.0
+
+    def test_scales_linearly(self):
+        per_page = PAGE_SIZE_BYTES // 8
+        assert pages_for(per_page * 3, 8) == pytest.approx(3.0)
+
+    def test_wide_rows_one_per_page(self):
+        assert pages_for(5, PAGE_SIZE_BYTES * 2) == 5.0
+
+
+class TestTable:
+    def test_insert_and_count(self):
+        table = make_table(25)
+        assert table.num_rows == 25
+
+    def test_insert_coerces(self):
+        table = Table("T", Schema.of(("x", DataType.FLOAT)))
+        table.insert([3])
+        assert table.rows[0] == (3.0,)
+
+    def test_insert_rejects_bad_type(self):
+        table = Table("T", Schema.of(("x", DataType.INT)))
+        with pytest.raises(CatalogError):
+            table.insert(["no"])
+
+    def test_num_pages_grows(self):
+        small = make_table(10)
+        big = make_table(20_000)
+        assert big.num_pages > small.num_pages
+
+    def test_index_maintained_on_insert(self):
+        table = make_table(10)
+        table.create_index("k")
+        table.insert((100, 0))
+        assert list(table.index_on("k").probe(100)) == [10]
+
+    def test_duplicate_index_rejected(self):
+        table = make_table()
+        table.create_index("k")
+        with pytest.raises(CatalogError):
+            table.create_index("k")
+
+    def test_unknown_index_kind(self):
+        with pytest.raises(CatalogError):
+            make_table().create_index("k", kind="btree2000")
+
+
+class TestHashIndex:
+    def test_probe_hits(self):
+        index = HashIndex("v")
+        index.bulk_load([(5, 0), (5, 3), (7, 1)])
+        assert sorted(index.probe(5)) == [0, 3]
+
+    def test_probe_miss_is_empty(self):
+        index = HashIndex("v")
+        assert list(index.probe(99)) == []
+
+    def test_len(self):
+        index = HashIndex("v")
+        index.bulk_load([(1, 0), (1, 1), (2, 2)])
+        assert len(index) == 3
+
+
+class TestSortedIndex:
+    def make(self):
+        index = SortedIndex("k")
+        index.bulk_load([(v, i) for i, v in enumerate([5, 1, 3, 3, 9])])
+        return index
+
+    def test_probe_equality(self):
+        assert sorted(self.make().probe(3)) == [2, 3]
+
+    def test_probe_range_inclusive(self):
+        positions = self.make().probe_range(3, 5)
+        values = sorted(positions)
+        assert values == [0, 2, 3]  # the two 3s and the 5
+
+    def test_probe_range_exclusive(self):
+        positions = self.make().probe_range(3, 9, low_inclusive=False,
+                                            high_inclusive=False)
+        assert sorted(positions) == [0]  # only the 5
+
+    def test_probe_range_open_ends(self):
+        assert len(self.make().probe_range(None, None)) == 5
+
+    def test_in_order(self):
+        index = self.make()
+        keys = [index._keys[0]]  # sanity of internal order
+        assert index._keys == sorted(index._keys)
+        assert len(list(index.in_order())) == 5
+
+    def test_incremental_insert_stays_sorted(self):
+        index = self.make()
+        index.insert(4, 10)
+        assert index._keys == sorted(index._keys)
+        assert index.probe(4) == [10]
+
+    def test_null_key_rejected(self):
+        with pytest.raises(CatalogError):
+            SortedIndex("k").insert(None, 0)
+
+    def test_table_sorted_index_range(self):
+        table = make_table(50)
+        table.create_index("k", kind="sorted")
+        positions = table.index_on("k").probe_range(10, 12)
+        assert sorted(table.row_at(p)[0] for p in positions) == [10, 11, 12]

@@ -1,0 +1,152 @@
+"""Tests for UNION / UNION ALL."""
+
+import pytest
+
+from repro import Database, DataType
+from repro.errors import BindError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute_script("""
+        CREATE TABLE A (x INT, y INT);
+        CREATE TABLE B (x INT, y INT);
+        CREATE TABLE S (name VARCHAR(10));
+        INSERT INTO A VALUES (1, 10), (2, 20), (3, 30);
+        INSERT INTO B VALUES (2, 20), (4, 40);
+        INSERT INTO S VALUES ('a'), ('b');
+    """)
+    database.analyze()
+    return database
+
+
+class TestUnionSemantics:
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.sql("SELECT x FROM A UNION ALL SELECT x FROM B")
+        assert sorted(result.rows) == [(1,), (2,), (2,), (3,), (4,)]
+
+    def test_union_deduplicates(self, db):
+        result = db.sql("SELECT x FROM A UNION SELECT x FROM B")
+        assert sorted(result.rows) == [(1,), (2,), (3,), (4,)]
+
+    def test_left_associative_mixed_chain(self, db):
+        # (A UNION-ALL B) UNION A: the final plain UNION dedups all
+        result = db.sql(
+            "SELECT x FROM A UNION ALL SELECT x FROM B "
+            "UNION SELECT x FROM A"
+        )
+        assert sorted(result.rows) == [(1,), (2,), (3,), (4,)]
+
+    def test_trailing_order_by_applies_to_union(self, db):
+        result = db.sql(
+            "SELECT x FROM A UNION ALL SELECT x FROM B ORDER BY x DESC"
+        )
+        assert [r[0] for r in result.rows] == [4, 3, 2, 2, 1]
+
+    def test_trailing_limit(self, db):
+        result = db.sql(
+            "SELECT x FROM A UNION ALL SELECT x FROM B "
+            "ORDER BY x LIMIT 3"
+        )
+        assert result.rows == [(1,), (2,), (2,)]
+
+    def test_branches_with_own_predicates(self, db):
+        result = db.sql(
+            "SELECT x FROM A WHERE y > 15 UNION SELECT x FROM B "
+            "WHERE y < 30"
+        )
+        assert sorted(result.rows) == [(2,), (3,)]
+
+    def test_union_with_aggregates(self, db):
+        result = db.sql(
+            "SELECT COUNT(*) AS n FROM A UNION ALL "
+            "SELECT COUNT(*) AS n FROM B"
+        )
+        assert sorted(result.rows) == [(2,), (3,)]
+
+    def test_union_over_views(self, db):
+        db.create_view("BigA", "SELECT x FROM A WHERE y >= 20")
+        result = db.sql(
+            "SELECT x FROM BigA UNION SELECT x FROM B"
+        )
+        assert sorted(result.rows) == [(2,), (3,), (4,)]
+
+
+class TestUnionTyping:
+    def test_int_float_promote(self, db):
+        db.sql("CREATE TABLE F (x FLOAT)")
+        db.sql("INSERT INTO F VALUES (1.5)")
+        block = db.bind("SELECT x FROM A UNION SELECT x FROM F")
+        from repro.storage.schema import DataType as DT
+        assert block.output_schema().column("x").dtype == DT.FLOAT
+
+    def test_incompatible_types_rejected(self, db):
+        with pytest.raises(BindError):
+            db.sql("SELECT x FROM A UNION SELECT name FROM S")
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(BindError):
+            db.sql("SELECT x, y FROM A UNION SELECT x FROM B")
+
+    def test_output_names_from_first_branch(self, db):
+        result = db.sql(
+            "SELECT x AS left_name FROM A UNION ALL SELECT x FROM B"
+        )
+        assert result.columns == ["left_name"]
+
+
+class TestUnionPlanning:
+    def test_explain_shows_union(self, db):
+        text = db.explain("SELECT x FROM A UNION SELECT x FROM B")
+        assert "Union" in text
+
+    def test_union_all_label(self, db):
+        text = db.explain("SELECT x FROM A UNION ALL SELECT x FROM B")
+        assert "UnionAll" in text
+
+    def test_estimates_populated(self, db):
+        plan, _ = db.plan("SELECT x FROM A UNION ALL SELECT x FROM B")
+        assert plan.est_rows == pytest.approx(5, abs=1)
+        assert plan.est_cost > 0
+
+    def test_display_sql_roundtrips(self, db):
+        union = db.bind("SELECT x FROM A UNION SELECT x FROM B")
+        text = union.display_sql()
+        assert "UNION" in text
+        again = db.sql(text)
+        assert sorted(again.rows) == [(1,), (2,), (3,), (4,)]
+
+
+class TestUnionViews:
+    def test_view_defined_by_union(self, db):
+        db.create_view("U", "SELECT x FROM A UNION SELECT x FROM B")
+        result = db.sql("SELECT U.x FROM U ORDER BY x")
+        assert result.rows == [(1,), (2,), (3,), (4,)]
+
+    def test_join_with_union_view(self, db):
+        db.create_view("U2", "SELECT x FROM A UNION SELECT x FROM B")
+        result = db.sql(
+            "SELECT A.y FROM A, U2 WHERE A.x = U2.x AND A.y > 15"
+        )
+        assert sorted(result.rows) == [(20,), (30,)]
+
+    def test_union_view_never_filter_joined(self, db):
+        from repro import OptimizerConfig
+        from repro.optimizer.plans import FilterJoinNode
+        from tests.test_planner_basic import find_nodes
+
+        db.create_view("U3", "SELECT x FROM A UNION SELECT x FROM B")
+        plan, _ = db.plan("SELECT A.y FROM A, U3 WHERE A.x = U3.x")
+        assert not any(
+            node.inner_template is not None
+            for node in find_nodes(plan, FilterJoinNode)
+            if "U3" in str(node.bind_pairs)
+        )
+
+    def test_union_view_via_script(self, db):
+        db.execute_script(
+            "CREATE VIEW U4 AS SELECT x FROM A UNION ALL "
+            "SELECT x FROM B;"
+        )
+        assert len(db.sql("SELECT U4.x FROM U4")) == 5

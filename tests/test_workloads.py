@@ -1,0 +1,126 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.workloads.empdept import (
+    BIG_BUDGET_THRESHOLD,
+    YOUNG_AGE_THRESHOLD,
+    EmpDeptConfig,
+    fresh_empdept,
+)
+from repro.workloads.star import StarConfig, fresh_star
+
+
+class TestEmpDept:
+    def test_row_counts(self):
+        config = EmpDeptConfig(num_departments=30,
+                               employees_per_department=7)
+        db = fresh_empdept(config)
+        assert db.catalog.table("Dept").num_rows == 30
+        assert db.catalog.table("Emp").num_rows == 210
+
+    def test_deterministic_given_seed(self):
+        config = EmpDeptConfig(num_departments=25, seed=99)
+        a = fresh_empdept(config).catalog.table("Emp").rows
+        b = fresh_empdept(config).catalog.table("Emp").rows
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = fresh_empdept(EmpDeptConfig(num_departments=25, seed=1))
+        b = fresh_empdept(EmpDeptConfig(num_departments=25, seed=2))
+        assert a.catalog.table("Emp").rows != b.catalog.table("Emp").rows
+
+    def test_big_fraction_respected(self):
+        db = fresh_empdept(EmpDeptConfig(num_departments=400,
+                                         big_fraction=0.25, seed=4))
+        big = sum(1 for (_d, budget) in db.catalog.table("Dept").rows
+                  if budget > BIG_BUDGET_THRESHOLD)
+        assert big / 400 == pytest.approx(0.25, abs=0.07)
+
+    def test_young_fraction_respected(self):
+        db = fresh_empdept(EmpDeptConfig(
+            num_departments=50, employees_per_department=40,
+            young_fraction=0.4, seed=5))
+        emp = db.catalog.table("Emp").rows
+        young = sum(1 for (_e, _d, _s, age) in emp
+                    if age < YOUNG_AGE_THRESHOLD)
+        assert young / len(emp) == pytest.approx(0.4, abs=0.06)
+
+    def test_extreme_fractions(self):
+        db = fresh_empdept(EmpDeptConfig(num_departments=20,
+                                         big_fraction=1.0,
+                                         young_fraction=0.0, seed=6))
+        assert all(b > BIG_BUDGET_THRESHOLD
+                   for (_d, b) in db.catalog.table("Dept").rows)
+        assert all(age >= YOUNG_AGE_THRESHOLD
+                   for (_e, _d, _s, age) in db.catalog.table("Emp").rows)
+
+    def test_emp_clustered_on_did(self):
+        db = fresh_empdept(EmpDeptConfig(num_departments=15))
+        table = db.catalog.table("Emp")
+        assert table.clustered_on == "did"
+        dids = [row[1] for row in table.rows]
+        assert dids == sorted(dids)
+        assert table.index_on("did") is not None
+
+    def test_view_registered_and_queryable(self):
+        db = fresh_empdept(EmpDeptConfig(num_departments=10,
+                                         employees_per_department=5))
+        result = db.sql("SELECT V.did, V.avgsal FROM DepAvgSal V")
+        assert len(result) == 10
+
+    def test_stats_collected(self):
+        db = fresh_empdept(EmpDeptConfig(num_departments=10))
+        assert db.catalog.has_stats("Emp")
+        assert db.catalog.has_stats("Dept")
+
+
+class TestStar:
+    def test_row_counts(self):
+        config = StarConfig(num_customers=50, num_products=20,
+                            num_stores=5, num_sales=300)
+        db = fresh_star(config)
+        assert db.catalog.table("Customer").num_rows == 50
+        assert db.catalog.table("Sales").num_rows == 300
+
+    def test_foreign_keys_valid(self):
+        db = fresh_star(StarConfig(num_customers=30, num_products=10,
+                                   num_stores=4, num_sales=200))
+        custs = {r[0] for r in db.catalog.table("Customer").rows}
+        prods = {r[0] for r in db.catalog.table("Product").rows}
+        stores = {r[0] for r in db.catalog.table("Store").rows}
+        for (_sid, cid, pid, stid, _amt, _qty) in \
+                db.catalog.table("Sales").rows:
+            assert cid in custs and pid in prods and stid in stores
+
+    def test_zipf_skews_distribution(self):
+        uniform = fresh_star(StarConfig(num_sales=3000, zipf_skew=0.0,
+                                        seed=9))
+        skewed = fresh_star(StarConfig(num_sales=3000, zipf_skew=1.2,
+                                       seed=9))
+
+        def top_share(db):
+            from collections import Counter
+            counts = Counter(
+                r[1] for r in db.catalog.table("Sales").rows
+            )
+            return counts.most_common(1)[0][1] / 3000
+
+        assert top_share(skewed) > top_share(uniform) * 2
+
+    def test_views_queryable(self):
+        db = fresh_star(StarConfig(num_sales=500))
+        for view in ("CustSpend", "ProductVolume", "StoreRevenue"):
+            result = db.sql("SELECT * FROM %s LIMIT 3" % view)
+            assert len(result) <= 3
+
+    def test_view_aggregates_consistent(self):
+        db = fresh_star(StarConfig(num_sales=400, seed=2))
+        total_from_view = sum(
+            r[0] for r in
+            db.sql("SELECT V.revenue FROM StoreRevenue V").rows
+        )
+        total_from_fact = sum(
+            r[4] for r in db.catalog.table("Sales").rows
+        )
+        assert total_from_view == total_from_fact
