@@ -1,0 +1,126 @@
+"""Plan-cache benchmarks: optimize-once-execute-many amortization.
+
+The paper keeps the Filter Join search cheap enough to run per query;
+this benchmark measures what the prepared-statement API buys when the
+same statement is executed many times — the server workload the ROADMAP
+targets. ``python benchmarks/bench_plan_cache.py`` runs a standalone
+smoke check (used by CI) that prints the measured speedup and fails if
+repeat execution through the cache is not at least 5x faster than the
+re-optimize-every-call path on the motivating EmpDept query.
+"""
+
+import time
+
+import pytest
+
+from repro.workloads import EmpDeptConfig, MOTIVATING_QUERY, fresh_empdept
+
+REPEATS = 30
+MIN_SPEEDUP = 5.0
+
+PARAMETRIC_QUERY = """
+SELECT E.did, E.sal, V.avgsal
+FROM Emp E, Dept D, DepAvgSal V
+WHERE E.did = D.did AND E.did = V.did AND E.sal > V.avgsal
+  AND E.age < ? AND D.budget > ?
+"""
+
+
+def bench_db():
+    return fresh_empdept(EmpDeptConfig(
+        num_departments=100, employees_per_department=10, seed=301,
+    ))
+
+
+def run_uncached(db, repeats=REPEATS):
+    """The classic server loop: parse/bind/optimize/execute every call."""
+    rows = None
+    for _ in range(repeats):
+        rows = db.sql(MOTIVATING_QUERY).rows
+    return rows
+
+
+def run_prepared(db, repeats=REPEATS):
+    """Optimize once, execute many through the versioned plan cache."""
+    handle = db.prepare(MOTIVATING_QUERY)
+    rows = None
+    for _ in range(repeats):
+        rows = handle.execute().rows
+    return rows
+
+
+def measured_speedup(repeats=REPEATS):
+    """(speedup, uncached_seconds, cached_seconds) on a fresh database."""
+    db = bench_db()
+    # warm both paths once so lazy stats / first-plan costs are excluded
+    run_uncached(db, 1)
+    run_prepared(db, 1)
+
+    started = time.perf_counter()
+    expected = run_uncached(db, repeats)
+    uncached = time.perf_counter() - started
+
+    started = time.perf_counter()
+    got = run_prepared(db, repeats)
+    cached = time.perf_counter() - started
+
+    assert sorted(got) == sorted(expected), "cached plan changed the answer"
+    return uncached / cached, uncached, cached
+
+
+def test_benchmark_execute_uncached(benchmark):
+    db = bench_db()
+    run_uncached(db, 1)
+    benchmark(run_uncached, db, 5)
+
+
+def test_benchmark_execute_prepared(benchmark):
+    db = bench_db()
+    handle = db.prepare(MOTIVATING_QUERY)
+    handle.execute()
+    benchmark(lambda: [handle.execute() for _ in range(5)])
+
+
+def test_benchmark_execute_prepared_with_params(benchmark):
+    db = bench_db()
+    handle = db.prepare(PARAMETRIC_QUERY)
+    handle.execute([30, 100_000])
+    benchmark(lambda: [handle.execute([30, 100_000]) for _ in range(5)])
+
+
+def test_repeat_execution_speedup():
+    """Acceptance: >= 5x throughput on repeat execution of the
+    motivating query vs. the re-optimize-every-call path."""
+    speedup, uncached, cached = measured_speedup()
+    assert speedup >= MIN_SPEEDUP, (
+        "plan cache speedup %.1fx < %.0fx (uncached %.3fs, cached %.3fs)"
+        % (speedup, MIN_SPEEDUP, uncached, cached)
+    )
+
+
+def test_cache_counters_track_the_loop():
+    db = bench_db()
+    handle = db.prepare(MOTIVATING_QUERY)
+    for _ in range(10):
+        handle.execute()
+    stats = db.cache_stats()
+    assert stats["misses"] == 1          # the prepare-time plan
+    assert stats["hits"] == 10           # every execute
+    assert stats["invalidations"] == 0
+
+
+def main():
+    speedup, uncached, cached = measured_speedup()
+    print("uncached: %.3fs for %d runs (%.1f q/s)"
+          % (uncached, REPEATS, REPEATS / uncached))
+    print("prepared: %.3fs for %d runs (%.1f q/s)"
+          % (cached, REPEATS, REPEATS / cached))
+    print("speedup:  %.1fx (minimum required: %.0fx)"
+          % (speedup, MIN_SPEEDUP))
+    if speedup < MIN_SPEEDUP:
+        raise SystemExit("FAIL: speedup below %.0fx" % MIN_SPEEDUP)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,11 +16,12 @@ Quickstart::
 See README.md for the full tour and DESIGN.md for the architecture.
 """
 
-from .database import Database, QueryResult
+from .database import Database, PreparedStatement, QueryResult
 from .errors import (
     BindError,
     CatalogError,
     ExecutionError,
+    ParameterError,
     PlanError,
     ReproError,
     SqlSyntaxError,
@@ -28,6 +29,7 @@ from .errors import (
 )
 from .ledger import CostLedger, CostParams
 from .optimizer.config import OptimizerConfig
+from .plancache import PlanCache
 from .storage.schema import Column, DataType, Schema
 
 __version__ = "1.0.0"
@@ -42,7 +44,10 @@ __all__ = [
     "Database",
     "ExecutionError",
     "OptimizerConfig",
+    "ParameterError",
+    "PlanCache",
     "PlanError",
+    "PreparedStatement",
     "QueryResult",
     "ReproError",
     "Schema",

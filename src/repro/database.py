@@ -24,16 +24,23 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from .algebra.block import QueryBlock
-from .errors import ReproError
+from .errors import ParameterError, ReproError
 from .executor.lowering import lower
 from .executor.runtime import RuntimeContext
+from .expr.nodes import PARAMETER_TYPES
 from .ledger import CostLedger
 from .optimizer.config import OptimizerConfig
 from .optimizer.planner import Planner, PlannerMetrics
 from .optimizer.plans import PlanNode
+from .plancache import (
+    DEFAULT_CAPACITY,
+    PlanCache,
+    PlanCacheEntry,
+    cache_key,
+)
 from .sql import ast
 from .sql.binder import Binder
-from .sql.parser import parse, parse_script
+from .sql.parser import Parser, parse
 from .storage.catalog import Catalog
 from .storage.schema import Column, DataType, Schema
 from .udf.relation import FunctionRegistry
@@ -57,6 +64,9 @@ class QueryResult:
     metrics: Optional[PlannerMetrics] = None
     elapsed_seconds: float = 0.0
     statement_kind: str = "select"
+    # True when the plan was served by the cross-statement plan cache
+    # rather than freshly optimized for this call
+    cached_plan: bool = False
 
     @property
     def columns(self) -> List[str]:
@@ -84,12 +94,15 @@ class QueryResult:
 class Database:
     """An embedded relational database with Filter Join optimization."""
 
-    def __init__(self, config: Optional[OptimizerConfig] = None):
+    def __init__(self, config: Optional[OptimizerConfig] = None,
+                 plan_cache_size: int = DEFAULT_CAPACITY):
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
         self.config = config or OptimizerConfig()
         self.config.validate()
         self.last_planner: Optional[Planner] = None
+        # cross-statement cache of optimized plans; size 0 disables it
+        self.plan_cache = PlanCache(plan_cache_size)
 
     # ----------------------------------------------------------------- DDL
 
@@ -110,9 +123,14 @@ class Database:
     def create_index(self, table: str, column: str,
                      kind: str = "hash") -> None:
         self.catalog.table(table).create_index(column, kind)
+        self.catalog.bump_version()
 
     def insert(self, table: str, rows) -> int:
-        return self.catalog.table(table).insert_many(rows)
+        count = self.catalog.table(table).insert_many(rows)
+        # data changes shift row counts/stats under cached plans; bump so
+        # they are re-optimized rather than run with stale estimates
+        self.catalog.bump_version()
+        return count
 
     def analyze(self, table: Optional[str] = None) -> None:
         """(Re)collect optimizer statistics."""
@@ -211,6 +229,61 @@ class Database:
         ]
         return "\n".join(lines)
 
+    # ------------------------------------------------------- prepared plans
+
+    def prepare(self, text: str,
+                config: Optional[OptimizerConfig] = None
+                ) -> "PreparedStatement":
+        """Parse (and for queries, optimize) one statement with optional
+        ``?`` placeholders; returns a reusable handle.
+
+        Queries are planned immediately through the versioned plan
+        cache, so ``db.prepare(sql).execute(params)`` called repeatedly
+        pays for parse/bind/optimize once. The handle re-validates the
+        catalog version on every execution — DDL or statistics changes
+        transparently trigger a re-plan instead of running a stale plan.
+        """
+        parser = Parser(text)
+        statement = parser.parse_statement()
+        return PreparedStatement(self, text, statement,
+                                 parser.param_count, config)
+
+    def cache_stats(self) -> dict:
+        """Plan cache counters plus the current catalog version."""
+        stats = self.plan_cache.stats()
+        stats["catalog_version"] = self.catalog.version
+        return stats
+
+    def _plan_entry(self, text: str, statement,
+                    config: Optional[OptimizerConfig]
+                    ) -> Tuple[PlanCacheEntry, bool]:
+        """The cached plan for a query statement, planning on a miss.
+
+        Returns ``(entry, hit)``. The entry's catalog version is
+        captured *after* planning so that lazy statistics builds
+        triggered by the planner itself do not invalidate the new entry.
+        """
+        config = config or self.config
+        key = cache_key(text, config)
+        entry = self.plan_cache.lookup(key, self.catalog.version)
+        if entry is not None:
+            return entry, True
+        binder = self.binder()
+        if isinstance(statement, ast.UnionStmt):
+            block = binder.bind_union(statement)
+        else:
+            block = binder.bind(statement)
+        plan, planner = self.plan(block, config)
+        entry = PlanCacheEntry(
+            key=key,
+            plan=plan,
+            metrics=planner.metrics,
+            parameters=binder.parameter_list(),
+            catalog_version=self.catalog.version,
+        )
+        self.plan_cache.store(entry)
+        return entry, False
+
     # ------------------------------------------------------------- execution
 
     def run_plan(self, plan: PlanNode,
@@ -242,24 +315,48 @@ class Database:
         )
 
     def sql(self, text: str,
-            config: Optional[OptimizerConfig] = None) -> QueryResult:
-        """Execute one SQL statement (query or DDL/DML)."""
-        statement = parse(text)
-        return self._execute_statement(statement, text, config)
+            config: Optional[OptimizerConfig] = None,
+            use_cache: bool = False) -> QueryResult:
+        """Execute one SQL statement (query or DDL/DML).
 
-    def execute_script(self, text: str) -> List[QueryResult]:
+        With ``use_cache=True``, parameterless queries go through the
+        versioned plan cache (the shell uses this); the default keeps
+        the classic optimize-every-call behavior the experiments
+        measure.
+        """
+        statement = parse(text)
+        return self._execute_statement(statement, text, config, use_cache)
+
+    def execute_script(self, text: str,
+                       use_cache: bool = False) -> List[QueryResult]:
         """Execute a ';'-separated script; returns one result per
         statement."""
         results = []
-        for statement in parse_script(text):
-            results.append(self._execute_statement(statement, text, None))
+        for statement, span in Parser(text).parse_script_spans():
+            results.append(
+                self._execute_statement(statement, span, None, use_cache)
+            )
         return results
 
     # ------------------------------------------------------------- internals
 
     def _execute_statement(self, statement, original_text: str,
-                           config: Optional[OptimizerConfig]) -> QueryResult:
+                           config: Optional[OptimizerConfig],
+                           use_cache: bool = False) -> QueryResult:
         if isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
+            if use_cache:
+                entry, hit = self._plan_entry(original_text, statement,
+                                              config)
+                if entry.parameters:
+                    raise ParameterError(
+                        "statement has %d unbound parameter(s); use "
+                        "db.prepare(...).execute(values)"
+                        % len(entry.parameters)
+                    )
+                entry.executions += 1
+                result = self.run_plan(entry.plan, entry.metrics, config)
+                result.cached_plan = hit
+                return result
             block = self._bind_statement(statement)
             plan, planner = self.plan(block, config)
             return self.run_plan(plan, planner.metrics, config)
@@ -315,6 +412,100 @@ class Database:
                 self.catalog.drop_view(statement.name)
             return _ddl_result("drop")
         raise ReproError("unsupported statement %r" % type(statement).__name__)
+
+
+class PreparedStatement:
+    """A reusable handle over one parsed statement with ``?`` params.
+
+    Queries execute through the database's versioned plan cache: the
+    first execution (or :meth:`Database.prepare` itself) optimizes and
+    caches the plan; later executions bind parameter values onto the
+    cached plan and run it directly. If the catalog version moved (DDL,
+    data change, ANALYZE, placement change), the stale plan is discarded
+    and the query is transparently re-optimized.
+
+    INSERT statements may also carry ``?`` placeholders; they are
+    substituted per execution (there is no plan to cache).
+    """
+
+    def __init__(self, db: Database, text: str, statement,
+                 param_count: int,
+                 config: Optional[OptimizerConfig] = None):
+        self.db = db
+        self.text = text
+        self.statement = statement
+        self.param_count = param_count
+        self.config = config
+        self.is_query = isinstance(
+            statement, (ast.SelectStmt, ast.UnionStmt)
+        )
+        if param_count and not self.is_query and not isinstance(
+            statement, ast.InsertStmt
+        ):
+            raise ParameterError(
+                "?-parameters are only supported in queries and INSERT "
+                "VALUES, not %s" % type(statement).__name__
+            )
+        if self.is_query:
+            # plan (or find) eagerly so prepare-time errors surface here
+            self.db._plan_entry(self.text, self.statement, self.config)
+
+    def __repr__(self) -> str:
+        return "PreparedStatement(%r, %d param(s))" % (
+            self.text.strip().splitlines()[0][:60], self.param_count,
+        )
+
+    @property
+    def plan(self) -> Optional[PlanNode]:
+        """The currently-cached plan for this query (None for DDL/DML,
+        or if the cache entry was evicted)."""
+        if not self.is_query:
+            return None
+        key = cache_key(self.text, self.config or self.db.config)
+        entry = self.db.plan_cache.peek(key)
+        return entry.plan if entry is not None else None
+
+    def execute(self, params: Sequence = ()) -> QueryResult:
+        """Bind ``params`` (one value per ``?``, in order) and run."""
+        params = tuple(params)
+        if len(params) != self.param_count:
+            raise ParameterError(
+                "statement takes %d parameter(s), got %d"
+                % (self.param_count, len(params))
+            )
+        if self.is_query:
+            entry, hit = self.db._plan_entry(self.text, self.statement,
+                                             self.config)
+            for node, value in zip(entry.parameters, params):
+                node.bind(value)
+            entry.executions += 1
+            result = self.db.run_plan(entry.plan, entry.metrics,
+                                      self.config)
+            result.cached_plan = hit
+            return result
+        statement = self._substituted(params) if params else self.statement
+        return self.db._execute_statement(statement, self.text,
+                                          self.config)
+
+    def _substituted(self, params: tuple) -> ast.InsertStmt:
+        """An InsertStmt copy with every placeholder replaced by its
+        bound value (validated against the supported parameter types)."""
+        rows = []
+        for row in self.statement.rows:
+            out = []
+            for value in row:
+                if isinstance(value, ast.AstParameter):
+                    bound = params[value.index]
+                    if not isinstance(bound, PARAMETER_TYPES):
+                        raise ParameterError(
+                            "parameter ?%d: unsupported value type %s"
+                            % (value.index + 1, type(bound).__name__)
+                        )
+                    out.append(bound)
+                else:
+                    out.append(value)
+            rows.append(out)
+        return ast.InsertStmt(self.statement.table, rows)
 
 
 def _ddl_result(kind: str) -> QueryResult:

@@ -14,6 +14,13 @@ then naturally chooses between:
 All four are costed with the same Table-1 formula, with the two
 AvailCost terms carrying the shipping costs — exactly the paper's
 "minimal modification".
+
+The prepared-statement API and the versioned plan cache work here too
+(``db.prepare(...)`` / ``db.cache_stats()``): distributed plans embed
+ship decisions that depend on table placement, so
+:meth:`DistributedDatabase.place_table` bumps the catalog version and
+invalidates every cached plan — a query re-optimized after a move picks
+fresh ship/semi-join choices instead of running a stale strategy.
 """
 
 from __future__ import annotations
@@ -70,7 +77,13 @@ class DistributedDatabase(Database):
         return table
 
     def place_table(self, name: str, site: Optional[str]) -> None:
-        """Move an existing table to a site (None = local)."""
+        """Move an existing table to a site (None = local).
+
+        Placement shapes every ship/fetch/semi-join decision, so this
+        bumps the catalog version (via ``set_table_site``): cached plans
+        that baked in the old placement are invalidated and will be
+        re-optimized on their next execution.
+        """
         if site is not None and site not in self._site_names:
             self.add_site(site)
         self.catalog.set_table_site(name, site)

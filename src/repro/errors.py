@@ -43,5 +43,10 @@ class ExecutionError(ReproError):
     """A runtime failure while executing a physical plan."""
 
 
+class ParameterError(ExecutionError):
+    """A prepared-statement parameter problem: wrong number of values,
+    an unsupported value type, or executing with parameters unbound."""
+
+
 class StatsError(ReproError):
     """Invalid statistics input (empty histograms, negative counts...)."""

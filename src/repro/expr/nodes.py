@@ -124,21 +124,98 @@ class Literal(Expr):
         return str(self.value)
 
 
+_UNBOUND = object()  # sentinel: a Parameter with no value bound yet
+
+PARAMETER_TYPES = (bool, int, float, str, type(None))
+
+
+class Parameter(Expr):
+    """A ``?`` placeholder bound to a concrete value at execute time.
+
+    The value lives in a shared one-slot cell so that every copy produced
+    by :meth:`resolve` / :meth:`rename_columns` — including the resolved
+    trees inside an already-lowered (or plan-cached) operator tree — sees
+    the value bound on the original node. The optimizer treats a
+    parameter like an unknown constant: selectivity estimation falls back
+    to its default comparison selectivities, and index-scan constant
+    folding ignores it, so one plan serves every binding.
+    """
+
+    def __init__(self, index: int, _cell: Optional[list] = None):
+        self.index = index
+        self._cell = _cell if _cell is not None else [_UNBOUND]
+
+    # ------------------------------------------------------------- binding
+
+    @property
+    def is_bound(self) -> bool:
+        return self._cell[0] is not _UNBOUND
+
+    @property
+    def value(self):
+        if not self.is_bound:
+            raise ExecutionError(
+                "parameter ?%d was not bound before use" % (self.index + 1)
+            )
+        return self._cell[0]
+
+    def bind(self, value) -> None:
+        if not isinstance(value, PARAMETER_TYPES):
+            from ..errors import ParameterError
+            raise ParameterError(
+                "parameter ?%d: unsupported value type %s"
+                % (self.index + 1, type(value).__name__)
+            )
+        self._cell[0] = value
+
+    def unbind(self) -> None:
+        self._cell[0] = _UNBOUND
+
+    # ---------------------------------------------------------- Expr duties
+
+    def columns(self) -> Set[str]:
+        return set()
+
+    def resolve(self, schema: Schema) -> "Parameter":
+        return self  # nothing to resolve; keep the shared cell
+
+    def eval(self, row: Sequence):
+        return self.value
+
+    def dtype(self, schema: Schema) -> DataType:
+        if self.is_bound and self._cell[0] is not None:
+            return Literal(self._cell[0]).dtype(schema)
+        # unbound at planning time (e.g. `SELECT ? ...`) or NULL: the
+        # static type is unknowable; assume numeric
+        return DataType.FLOAT
+
+    def rename_columns(self, mapping: Dict[str, str]) -> "Parameter":
+        return self
+
+    def display(self) -> str:
+        return "?%d" % (self.index + 1)
+
+
 def _compare(op: str, left, right) -> Optional[bool]:
     if left is None or right is None:
         return None  # SQL three-valued logic: NULL comparisons are unknown
-    if op == "=":
-        return left == right
-    if op in ("!=", "<>"):
-        return left != right
-    if op == "<":
-        return left < right
-    if op == "<=":
-        return left <= right
-    if op == ">":
-        return left > right
-    if op == ">=":
-        return left >= right
+    try:
+        if op == "=":
+            return left == right
+        if op in ("!=", "<>"):
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        raise ExecutionError(
+            "cannot compare %r with %r" % (left, right)
+        )
     raise ExecutionError("unknown comparison operator %r" % op)
 
 
@@ -260,15 +337,20 @@ class Arithmetic(Expr):
         right = self.right.eval(row)
         if left is None or right is None:
             return None
-        if self.op == "+":
-            return left + right
-        if self.op == "-":
-            return left - right
-        if self.op == "*":
-            return left * right
-        if right == 0:
-            raise ExecutionError("division by zero")
-        return left / right
+        try:
+            if self.op == "+":
+                return left + right
+            if self.op == "-":
+                return left - right
+            if self.op == "*":
+                return left * right
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return left / right
+        except TypeError:
+            raise ExecutionError(
+                "cannot apply %r to %r and %r" % (self.op, left, right)
+            )
 
     def dtype(self, schema: Schema) -> DataType:
         left = self.left.dtype(schema)

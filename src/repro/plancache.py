@@ -1,0 +1,195 @@
+"""A versioned, LRU-bounded cross-statement plan cache.
+
+The paper's Filter Join search stays cheap ("without changing the
+asymptotic complexity"), but in a server that re-optimizes every
+statement even a cheap search is paid on every call. This module
+amortizes it: a prepared statement plans once and repeated executions
+skip parse/bind/optimize entirely.
+
+Keying and invalidation rules:
+
+- The cache key is the *normalized* statement text (token-normalized, so
+  whitespace, comments, and keyword case do not fragment the cache)
+  combined with a fingerprint of the :class:`OptimizerConfig` the plan
+  was built under — plans built under different knob settings never
+  alias each other.
+- Every entry is tagged with the :attr:`Catalog.version` current when
+  planning finished. The catalog bumps its version on every DDL, data
+  modification routed through the database façade, statistics rebuild,
+  and site placement change; a lookup that finds an entry from an older
+  version discards it (counted as an invalidation) and reports a miss,
+  so a stale plan can never execute.
+- Capacity is LRU-bounded; a capacity of 0 disables caching (every
+  lookup misses, stores are dropped).
+
+Counters (hits / misses / invalidations / evictions) are exposed through
+:meth:`PlanCache.stats` and surfaced as ``db.cache_stats()`` and the
+shell's ``\\cache`` command.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .ledger import CostParams
+from .optimizer.config import OptimizerConfig
+from .optimizer.planner import PlannerMetrics
+from .optimizer.plans import PlanNode
+from .sql.lexer import tokenize
+
+DEFAULT_CAPACITY = 128
+
+
+def normalize_statement(text: str) -> str:
+    """Whitespace/comment/keyword-case–insensitive form of a statement.
+
+    Tokenizes and re-joins, so ``select 1 from t`` and ``SELECT 1  FROM t``
+    share a cache entry. Identifier case is preserved (it shapes output
+    column names); string literals are re-quoted.
+    """
+    parts: List[str] = []
+    for token in tokenize(text):
+        if token.kind == "eof":
+            break
+        if token.kind == "string":
+            parts.append("'%s'" % token.text.replace("'", "''"))
+        else:
+            parts.append(token.text)
+    # drop trailing statement terminators
+    while parts and parts[-1] == ";":
+        parts.pop()
+    return " ".join(parts)
+
+
+def config_fingerprint(config: OptimizerConfig) -> str:
+    """A stable digest of every optimizer knob (including cost weights)."""
+    knobs = sorted(vars(config).items())
+    rendered = []
+    for key, value in knobs:
+        if isinstance(value, CostParams):
+            value = tuple(sorted(vars(value).items()))
+        rendered.append("%s=%r" % (key, value))
+    return ";".join(rendered)
+
+
+def cache_key(text: str, config: OptimizerConfig) -> Tuple[str, str]:
+    """The (normalized statement, config fingerprint) cache key."""
+    return normalize_statement(text), config_fingerprint(config)
+
+
+@dataclass
+class PlanCacheEntry:
+    """One cached plan plus everything needed to execute it again."""
+
+    key: Tuple[str, str]
+    plan: PlanNode
+    metrics: Optional[PlannerMetrics]
+    parameters: list = field(default_factory=list)  # Parameter nodes, in order
+    catalog_version: int = 0
+    executions: int = 0
+
+
+class PlanCache:
+    """LRU cache of optimized plans with version-based invalidation."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 0:
+            raise ValueError("plan cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, str], PlanCacheEntry]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: Tuple[str, str],
+               catalog_version: int) -> Optional[PlanCacheEntry]:
+        """The entry for ``key`` if present *and* current, else None.
+
+        An entry built under an older catalog version is discarded and
+        counted as an invalidation (plus the miss the caller sees).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.catalog_version != catalog_version:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def peek(self, key: Tuple[str, str]) -> Optional[PlanCacheEntry]:
+        """The entry for ``key`` without touching LRU order or counters
+        (introspection only — does not check the catalog version)."""
+        return self._entries.get(key)
+
+    def store(self, entry: PlanCacheEntry) -> None:
+        """Insert (or replace) an entry, evicting LRU entries past
+        capacity. A no-op when the cache is disabled."""
+        if not self.enabled:
+            return
+        self._entries[entry.key] = entry
+        self._entries.move_to_end(entry.key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (counted as invalidations); returns how many."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        """Drop all entries and reset every counter."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("plan cache capacity must be >= 0")
+        self.capacity = capacity
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return ("PlanCache(%d/%d entries, %d hits, %d misses, "
+                "%d invalidations)" % (
+                    len(self._entries), self.capacity, self.hits,
+                    self.misses, self.invalidations,
+                ))

@@ -9,7 +9,14 @@ start with a backslash:
     \\ea SELECT ... EXPLAIN ANALYZE the query
     \\config        show the optimizer configuration
     \\set KEY VAL   change an optimizer switch (e.g. \\set enable_filter_join off)
+    \\cache         show plan-cache counters (hits/misses/invalidations)
+    \\cache clear   empty the plan cache and reset its counters
+    \\cache size N  resize the plan cache (0 disables it)
     \\q             quit
+
+Statements executed in the shell go through the versioned plan cache, so
+re-running a query skips parse/bind/optimize; ``\\cache`` shows the
+effect live.
 
 The shell is also scriptable: pipe SQL on stdin.
 """
@@ -91,8 +98,33 @@ class Shell:
         if command == "\\set":
             self._set_config(argument)
             return
+        if command == "\\cache":
+            self._cache_command(argument)
+            return
         self.write("unknown command %r (try \\d, \\e, \\ea, \\config, "
-                   "\\set, \\q)" % command)
+                   "\\set, \\cache, \\q)" % command)
+
+    def _cache_command(self, argument: str) -> None:
+        parts = argument.split()
+        if not parts:
+            for key, value in self.db.cache_stats().items():
+                if isinstance(value, float):
+                    value = "%.2f" % value
+                self.write("  %-16s %s" % (key, value))
+            return
+        if parts[0] == "clear":
+            self.db.plan_cache.clear()
+            self.write("plan cache cleared")
+            return
+        if parts[0] == "size" and len(parts) == 2:
+            try:
+                self.db.plan_cache.resize(int(parts[1]))
+            except ValueError as exc:
+                self.write("rejected: %s" % exc)
+                return
+            self.write("plan cache capacity = %d" % self.db.plan_cache.capacity)
+            return
+        self.write("usage: \\cache [clear | size N]")
 
     def _list_relations(self) -> None:
         table = TextTable(["name", "kind", "rows", "columns"])
@@ -158,7 +190,7 @@ class Shell:
 
     def execute(self, text: str) -> None:
         try:
-            for result in self.db.execute_script(text):
+            for result in self.db.execute_script(text, use_cache=True):
                 self.write(format_result(result))
         except ReproError as exc:
             self.write("error: %s" % exc)

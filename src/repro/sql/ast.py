@@ -38,6 +38,15 @@ class AstLiteral(AstExpr):
 
 
 @dataclass(frozen=True)
+class AstParameter(AstExpr):
+    """A ``?`` placeholder; ``index`` is its 0-based position in textual
+    order, assigned by the parser. Values are supplied at execute time
+    through the prepared-statement API."""
+
+    index: int
+
+
+@dataclass(frozen=True)
 class AstComparison(AstExpr):
     op: str
     left: AstExpr

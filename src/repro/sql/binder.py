@@ -27,6 +27,7 @@ from ..expr.nodes import (
     Expr,
     InList,
     Literal,
+    Parameter,
 )
 from ..storage.catalog import Catalog
 from . import ast
@@ -45,6 +46,18 @@ class Binder:
     def __init__(self, catalog: Catalog, functions: Optional[Dict] = None):
         self.catalog = catalog
         self.functions = functions or {}
+        # `?` placeholders bound so far, by 0-based index; the prepared-
+        # statement machinery binds values onto these exact nodes
+        self.parameters: Dict[int, Parameter] = {}
+
+    def parameter_list(self) -> List[Parameter]:
+        """All Parameter nodes created while binding, in index order."""
+        return [self.parameters[i] for i in sorted(self.parameters)]
+
+    def _parameter(self, node: ast.AstParameter) -> Parameter:
+        if node.index not in self.parameters:
+            self.parameters[node.index] = Parameter(node.index)
+        return self.parameters[node.index]
 
     # ------------------------------------------------------------ FROM list
 
@@ -307,15 +320,35 @@ class Binder:
                 self._bind_scalar(node.right, scope, allow_aggregates),
             )
         if isinstance(node, ast.AstInList):
-            return InList(
-                self._bind_scalar(node.operand, scope, allow_aggregates),
-                node.values, node.negated,
-            )
+            operand = self._bind_scalar(node.operand, scope,
+                                        allow_aggregates)
+            return self._bind_in_list(operand, node)
+        if isinstance(node, ast.AstParameter):
+            return self._parameter(node)
         if isinstance(node, ast.AstFuncCall):
             raise BindError(
                 "aggregate %s() is not allowed here" % node.name.upper()
             )
         raise BindError("unsupported expression %r" % (node,))
+
+    def _bind_in_list(self, operand: Expr, node: ast.AstInList) -> Expr:
+        """Bind ``expr [NOT] IN (v, ...)``. A list of plain literals
+        becomes an InList; a list containing `?` placeholders is
+        rewritten into (NOT) (expr = v1 OR expr = v2 ...), which has the
+        same three-valued semantics and evaluates parameters properly."""
+        if not any(isinstance(v, ast.AstParameter) for v in node.values):
+            return InList(operand, node.values, node.negated)
+        disjuncts: List[Expr] = []
+        for value in node.values:
+            right = (self._parameter(value)
+                     if isinstance(value, ast.AstParameter)
+                     else Literal(value))
+            disjuncts.append(Comparison("=", operand, right))
+        membership = (disjuncts[0] if len(disjuncts) == 1
+                      else BooleanExpr("OR", disjuncts))
+        if node.negated:
+            return BooleanExpr("NOT", [membership])
+        return membership
 
     def _bind_group_scalar(self, node: ast.AstExpr, scope: "_Scope",
                            group_by: List[ColumnRef],
@@ -367,11 +400,11 @@ class Binder:
                 self._bind_group_scalar(node.right, scope, group_by, collector),
             )
         if isinstance(node, ast.AstInList):
-            return InList(
-                self._bind_group_scalar(node.operand, scope, group_by,
-                                        collector),
-                node.values, node.negated,
-            )
+            operand = self._bind_group_scalar(node.operand, scope,
+                                              group_by, collector)
+            return self._bind_in_list(operand, node)
+        if isinstance(node, ast.AstParameter):
+            return self._parameter(node)
         raise BindError("unsupported expression %r" % (node,))
 
 

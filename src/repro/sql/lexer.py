@@ -23,7 +23,7 @@ KEYWORDS = {
 
 SYMBOLS = (
     "<=", ">=", "!=", "<>", "(", ")", ",", ".", "=", "<", ">",
-    "+", "-", "*", "/", ";",
+    "+", "-", "*", "/", ";", "?",
 )
 
 

@@ -47,6 +47,9 @@ class Parser:
         self.text = text
         self.tokens = tokenize(text)
         self.pos = 0
+        # number of `?` placeholders seen so far; each gets the next
+        # 0-based index in textual order
+        self.param_count = 0
 
     # ------------------------------------------------------------ utilities
 
@@ -108,9 +111,18 @@ class Parser:
 
     def parse_script(self) -> List[ast.Statement]:
         """Parse a ';'-separated sequence of statements."""
+        return [statement for statement, _ in self.parse_script_spans()]
+
+    def parse_script_spans(self) -> List[Tuple[ast.Statement, str]]:
+        """Parse a ';'-separated script, keeping each statement's source
+        text so callers (plan cache, error messages) can refer to one
+        statement rather than the whole script."""
         statements = []
         while self.peek().kind != "eof":
-            statements.append(self._statement())
+            start = self.peek().position
+            statement = self._statement()
+            end = self.peek().position
+            statements.append((statement, self.text[start:end].strip()))
             while self.accept_symbol(";"):
                 pass
         return statements
@@ -214,8 +226,16 @@ class Parser:
             return ast.DropStmt("view", self.expect_ident())
         raise self.error("expected TABLE or VIEW after DROP")
 
+    def _parameter(self) -> ast.AstParameter:
+        node = ast.AstParameter(self.param_count)
+        self.param_count += 1
+        return node
+
     def _literal_value(self):
         token = self.peek()
+        if token.is_symbol("?"):
+            self.advance()
+            return self._parameter()
         negative = False
         if token.is_symbol("-"):
             self.advance()
@@ -449,6 +469,9 @@ class Parser:
 
     def _factor(self) -> ast.AstExpr:
         token = self.peek()
+        if token.is_symbol("?"):
+            self.advance()
+            return self._parameter()
         if token.is_symbol("("):
             self.advance()
             inner = self.parse_expr()

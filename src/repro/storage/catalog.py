@@ -141,6 +141,25 @@ class Catalog:
         self._views: Dict[str, ViewDefinition] = {}
         self._stats: Dict[str, TableStats] = {}
         self._sites: Dict[str, str] = {}
+        self._version = 0
+
+    # --------------------------------------------------------------- version
+
+    @property
+    def version(self) -> int:
+        """Monotonic catalog version.
+
+        Bumped by every DDL, data modification routed through the
+        database façade, statistics (re)build, and site placement
+        change. The plan cache tags every cached plan with the version
+        it was built under and refuses to serve a plan from an older
+        version, so stale plans can never run.
+        """
+        return self._version
+
+    def bump_version(self) -> int:
+        self._version += 1
+        return self._version
 
     # ---------------------------------------------------------------- tables
 
@@ -150,6 +169,7 @@ class Catalog:
             raise CatalogError("relation %r already exists" % name)
         table = Table(name, schema)
         self._tables[key] = table
+        self.bump_version()
         return table
 
     def drop_table(self, name: str) -> None:
@@ -158,6 +178,8 @@ class Catalog:
             raise CatalogError("no table named %r" % name)
         del self._tables[key]
         self._stats.pop(key, None)
+        self._sites.pop(key, None)
+        self.bump_version()
 
     def table(self, name: str) -> Table:
         try:
@@ -183,6 +205,7 @@ class Catalog:
             list(column_aliases) if column_aliases else None,
         )
         self._views[key] = view
+        self.bump_version()
         return view
 
     def drop_view(self, name: str) -> None:
@@ -190,6 +213,7 @@ class Catalog:
         if key not in self._views:
             raise CatalogError("no view named %r" % name)
         del self._views[key]
+        self.bump_version()
 
     def view(self, name: str) -> ViewDefinition:
         try:
@@ -216,6 +240,7 @@ class Catalog:
             self._sites.pop(name.lower(), None)
         else:
             self._sites[name.lower()] = site
+        self.bump_version()
 
     def site_for_table(self, name: str) -> Optional[str]:
         return self._sites.get(name.lower())
@@ -230,10 +255,12 @@ class Catalog:
             table = self.table(name)
             self._stats[name.lower()] = compute_table_stats(
                 table, num_buckets, histogram_kind)
+            self.bump_version()
             return
         for key, table in self._tables.items():
             self._stats[key] = compute_table_stats(table, num_buckets,
                                                    histogram_kind)
+        self.bump_version()
 
     def stats(self, name: str) -> TableStats:
         """Statistics for a table, computing them on first request."""

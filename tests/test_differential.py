@@ -130,6 +130,63 @@ def test_fixed_corpus_all_configs(config):
         assert_query_matches(db, query, config)
 
 
+@pytest.mark.parametrize("config", CONFIGS)
+def test_prepared_cached_execution_matches_one_shot(config):
+    """Every generated query, run again through db.prepare().execute()
+    with the plan cache enabled, must give exactly the one-shot answer
+    (and keep matching the naive reference) under every config."""
+    rng = random.Random(2024)
+    db = make_random_db(rng)
+    for _ in range(8):
+        query = random_query(rng)
+        block = db.bind(query)
+        expected = evaluate_block_naive(block)
+        one_shot = db.sql(query, config=config)
+        handle = db.prepare(query, config=config)
+        for _ in range(2):  # second run is a guaranteed cache hit
+            cached = handle.execute()
+            if block.order_by:
+                assert cached.rows == one_shot.rows == expected, query
+            else:
+                assert (sorted(cached.rows) == sorted(one_shot.rows)
+                        == sorted(expected)), query
+    assert db.cache_stats()["hits"] > 0
+
+
+@pytest.mark.parametrize("cache_size", [0, 128])
+def test_differential_with_cache_enabled_and_disabled(cache_size):
+    """The differential corpus holds whether the plan cache is on or
+    off; with it off every execution re-plans, with it on plans are
+    reused — the answers must be identical either way."""
+    rng = random.Random(515)
+    db = Database(plan_cache_size=cache_size)
+    db.create_table("T1", [("a", DataType.INT), ("b", DataType.INT),
+                           ("c", DataType.INT)])
+    db.create_table("T2", [("a", DataType.INT), ("d", DataType.INT)])
+    db.insert("T1", [
+        (rng.randint(0, 8), rng.randint(0, 20), rng.randint(0, 4))
+        for _ in range(40)
+    ])
+    db.insert("T2", [(rng.randint(0, 8), rng.randint(0, 6))
+                     for _ in range(25)])
+    db.analyze()
+    queries = [
+        "SELECT T1.b, T2.d FROM T1, T2 WHERE T1.a = T2.a",
+        "SELECT T1.c, COUNT(*) AS n FROM T1 GROUP BY T1.c",
+        "SELECT DISTINCT T1.a FROM T1 WHERE T1.b > 5",
+    ]
+    for query in queries:
+        expected = evaluate_block_naive(db.bind(query))
+        handle = db.prepare(query)
+        for _ in range(3):
+            assert sorted(handle.execute().rows) == sorted(expected), query
+    stats = db.cache_stats()
+    if cache_size == 0:
+        assert stats["hits"] == 0
+    else:
+        assert stats["hits"] >= 2 * len(queries)
+
+
 def test_empty_tables():
     db = Database()
     db.create_table("E1", [("x", DataType.INT)])

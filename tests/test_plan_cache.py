@@ -1,0 +1,241 @@
+"""Tests for the versioned, LRU-bounded plan cache.
+
+Covers hit/miss/invalidation/eviction accounting, key normalization,
+per-config keying, the disabled (capacity 0) mode, and — the critical
+safety property — that after any random interleaving of DDL, statistics
+updates, and queries, a cached plan never executes against a newer
+catalog version and always produces the same answer as a fresh-planned
+run.
+"""
+
+import random
+
+import pytest
+
+from repro import Database, DataType, OptimizerConfig
+from repro.distributed.database import DistributedDatabase
+from repro.plancache import PlanCache, cache_key, normalize_statement
+
+
+def small_db(**kwargs) -> Database:
+    db = Database(**kwargs)
+    db.create_table("T1", [("a", DataType.INT), ("b", DataType.INT)])
+    db.create_table("T2", [("a", DataType.INT), ("d", DataType.INT)])
+    db.insert("T1", [(i % 7, i) for i in range(50)])
+    db.insert("T2", [(i % 7, i % 3) for i in range(30)])
+    db.create_view("V1",
+                   "SELECT T2.a, COUNT(*) AS n FROM T2 GROUP BY T2.a")
+    db.analyze()
+    return db
+
+
+QUERIES = [
+    "SELECT T1.a, T1.b FROM T1 WHERE T1.b > 25",
+    "SELECT T1.b, T2.d FROM T1, T2 WHERE T1.a = T2.a",
+    "SELECT T1.b, V1.n FROM T1, V1 WHERE T1.a = V1.a",
+    "SELECT T1.a, COUNT(*) AS n FROM T1 GROUP BY T1.a",
+]
+
+
+class TestAccounting:
+    def test_hit_miss_counters(self):
+        db = small_db()
+        handle = db.prepare(QUERIES[0])
+        stats = db.cache_stats()
+        assert stats == dict(stats, misses=1, hits=0)
+        for _ in range(4):
+            handle.execute()
+        stats = db.cache_stats()
+        assert stats["hits"] == 4
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.8)
+
+    def test_invalidation_counted_and_replans(self):
+        db = small_db()
+        handle = db.prepare(QUERIES[0])
+        handle.execute()
+        db.sql("CREATE TABLE Extra (x INT)")
+        result = handle.execute()
+        assert result.cached_plan is False  # re-planned, not served stale
+        stats = db.cache_stats()
+        assert stats["invalidations"] == 1
+        # and the fresh entry serves hits again
+        assert handle.execute().cached_plan is True
+
+    def test_prepare_twice_shares_the_entry(self):
+        db = small_db()
+        first = db.prepare(QUERIES[1])
+        second = db.prepare(QUERIES[1])
+        assert first.plan is second.plan
+        assert db.cache_stats()["misses"] == 1
+
+    def test_normalization_ignores_whitespace_and_keyword_case(self):
+        db = small_db()
+        db.prepare("SELECT T1.a, T1.b FROM T1 WHERE T1.b > 25")
+        db.prepare("select  T1.a,T1.b\n FROM T1   where T1.b > 25 ;")
+        stats = db.cache_stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+
+    def test_normalization_preserves_identifier_case_and_strings(self):
+        assert (normalize_statement("select x from t -- comment\n")
+                == "SELECT x FROM t")
+        assert normalize_statement("SELECT 'a  b' FROM t") \
+            == "SELECT 'a  b' FROM t"
+        # identifier case is significant (it shapes output column names)
+        assert normalize_statement("SELECT T.a FROM T") \
+            != normalize_statement("SELECT t.a FROM t")
+
+    def test_distinct_configs_get_distinct_entries(self):
+        db = small_db()
+        plain = OptimizerConfig()
+        no_fj = OptimizerConfig(enable_filter_join=False)
+        db.prepare(QUERIES[2], config=plain)
+        db.prepare(QUERIES[2], config=no_fj)
+        assert db.cache_stats()["entries"] == 2
+        assert cache_key(QUERIES[2], plain) != cache_key(QUERIES[2], no_fj)
+
+
+class TestLRU:
+    def test_eviction_at_capacity(self):
+        db = small_db(plan_cache_size=2)
+        for query in QUERIES[:3]:
+            db.prepare(query)
+        stats = db.cache_stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        # the oldest entry is gone: re-preparing it misses
+        db.prepare(QUERIES[0])
+        assert db.cache_stats()["misses"] == 4
+
+    def test_lru_order_follows_use(self):
+        db = small_db(plan_cache_size=2)
+        a = db.prepare(QUERIES[0])
+        db.prepare(QUERIES[1])
+        a.execute()             # touch A: B is now least recently used
+        db.prepare(QUERIES[2])  # evicts B
+        assert a.plan is not None
+        assert db.prepare(QUERIES[1]).execute().rows  # re-planned miss
+        assert db.cache_stats()["evictions"] == 2
+
+    def test_resize_and_clear(self):
+        db = small_db()
+        for query in QUERIES:
+            db.prepare(query)
+        db.plan_cache.resize(1)
+        assert db.cache_stats()["entries"] == 1
+        db.plan_cache.clear()
+        stats = db.cache_stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == stats["misses"] == 0
+
+    def test_capacity_zero_disables_caching(self):
+        db = small_db(plan_cache_size=0)
+        handle = db.prepare(QUERIES[0])
+        first = handle.execute()
+        second = handle.execute()
+        assert first.rows == second.rows
+        assert first.cached_plan is False
+        assert second.cached_plan is False
+        stats = db.cache_stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == 0
+        assert stats["misses"] >= 3  # prepare + each execute
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(-1)
+
+
+class TestStalenessProperty:
+    """After any interleaving of DDL / stats / data changes and queries,
+    a cached plan must never run against a newer catalog version, and
+    every answer must match a fresh-planned run."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_interleaving_never_serves_stale_plans(self, seed):
+        rng = random.Random(9000 + seed)
+        db = small_db()
+        handles = {q: db.prepare(q) for q in QUERIES}
+        aux = 0
+
+        def do_ddl():
+            nonlocal aux
+            aux += 1
+            db.sql("CREATE TABLE Aux%d (x INT)" % aux)
+            if aux > 1 and rng.random() < 0.5:
+                db.sql("DROP TABLE Aux%d" % (aux - 1))
+
+        def do_stats():
+            db.analyze("T1" if rng.random() < 0.5 else None)
+
+        def do_insert():
+            db.insert("T1", [(rng.randint(0, 6), rng.randint(0, 99))])
+
+        def do_query():
+            query = rng.choice(QUERIES)
+            result = handles[query].execute()
+            # 1) the served plan's version is current
+            entry = db.plan_cache.peek(cache_key(query, db.config))
+            assert entry is not None
+            assert entry.catalog_version == db.catalog.version
+            # 2) the answer matches a fresh-planned, uncached run
+            fresh = db.sql(query)
+            assert sorted(result.rows) == sorted(fresh.rows), query
+
+        actions = [do_ddl, do_stats, do_insert, do_query, do_query]
+        for _ in range(40):
+            rng.choice(actions)()
+        assert db.cache_stats()["invalidations"] > 0  # churn really happened
+
+    def test_version_bumps_on_every_mutation_kind(self):
+        db = small_db()
+        seen = {db.catalog.version}
+
+        def bumped():
+            version = db.catalog.version
+            assert version not in seen, "mutation did not bump the version"
+            seen.add(version)
+
+        db.sql("CREATE TABLE M (x INT, y INT)")
+        bumped()
+        db.sql("INSERT INTO M VALUES (1, 2)")
+        bumped()
+        db.create_index("M", "x")
+        bumped()
+        db.sql("CREATE VIEW MV AS SELECT M.x FROM M")
+        bumped()
+        db.analyze("M")
+        bumped()
+        db.sql("DROP VIEW MV")
+        bumped()
+        db.sql("DROP TABLE M")
+        bumped()
+
+    def test_insert_through_cached_plan_sees_new_rows(self):
+        db = small_db()
+        handle = db.prepare("SELECT COUNT(*) AS n FROM T1")
+        before = handle.execute().rows[0][0]
+        db.sql("INSERT INTO T1 VALUES (1, 999)")
+        assert handle.execute().rows[0][0] == before + 1
+
+
+class TestDistributedInvalidation:
+    def test_moving_a_table_invalidates_cached_plans(self):
+        db = DistributedDatabase()
+        db.create_table("R", [("k", DataType.INT), ("v", DataType.INT)])
+        db.create_table("S", [("k", DataType.INT), ("w", DataType.INT)],
+                        site="east")
+        db.insert("R", [(i, i) for i in range(40)])
+        db.insert("S", [(i % 10, i) for i in range(40)])
+        db.analyze()
+        handle = db.prepare(
+            "SELECT R.v, S.w FROM R, S WHERE R.k = S.k"
+        )
+        rows = sorted(handle.execute().rows)
+        db.place_table("S", "west")
+        result = handle.execute()
+        assert result.cached_plan is False  # placement change re-planned
+        assert sorted(result.rows) == rows
+        assert db.cache_stats()["invalidations"] >= 1

@@ -79,3 +79,46 @@ def test_same_planner_replans_consistently():
     gc.collect()
     cost2 = planner.plan(block2).est_cost
     assert cost1 == cost2
+
+
+def test_cross_statement_cache_survives_id_reuse_churn():
+    """The cross-statement plan cache layered over the planner's
+    ``id()``-keyed intra-statement caches must keep the pin semantics:
+    a cached plan outlives its planner and its bound block, so with gc
+    churn and interleaved plannings of *other* statements its cost and
+    answers must stay byte-identical to a fresh-planned run."""
+    db = fresh_empdept(EmpDeptConfig(num_departments=40,
+                                     employees_per_department=10))
+    handle = db.prepare(MOTIVATING_QUERY)
+    baseline_cost = handle.plan.est_cost
+    baseline_rows = sorted(handle.execute().rows)
+    for i in range(3):
+        gc.collect()
+        _junk = [object() for _ in range(10_000)]
+        # interleave other nested-optimizing statements to churn ids
+        other = db.prepare(
+            "SELECT E.did, V.avgsal FROM Emp E, DepAvgSal V "
+            "WHERE E.did = V.did AND E.age < %d" % (25 + i)
+        )
+        other.execute()
+        assert handle.plan.est_cost == baseline_cost
+        assert sorted(handle.execute().rows) == baseline_rows
+    # a from-scratch plan of the same statement agrees exactly
+    fresh_plan, _ = db.plan(MOTIVATING_QUERY)
+    assert fresh_plan.est_cost == baseline_cost
+
+
+def test_plan_cache_hit_reuses_nested_optimization_work():
+    """A cache hit must not redo nested optimizations: the planner
+    metrics attached to a cached result are the original planning's,
+    and no new planner runs for the repeat execution."""
+    db = fresh_empdept(EmpDeptConfig(num_departments=40,
+                                     employees_per_department=10))
+    handle = db.prepare(MOTIVATING_QUERY)
+    first = handle.execute()
+    marker = db.last_planner  # planner that built the cached plan
+    second = handle.execute()
+    assert second.cached_plan is True
+    assert db.last_planner is marker  # no replan happened
+    assert second.metrics is first.metrics
+    assert second.metrics.nested_optimizations > 0

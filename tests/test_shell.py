@@ -94,6 +94,25 @@ class TestMetaCommands:
         output = run_shell("\\frobnicate\n")
         assert "unknown command" in output
 
+    def test_cache_stats(self):
+        output = run_shell(
+            SETUP
+            + "SELECT a FROM T;\nSELECT a FROM T;\n\\cache\n"
+        )
+        assert "hits" in output and "misses" in output
+        # the repeated statement hit the cache
+        assert "hits             1" in output
+
+    def test_cache_clear_and_resize(self):
+        output = run_shell("\\cache size 4\n\\cache clear\n\\cache\n")
+        assert "plan cache capacity = 4" in output
+        assert "plan cache cleared" in output
+        assert "hits             0" in output
+
+    def test_cache_bad_size_rejected(self):
+        output = run_shell("\\cache size lots\n")
+        assert "rejected" in output
+
 
 class TestFormatResult:
     def test_truncates_long_results(self):
