@@ -23,7 +23,10 @@ from .errors import (
     ExecutionError,
     ParameterError,
     PlanError,
+    QueryTimeout,
     ReproError,
+    ResourceExhausted,
+    SiteUnavailable,
     SqlSyntaxError,
     StatsError,
 )
@@ -49,8 +52,11 @@ __all__ = [
     "PlanError",
     "PreparedStatement",
     "QueryResult",
+    "QueryTimeout",
     "ReproError",
+    "ResourceExhausted",
     "Schema",
+    "SiteUnavailable",
     "SqlSyntaxError",
     "StatsError",
     "__version__",

@@ -103,6 +103,10 @@ class Database:
         self.last_planner: Optional[Planner] = None
         # cross-statement cache of optimized plans; size 0 disables it
         self.plan_cache = PlanCache(plan_cache_size)
+        # resilience: an optional SimulatedNetwork every shipment routes
+        # through, and a default per-query deadline in seconds
+        self.network = None
+        self.default_timeout: Optional[float] = None
 
     # ----------------------------------------------------------------- DDL
 
@@ -189,6 +193,7 @@ class Database:
             params=config.cost_params,
             memory_pages=config.memory_pages,
             message_payload_bytes=config.message_payload_bytes,
+            network=self.network,
         )
         root, tracers = lower_traced(plan, ctx)
         rows = list(root.rows())
@@ -288,18 +293,30 @@ class Database:
 
     def run_plan(self, plan: PlanNode,
                  metrics: Optional[PlannerMetrics] = None,
-                 config: Optional[OptimizerConfig] = None) -> QueryResult:
+                 config: Optional[OptimizerConfig] = None,
+                 timeout: Optional[float] = None,
+                 memory_budget_bytes: Optional[float] = None
+                 ) -> QueryResult:
         """Execute a physical plan and collect rows + measured costs.
 
         ``config`` supplies the runtime environment (memory, cost
         weights); it should match the config the plan was optimized
-        under, defaulting to the database-wide config.
+        under, defaulting to the database-wide config. ``timeout`` is a
+        per-call deadline in seconds (defaulting to
+        ``self.default_timeout``); ``memory_budget_bytes`` caps operator
+        working memory (defaulting to the config's budget).
         """
         config = config or self.config
+        deadline = timeout if timeout is not None else self.default_timeout
+        budget = (memory_budget_bytes if memory_budget_bytes is not None
+                  else config.memory_budget_bytes)
         ctx = RuntimeContext(
             params=config.cost_params,
             memory_pages=config.memory_pages,
             message_payload_bytes=config.message_payload_bytes,
+            network=self.network,
+            deadline_seconds=deadline,
+            memory_budget_bytes=budget,
         )
         started = time.perf_counter()
         operator = lower(plan, ctx)
@@ -316,25 +333,45 @@ class Database:
 
     def sql(self, text: str,
             config: Optional[OptimizerConfig] = None,
-            use_cache: bool = False) -> QueryResult:
+            use_cache: bool = False,
+            timeout: Optional[float] = None,
+            memory_budget_bytes: Optional[float] = None) -> QueryResult:
         """Execute one SQL statement (query or DDL/DML).
 
         With ``use_cache=True``, parameterless queries go through the
         versioned plan cache (the shell uses this); the default keeps
         the classic optimize-every-call behavior the experiments
-        measure.
+        measure. ``timeout`` (seconds) and ``memory_budget_bytes``
+        bound this call's execution; they raise
+        :class:`~repro.errors.QueryTimeout` /
+        :class:`~repro.errors.ResourceExhausted` when exceeded.
         """
         statement = parse(text)
-        return self._execute_statement(statement, text, config, use_cache)
+        return self._execute_statement(statement, text, config, use_cache,
+                                       timeout, memory_budget_bytes)
 
     def execute_script(self, text: str,
-                       use_cache: bool = False) -> List[QueryResult]:
+                       use_cache: bool = False,
+                       timeout: Optional[float] = None
+                       ) -> List[QueryResult]:
         """Execute a ';'-separated script; returns one result per
-        statement."""
+        statement.
+
+        The whole script is parsed before anything runs, so a syntax
+        error anywhere — even in the last statement — means no
+        statement executes. At execution time the contract is
+        statement-level atomicity: each statement either takes full
+        effect or none. When statement *k* of *n* raises, the effects
+        of statements 1..k-1 persist, statement *k* leaves no partial
+        state behind, and statements k+1..n never run. There is no
+        script-level rollback. ``timeout`` applies per statement, not
+        to the script as a whole.
+        """
         results = []
         for statement, span in Parser(text).parse_script_spans():
             results.append(
-                self._execute_statement(statement, span, None, use_cache)
+                self._execute_statement(statement, span, None, use_cache,
+                                        timeout)
             )
         return results
 
@@ -342,7 +379,10 @@ class Database:
 
     def _execute_statement(self, statement, original_text: str,
                            config: Optional[OptimizerConfig],
-                           use_cache: bool = False) -> QueryResult:
+                           use_cache: bool = False,
+                           timeout: Optional[float] = None,
+                           memory_budget_bytes: Optional[float] = None
+                           ) -> QueryResult:
         if isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
             if use_cache:
                 entry, hit = self._plan_entry(original_text, statement,
@@ -354,12 +394,14 @@ class Database:
                         % len(entry.parameters)
                     )
                 entry.executions += 1
-                result = self.run_plan(entry.plan, entry.metrics, config)
+                result = self.run_plan(entry.plan, entry.metrics, config,
+                                       timeout, memory_budget_bytes)
                 result.cached_plan = hit
                 return result
             block = self._bind_statement(statement)
             plan, planner = self.plan(block, config)
-            return self.run_plan(plan, planner.metrics, config)
+            return self.run_plan(plan, planner.metrics, config,
+                                 timeout, memory_budget_bytes)
         if isinstance(statement, ast.ExplainStmt):
             block = self._bind_statement(statement.select)
             plan, planner = self.plan(block, config)
@@ -465,7 +507,8 @@ class PreparedStatement:
         entry = self.db.plan_cache.peek(key)
         return entry.plan if entry is not None else None
 
-    def execute(self, params: Sequence = ()) -> QueryResult:
+    def execute(self, params: Sequence = (),
+                timeout: Optional[float] = None) -> QueryResult:
         """Bind ``params`` (one value per ``?``, in order) and run."""
         params = tuple(params)
         if len(params) != self.param_count:
@@ -480,7 +523,7 @@ class PreparedStatement:
                 node.bind(value)
             entry.executions += 1
             result = self.db.run_plan(entry.plan, entry.metrics,
-                                      self.config)
+                                      self.config, timeout)
             result.cached_plan = hit
             return result
         statement = self._substituted(params) if params else self.statement

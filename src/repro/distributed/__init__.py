@@ -1,5 +1,28 @@
-"""Distributed/heterogeneous queries: sites, shipping, semi-joins."""
+"""Distributed/heterogeneous queries: sites, shipping, semi-joins,
+fault injection, and graceful degradation."""
 
-from .database import DistributedDatabase, distributed_config
+from .database import (
+    DegradationEvent,
+    DistributedDatabase,
+    distributed_config,
+)
+from .network import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    NetworkStats,
+    RetryPolicy,
+    SimulatedNetwork,
+)
 
-__all__ = ["DistributedDatabase", "distributed_config"]
+__all__ = [
+    "DegradationEvent",
+    "DistributedDatabase",
+    "distributed_config",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "NetworkStats",
+    "RetryPolicy",
+    "SimulatedNetwork",
+]

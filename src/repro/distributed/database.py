@@ -25,12 +25,15 @@ fresh ship/semi-join choices instead of running a stale strategy.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..database import Database
+from ..errors import SiteUnavailable
 from ..ledger import CostParams
 from ..optimizer.config import OptimizerConfig
 from ..storage.schema import DataType
+from .network import FaultInjector, FaultPlan, RetryPolicy, SimulatedNetwork
 
 
 def distributed_config(msg_cost: float = 1.0,
@@ -46,14 +49,41 @@ def distributed_config(msg_cost: float = 1.0,
     return config.replace(**overrides) if overrides else config
 
 
+@dataclass
+class DegradationEvent:
+    """A recorded mid-query fallback: a site exhausted its retry
+    budget, was marked down, and the statement was re-optimized."""
+
+    site: str
+    statement: str
+    attempts: int
+    fallback_sites: List[str] = field(default_factory=list)
+
+
 class DistributedDatabase(Database):
-    """A multi-site simulated distributed DBMS."""
+    """A multi-site simulated distributed DBMS.
+
+    Every shipment in a lowered plan routes through ``self.network``, a
+    :class:`SimulatedNetwork` whose :class:`FaultInjector` can be
+    configured (``set_fault_plan``) to drop, delay, or truncate
+    messages, or to take whole sites down — deterministically, from a
+    seed. When a site exceeds its retry budget mid-query, the executor
+    raises :class:`SiteUnavailable`; this class catches it, marks the
+    site down in the catalog (bumping the catalog version so the plan
+    cache can never serve a plan that ships to the dead site), records
+    a :class:`DegradationEvent`, and transparently re-optimizes the
+    statement against the surviving placement — a registered replica
+    site, or the coordinator-local fallback copy.
+    """
 
     LOCAL = None  # the coordinator/query site
 
-    def __init__(self, config: Optional[OptimizerConfig] = None):
+    def __init__(self, config: Optional[OptimizerConfig] = None,
+                 network: Optional[SimulatedNetwork] = None):
         super().__init__(config or distributed_config())
         self._site_names = set()
+        self.network = network or SimulatedNetwork()
+        self.degradation_events: List[DegradationEvent] = []
 
     # ----------------------------------------------------------------- sites
 
@@ -90,3 +120,75 @@ class DistributedDatabase(Database):
 
     def site_of(self, name: str) -> Optional[str]:
         return self.catalog.site_for_table(name)
+
+    def add_replica(self, table: str, site: str) -> None:
+        """Register a replica placement used when the primary site is
+        down (bumps the catalog version)."""
+        if site not in self._site_names:
+            self.add_site(site)
+        self.catalog.add_replica(table, site)
+
+    # ----------------------------------------------------------- site status
+
+    def mark_site_down(self, site: str) -> None:
+        """Take a site out of placement decisions; cached plans that
+        ship to it are invalidated by the catalog version bump."""
+        self.catalog.set_site_available(site, False)
+
+    def mark_site_up(self, site: str) -> None:
+        self.catalog.set_site_available(site, True)
+
+    @property
+    def down_sites(self) -> List[str]:
+        return self.catalog.down_sites()
+
+    # --------------------------------------------------------------- faults
+
+    def set_fault_plan(self, plan: Optional[FaultPlan], seed: int = 0,
+                       retry_policy: Optional[RetryPolicy] = None) -> None:
+        """Install (or clear, with ``plan=None``) a deterministic fault
+        schedule on the network transport."""
+        if retry_policy is not None:
+            self.network.retry_policy = retry_policy
+        self.network.set_fault_plan(plan, seed)
+
+    def resilience_stats(self) -> dict:
+        """Network counters plus site status and degradation history."""
+        stats = self.network.stats.as_dict()
+        stats["down_sites"] = self.down_sites
+        stats["degradations"] = len(self.degradation_events)
+        return stats
+
+    # ------------------------------------------------------------ execution
+
+    def _execute_statement(self, statement, original_text, config,
+                           use_cache=False, timeout=None,
+                           memory_budget_bytes=None):
+        """Execute with graceful degradation: on ``SiteUnavailable``,
+        mark the site down, record the event, and re-optimize against
+        the surviving placement. Bounded by the number of known sites,
+        so a schedule that kills everything still terminates with a
+        typed error."""
+        fallbacks = 0
+        while True:
+            try:
+                return super()._execute_statement(
+                    statement, original_text, config, use_cache,
+                    timeout, memory_budget_bytes,
+                )
+            except SiteUnavailable as exc:
+                site = exc.site
+                if (site is None or self.catalog.site_is_down(site)
+                        or fallbacks >= max(1, len(self._site_names))):
+                    raise
+                self.mark_site_down(site)
+                self.degradation_events.append(DegradationEvent(
+                    site=site,
+                    statement=original_text,
+                    attempts=exc.attempts,
+                    fallback_sites=[
+                        s for s in self.sites
+                        if not self.catalog.site_is_down(s)
+                    ],
+                ))
+                fallbacks += 1

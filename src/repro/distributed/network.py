@@ -1,0 +1,278 @@
+"""Simulated network transport with deterministic fault injection.
+
+Every shipment in a lowered distributed plan — fetch-inner ships,
+fetch-matches probe round-trips, semi-join filter-set transfers, and
+Bloom-filter shipments — routes through one :class:`SimulatedNetwork`.
+The network charges the same message/byte costs the cost model
+estimates, but it can also *fail*: a seeded :class:`FaultInjector`
+decides, message by message, whether a send is delivered, dropped,
+delayed, truncated (and rejected by the receiver's checksum), or
+refused because the destination site is down.
+
+Failures are handled by a :class:`RetryPolicy` (exponential backoff with
+jitter). Backoff and latency spikes advance the execution context's
+*simulated clock* rather than sleeping, so a fault schedule that pushes
+a query past its deadline raises :class:`~repro.errors.QueryTimeout`
+deterministically and instantly. When the retry budget for a site is
+exhausted the transfer raises :class:`~repro.errors.SiteUnavailable`
+carrying the site name, which the coordinator uses to mark the site
+down and re-optimize (see ``DistributedDatabase``).
+
+Everything is deterministic given (fault plan, seed, query): the
+injector owns a single ``random.Random`` that drives both fault
+sampling and retry jitter.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..errors import SiteUnavailable
+
+#: Fault kinds the injector can produce for one message.
+FAULT_KINDS = ("site_down", "drop", "truncate", "latency")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative fault schedule, applied per message.
+
+    Rates are independent probabilities per send attempt. The
+    deterministic knobs (``down_sites``, ``fail_first``,
+    ``site_down_after``) make targeted tests reproducible without
+    fishing for a seed.
+    """
+
+    #: probability a message is silently dropped (timeout at sender)
+    drop_rate: float = 0.0
+    #: probability a payload arrives truncated and fails its checksum
+    truncate_rate: float = 0.0
+    #: probability a message is delayed by ``latency_seconds``
+    latency_rate: float = 0.0
+    #: simulated delay of one latency spike, in seconds
+    latency_seconds: float = 0.25
+    #: sites that are unreachable for the whole schedule
+    down_sites: FrozenSet[str] = frozenset()
+    #: site -> drop the first N messages touching it (then deliver)
+    fail_first: Dict[str, int] = field(default_factory=dict)
+    #: site -> site dies permanently after N delivered messages
+    site_down_after: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for name in ("drop_rate", "truncate_rate", "latency_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("%s must be in [0, 1], got %r"
+                                 % (name, rate))
+
+    @property
+    def active(self) -> bool:
+        """False when the plan can never produce a fault (fast path)."""
+        return bool(
+            self.drop_rate or self.truncate_rate or self.latency_rate
+            or self.down_sites or self.fail_first or self.site_down_after
+        )
+
+
+class FaultInjector:
+    """Seeded, stateful source of per-message fault decisions."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None, seed: int = 0):
+        self.plan = plan or FaultPlan()
+        self.seed = seed
+        self.reset()
+
+    def reset(self) -> None:
+        """Restore the injector to its initial deterministic state."""
+        self.rng = random.Random(self.seed)
+        self._fail_first = dict(self.plan.fail_first)
+        self._delivered: Dict[str, int] = {}
+
+    @property
+    def active(self) -> bool:
+        return self.plan.active
+
+    def _sites_of(self, from_site: Optional[str],
+                  to_site: Optional[str]) -> Iterable[str]:
+        return [s for s in (from_site, to_site) if s is not None]
+
+    def next_fault(self, from_site: Optional[str],
+                   to_site: Optional[str]) -> Optional[str]:
+        """The fault (if any) afflicting the next message on this link."""
+        plan = self.plan
+        sites = self._sites_of(from_site, to_site)
+        for site in sites:
+            if site in plan.down_sites:
+                return "site_down"
+            limit = plan.site_down_after.get(site)
+            if limit is not None and self._delivered.get(site, 0) >= limit:
+                return "site_down"
+        for site in sites:
+            remaining = self._fail_first.get(site, 0)
+            if remaining > 0:
+                self._fail_first[site] = remaining - 1
+                return "drop"
+        if plan.drop_rate and self.rng.random() < plan.drop_rate:
+            return "drop"
+        if plan.truncate_rate and self.rng.random() < plan.truncate_rate:
+            return "truncate"
+        if plan.latency_rate and self.rng.random() < plan.latency_rate:
+            return "latency"
+        return None
+
+    def record_delivery(self, from_site: Optional[str],
+                        to_site: Optional[str]) -> None:
+        for site in self._sites_of(from_site, to_site):
+            self._delivered[site] = self._delivered.get(site, 0) + 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter, capped per-message attempts."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25  # fraction of the delay randomized
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = min(self.max_delay,
+                  self.base_delay * (self.multiplier ** (attempt - 1)))
+        if self.jitter:
+            raw *= 1.0 - self.jitter * rng.random()
+        return raw
+
+
+@dataclass
+class NetworkStats:
+    """Observable counters for one network's lifetime."""
+
+    messages: int = 0
+    bytes: float = 0.0
+    drops: int = 0
+    truncations: int = 0
+    latency_spikes: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    site_down_refusals: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class SimulatedNetwork:
+    """The transport every distributed shipment routes through.
+
+    ``transfer`` moves a payload between two sites, message by message,
+    consulting the injector and applying the retry policy. All cost
+    accounting (messages, bytes, CPU) lands on the execution context's
+    ledger exactly as the legacy inline accounting did, so with an
+    inactive injector the measured costs are unchanged.
+    """
+
+    def __init__(self, injector: Optional[FaultInjector] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
+        self.injector = injector
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.stats = NetworkStats()
+        # jitter source when no injector is installed (never consulted
+        # for faults, only for backoff on... nothing; kept for safety)
+        self._fallback_rng = random.Random(0)
+
+    # ------------------------------------------------------------- control
+
+    def set_fault_plan(self, plan: Optional[FaultPlan],
+                       seed: int = 0) -> None:
+        """Install (or clear, with None) a fault schedule."""
+        self.injector = FaultInjector(plan, seed) if plan else None
+
+    def reset(self) -> None:
+        """Reset injector state and counters (fresh schedule replay)."""
+        if self.injector is not None:
+            self.injector.reset()
+        self.stats = NetworkStats()
+
+    @property
+    def faulty(self) -> bool:
+        return self.injector is not None and self.injector.active
+
+    # ------------------------------------------------------------ transport
+
+    def transfer(self, ctx, from_site: Optional[str],
+                 to_site: Optional[str], nbytes: float) -> None:
+        """Deliver ``nbytes`` from one site to another, or raise.
+
+        Charges one message per ``ctx.message_payload_bytes`` chunk.
+        Raises :class:`SiteUnavailable` when a site refuses or the retry
+        budget runs out; advances the simulated clock on latency spikes
+        and backoff so deadlines fire deterministically.
+        """
+        messages = max(1, math.ceil(
+            max(0.0, nbytes) / ctx.message_payload_bytes))
+        per_message = nbytes / messages if messages else 0.0
+        if not self.faulty:
+            # fast path: identical accounting to the legacy inline code
+            ctx.ledger.net_msgs += messages
+            ctx.ledger.net_bytes += nbytes
+            self.stats.messages += messages
+            self.stats.bytes += nbytes
+            return
+        for _ in range(messages):
+            self._send_one(ctx, from_site, to_site, per_message)
+
+    def _send_one(self, ctx, from_site: Optional[str],
+                  to_site: Optional[str], nbytes: float) -> None:
+        injector = self.injector
+        policy = self.retry_policy
+        remote = to_site if to_site is not None else from_site
+        attempt = 0
+        while True:
+            attempt += 1
+            fault = injector.next_fault(from_site, to_site)
+            if fault == "site_down":
+                self.stats.site_down_refusals += 1
+                raise SiteUnavailable(
+                    "site %r is unreachable" % (remote,),
+                    site=remote, attempts=attempt,
+                )
+            # the attempt uses the wire whether or not it is delivered
+            ctx.ledger.net_msgs += 1
+            ctx.ledger.net_bytes += nbytes
+            self.stats.messages += 1
+            self.stats.bytes += nbytes
+            if fault is None or fault == "latency":
+                if fault == "latency":
+                    self.stats.latency_spikes += 1
+                    ctx.advance_clock(injector.plan.latency_seconds)
+                    ctx.check_deadline()
+                injector.record_delivery(from_site, to_site)
+                return
+            # drop (sender timeout) or truncate (checksum reject): retry
+            if fault == "drop":
+                self.stats.drops += 1
+            else:
+                self.stats.truncations += 1
+            if attempt >= policy.max_attempts:
+                raise SiteUnavailable(
+                    "giving up on site %r after %d attempts (last "
+                    "fault: %s)" % (remote, attempt, fault),
+                    site=remote, attempts=attempt,
+                )
+            delay = policy.delay(attempt, injector.rng)
+            self.stats.retries += 1
+            self.stats.backoff_seconds += delay
+            ctx.advance_clock(delay)
+            ctx.check_deadline()

@@ -43,6 +43,44 @@ class ExecutionError(ReproError):
     """A runtime failure while executing a physical plan."""
 
 
+class QueryTimeout(ExecutionError):
+    """The query's deadline elapsed before execution finished.
+
+    ``elapsed`` includes simulated network delay (latency spikes and
+    retry backoff) on top of wall-clock time, so a fault schedule can
+    deterministically push a query past its deadline.
+    """
+
+    def __init__(self, message: str, elapsed: float = 0.0,
+                 timeout: float = 0.0):
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.timeout = timeout
+
+
+class SiteUnavailable(ExecutionError):
+    """A remote site could not be reached within the retry budget.
+
+    Carries the ``site`` name so the coordinator can mark it down and
+    re-optimize with a different placement.
+    """
+
+    def __init__(self, message: str, site=None, attempts: int = 0):
+        super().__init__(message)
+        self.site = site
+        self.attempts = attempts
+
+
+class ResourceExhausted(ExecutionError):
+    """An operator's memory accounting exceeded the per-query budget."""
+
+    def __init__(self, message: str, requested_bytes: float = 0.0,
+                 budget_bytes: float = 0.0):
+        super().__init__(message)
+        self.requested_bytes = requested_bytes
+        self.budget_bytes = budget_bytes
+
+
 class ParameterError(ExecutionError):
     """A prepared-statement parameter problem: wrong number of values,
     an unsupported value type, or executing with parameters unbound."""

@@ -186,7 +186,8 @@ class _Lowering:
         return RelabelOp(self.ctx, self.lower(node.child), node.schema)
 
     def _lower_ShipNode(self, node: ShipNode) -> Operator:
-        return ShipOp(self.ctx, self.lower(node.child))
+        return ShipOp(self.ctx, self.lower(node.child),
+                      from_site=node.from_site, to_site=node.to_site)
 
     def _lower_UnionNode(self, node: UnionNode) -> Operator:
         return UnionOp(self.ctx, self.lower(node.left),
@@ -251,7 +252,8 @@ class _Lowering:
                 self.ctx, outer, inner_node.relation.table,
                 inner_node.schema, node.index_column.split(".", 1)[1],
                 outer.schema.index_of(pair[0]), residual, node.schema,
-                remote=remote,
+                remote=remote, local_site=node.site,
+                remote_site=inner_node.relation.site,
             )
         raise PlanError("unknown join method %r" % node.method)
 
@@ -261,6 +263,22 @@ class _Lowering:
             Column(filter_col, outer_schema.column(outer_col).dtype)
             for outer_col, filter_col in node.bind_pairs
         )
+
+    @staticmethod
+    def _remote_site(plan: PlanNode):
+        """The remote site a filter set must be shipped to: the first
+        non-local site found in the template subtree (a ship-home's
+        origin, or a remote scan's placement)."""
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            from_site = getattr(node, "from_site", None)
+            if from_site is not None:
+                return from_site
+            if node.site is not None:
+                return node.site
+            stack.extend(node.children())
+        return None
 
     def _lower_NestedIterationNode(self, node: NestedIterationNode) -> Operator:
         outer = self.lower(node.outer)
@@ -302,6 +320,9 @@ class _Lowering:
             materialize_production=node.materialize_production,
             lossy=node.lossy, bloom_bits=node.bloom_bits,
             ship_filter=node.ship_filter,
+            site=node.site,
+            filter_site=(self._remote_site(node.inner_template)
+                         if node.ship_filter else None),
         )
 
     def _lower_FunctionJoinNode(self, node: FunctionJoinNode) -> Operator:

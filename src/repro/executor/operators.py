@@ -24,6 +24,13 @@ from .runtime import RuntimeContext, TempTable
 
 Row = tuple
 
+# Memory accounting granularity: collection-building loops charge their
+# working memory against the per-query budget once per this many rows,
+# so a runaway build fails with ResourceExhausted long before the
+# process feels it, while the per-row hot path stays branch-cheap.
+_MEM_CHUNK_MASK = 1023
+_MEM_CHUNK_ROWS = _MEM_CHUNK_MASK + 1
+
 
 def bind_memberships(expr: Optional[Expr], ctx: RuntimeContext) -> None:
     """Bind every RuntimeMembership node in a resolved tree to its
@@ -208,11 +215,19 @@ class DistinctOp(Operator):
 
     def rows(self) -> Iterator[Row]:
         seen = set()
-        for row in self.child.rows():
-            self.ctx.charge_cpu(1)
-            if row not in seen:
-                seen.add(row)
-                yield row
+        width = self.schema.row_width()
+        held = 0.0
+        try:
+            for row in self.child.rows():
+                self.ctx.charge_cpu(1)
+                if row not in seen:
+                    seen.add(row)
+                    if not (len(seen) & _MEM_CHUNK_MASK):
+                        self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
+                        held += _MEM_CHUNK_ROWS * width
+                    yield row
+        finally:
+            self.ctx.mem_release(held)
 
 
 class SortOp(Operator):
@@ -227,21 +242,27 @@ class SortOp(Operator):
     def rows(self) -> Iterator[Row]:
         data = list(self.child.rows())
         n = len(data)
-        if n > 1:
-            self.ctx.charge_cpu(n * math.log2(n))
-        sort_pages = pages_for(n, self.schema.row_width())
-        if not self.ctx.fits(sort_pages):
-            fan_in = max(2, self.ctx.memory_pages - 1)
-            runs = sort_pages / self.ctx.memory_pages
-            passes = max(1, math.ceil(math.log(max(runs, 2), fan_in)))
-            self.ctx.ledger.charge_writes(sort_pages * passes)
-            self.ctx.ledger.charge_reads(sort_pages * passes)
-        for position, ascending in reversed(self.keys):
-            data.sort(
-                key=lambda row: _sort_key((row[position],)),
-                reverse=not ascending,
-            )
-        return iter(data)
+        width = self.schema.row_width()
+        self.ctx.mem_acquire(n * width)
+        try:
+            if n > 1:
+                self.ctx.charge_cpu(n * math.log2(n))
+            sort_pages = pages_for(n, width)
+            if not self.ctx.fits(sort_pages):
+                fan_in = max(2, self.ctx.memory_pages - 1)
+                runs = sort_pages / self.ctx.memory_pages
+                passes = max(1, math.ceil(math.log(max(runs, 2), fan_in)))
+                self.ctx.ledger.charge_writes(sort_pages * passes)
+                self.ctx.ledger.charge_reads(sort_pages * passes)
+            for position, ascending in reversed(self.keys):
+                data.sort(
+                    key=lambda row: _sort_key((row[position],)),
+                    reverse=not ascending,
+                )
+            for row in data:
+                yield row
+        finally:
+            self.ctx.mem_release(n * width)
 
 
 class LimitOp(Operator):
@@ -274,28 +295,37 @@ class AggregateOp(Operator):
 
     def rows(self) -> Iterator[Row]:
         groups = {}
+        width = self.schema.row_width()
+        held = 0.0
         for spec, argument in self.aggregates:
             bind_memberships(argument, self.ctx)
-        for row in self.child.rows():
-            self.ctx.charge_cpu(1)
-            key = tuple(row[p] for p in self.group_positions)
-            accumulators = groups.get(key)
-            if accumulators is None:
-                accumulators = [
+        try:
+            for row in self.child.rows():
+                self.ctx.charge_cpu(1)
+                key = tuple(row[p] for p in self.group_positions)
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = [
+                        Accumulator.for_spec(spec)
+                        for spec, _ in self.aggregates
+                    ]
+                    groups[key] = accumulators
+                    if not (len(groups) & _MEM_CHUNK_MASK):
+                        self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
+                        held += _MEM_CHUNK_ROWS * width
+                for (spec, argument), accumulator in zip(self.aggregates,
+                                                         accumulators):
+                    value = None if argument is None else argument.eval(row)
+                    accumulator.add(value)
+            if not groups and not self.group_positions and self.aggregates:
+                groups[()] = [
                     Accumulator.for_spec(spec) for spec, _ in self.aggregates
                 ]
-                groups[key] = accumulators
-            for (spec, argument), accumulator in zip(self.aggregates,
-                                                     accumulators):
-                value = None if argument is None else argument.eval(row)
-                accumulator.add(value)
-        if not groups and not self.group_positions and self.aggregates:
-            groups[()] = [
-                Accumulator.for_spec(spec) for spec, _ in self.aggregates
-            ]
-        for key, accumulators in groups.items():
-            self.ctx.charge_cpu(1)
-            yield key + tuple(a.result() for a in accumulators)
+            for key, accumulators in groups.items():
+                self.ctx.charge_cpu(1)
+                yield key + tuple(a.result() for a in accumulators)
+        finally:
+            self.ctx.mem_release(held)
 
 
 class MaterializeOp(Operator):
@@ -314,7 +344,14 @@ class MaterializeOp(Operator):
                          spilled=not self.ctx.fits(temp_pages))
 
     def rows(self) -> Iterator[Row]:
-        return iter(self.build().rows)
+        temp = self.build()
+        nbytes = len(temp.rows) * self.schema.row_width()
+        self.ctx.mem_acquire(nbytes)
+        try:
+            for row in temp.rows:
+                yield row
+        finally:
+            self.ctx.mem_release(nbytes)
 
 
 class RelabelOp(Operator):
@@ -329,15 +366,26 @@ class RelabelOp(Operator):
 
 
 class ShipOp(Operator):
-    """Move rows between sites, charging messages and bytes."""
+    """Move rows between sites, charging messages and bytes.
 
-    def __init__(self, ctx: RuntimeContext, child: Operator):
+    With a simulated network installed on the context, the shipment is
+    subject to fault injection (drops, truncation, latency, site-down)
+    and the retry policy; ``from_site``/``to_site`` identify the link.
+    """
+
+    def __init__(self, ctx: RuntimeContext, child: Operator,
+                 from_site: Optional[str] = None,
+                 to_site: Optional[str] = None):
         super().__init__(ctx, child.schema)
         self.child = child
+        self.from_site = from_site
+        self.to_site = to_site
 
     def rows(self) -> Iterator[Row]:
         data = list(self.child.rows())
-        self.ctx.charge_ship(len(data), self.schema.row_width())
+        self.ctx.charge_ship(len(data), self.schema.row_width(),
+                             from_site=self.from_site,
+                             to_site=self.to_site)
         return iter(data)
 
 
@@ -353,14 +401,22 @@ class UnionOp(Operator):
 
     def rows(self) -> Iterator[Row]:
         seen = set() if self.distinct else None
-        for source in (self.left, self.right):
-            for row in source.rows():
-                self.ctx.charge_cpu(1)
-                if seen is not None:
-                    if row in seen:
-                        continue
-                    seen.add(row)
-                yield row
+        width = self.schema.row_width()
+        held = 0.0
+        try:
+            for source in (self.left, self.right):
+                for row in source.rows():
+                    self.ctx.charge_cpu(1)
+                    if seen is not None:
+                        if row in seen:
+                            continue
+                        seen.add(row)
+                        if not (len(seen) & _MEM_CHUNK_MASK):
+                            self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
+                            held += _MEM_CHUNK_ROWS * width
+                    yield row
+        finally:
+            self.ctx.mem_release(held)
 
 
 # -------------------------------------------------------------- join ops
@@ -389,38 +445,49 @@ class HashJoinOp(Operator):
         bind_memberships(self.residual, self.ctx)
         table = {}
         build_rows = 0
-        for row in self.inner.rows():
-            self.ctx.charge_cpu(1)
-            build_rows += 1
-            key = tuple(row[p] for p in self.inner_positions)
-            if _null_free(key):
-                table.setdefault(key, []).append(row)
-        build_pages = pages_for(build_rows, self.inner.schema.row_width())
-        probe_rows = 0
-        emitted_inner = set() if self.semi else None
-        for outer_row in self.outer.rows():
-            self.ctx.charge_cpu(1)
-            probe_rows += 1
-            key = tuple(outer_row[p] for p in self.outer_positions)
-            if not _null_free(key):
-                continue
-            for inner_row in table.get(key, ()):
+        build_width = self.inner.schema.row_width()
+        held = 0.0
+        try:
+            for row in self.inner.rows():
                 self.ctx.charge_cpu(1)
-                if self.semi:
-                    if id(inner_row) not in emitted_inner:
-                        emitted_inner.add(id(inner_row))
-                        yield inner_row
+                build_rows += 1
+                if not (build_rows & _MEM_CHUNK_MASK):
+                    self.ctx.mem_acquire(_MEM_CHUNK_ROWS * build_width)
+                    held += _MEM_CHUNK_ROWS * build_width
+                key = tuple(row[p] for p in self.inner_positions)
+                if _null_free(key):
+                    table.setdefault(key, []).append(row)
+            tail = (build_rows & _MEM_CHUNK_MASK) * build_width
+            self.ctx.mem_acquire(tail)
+            held += tail
+            build_pages = pages_for(build_rows, build_width)
+            probe_rows = 0
+            emitted_inner = set() if self.semi else None
+            for outer_row in self.outer.rows():
+                self.ctx.charge_cpu(1)
+                probe_rows += 1
+                key = tuple(outer_row[p] for p in self.outer_positions)
+                if not _null_free(key):
                     continue
-                combined = outer_row + inner_row
-                if self.residual is not None and \
-                        self.residual.eval(combined) is not True:
-                    continue
-                yield combined
-        if not self.ctx.fits(build_pages):
-            probe_pages = pages_for(probe_rows,
-                                    self.outer.schema.row_width())
-            self.ctx.ledger.charge_writes(build_pages + probe_pages)
-            self.ctx.ledger.charge_reads(build_pages + probe_pages)
+                for inner_row in table.get(key, ()):
+                    self.ctx.charge_cpu(1)
+                    if self.semi:
+                        if id(inner_row) not in emitted_inner:
+                            emitted_inner.add(id(inner_row))
+                            yield inner_row
+                        continue
+                    combined = outer_row + inner_row
+                    if self.residual is not None and \
+                            self.residual.eval(combined) is not True:
+                        continue
+                    yield combined
+            if not self.ctx.fits(build_pages):
+                probe_pages = pages_for(probe_rows,
+                                        self.outer.schema.row_width())
+                self.ctx.ledger.charge_writes(build_pages + probe_pages)
+                self.ctx.ledger.charge_reads(build_pages + probe_pages)
+        finally:
+            self.ctx.mem_release(held)
 
 
 class MergeJoinOp(Operator):
@@ -441,46 +508,52 @@ class MergeJoinOp(Operator):
         bind_memberships(self.residual, self.ctx)
         left = list(self.outer.rows())
         right = list(self.inner.rows())
+        held = (len(left) * self.outer.schema.row_width()
+                + len(right) * self.inner.schema.row_width())
+        self.ctx.mem_acquire(held)
         self.ctx.charge_cpu(len(left) + len(right))
         lkey = lambda row: _sort_key(
             tuple(row[p] for p in self.outer_positions))
         rkey = lambda row: _sort_key(
             tuple(row[p] for p in self.inner_positions))
-        i = j = 0
-        while i < len(left) and j < len(right):
-            lval = tuple(left[i][p] for p in self.outer_positions)
-            rval = tuple(right[j][p] for p in self.inner_positions)
-            if not _null_free(lval):
-                i += 1
-                continue
-            if not _null_free(rval):
-                j += 1
-                continue
-            if lkey(left[i]) < rkey(right[j]):
-                i += 1
-            elif lkey(left[i]) > rkey(right[j]):
-                j += 1
-            else:
-                # gather the equal-key groups on both sides
-                i2 = i
-                while i2 < len(left) and tuple(
-                    left[i2][p] for p in self.outer_positions
-                ) == lval:
-                    i2 += 1
-                j2 = j
-                while j2 < len(right) and tuple(
-                    right[j2][p] for p in self.inner_positions
-                ) == rval:
-                    j2 += 1
-                for a in range(i, i2):
-                    for b in range(j, j2):
-                        self.ctx.charge_cpu(1)
-                        combined = left[a] + right[b]
-                        if self.residual is not None and \
-                                self.residual.eval(combined) is not True:
-                            continue
-                        yield combined
-                i, j = i2, j2
+        try:
+            i = j = 0
+            while i < len(left) and j < len(right):
+                lval = tuple(left[i][p] for p in self.outer_positions)
+                rval = tuple(right[j][p] for p in self.inner_positions)
+                if not _null_free(lval):
+                    i += 1
+                    continue
+                if not _null_free(rval):
+                    j += 1
+                    continue
+                if lkey(left[i]) < rkey(right[j]):
+                    i += 1
+                elif lkey(left[i]) > rkey(right[j]):
+                    j += 1
+                else:
+                    # gather the equal-key groups on both sides
+                    i2 = i
+                    while i2 < len(left) and tuple(
+                        left[i2][p] for p in self.outer_positions
+                    ) == lval:
+                        i2 += 1
+                    j2 = j
+                    while j2 < len(right) and tuple(
+                        right[j2][p] for p in self.inner_positions
+                    ) == rval:
+                        j2 += 1
+                    for a in range(i, i2):
+                        for b in range(j, j2):
+                            self.ctx.charge_cpu(1)
+                            combined = left[a] + right[b]
+                            if self.residual is not None and \
+                                    self.residual.eval(combined) is not True:
+                                continue
+                            yield combined
+                    i, j = i2, j2
+        finally:
+            self.ctx.mem_release(held)
 
 
 class BlockNLJoinOp(Operator):
@@ -500,6 +573,8 @@ class BlockNLJoinOp(Operator):
     def rows(self) -> Iterator[Row]:
         bind_memberships(self.residual, self.ctx)
         inner_rows = list(self.inner.rows())
+        inner_held = len(inner_rows) * self.inner.schema.row_width()
+        self.ctx.mem_acquire(inner_held)
         inner_pages = pages_for(len(inner_rows),
                                 self.inner.schema.row_width())
         inner_spilled = not self.ctx.fits(inner_pages)
@@ -549,15 +624,18 @@ class BlockNLJoinOp(Operator):
                         continue
                     yield combined
 
-        for outer_row in self.outer.rows():
-            block.append(outer_row)
-            if len(block) >= rows_per_block:
+        try:
+            for outer_row in self.outer.rows():
+                block.append(outer_row)
+                if len(block) >= rows_per_block:
+                    for result in flush(block):
+                        yield result
+                    block = []
+            if block:
                 for result in flush(block):
                     yield result
-                block = []
-        if block:
-            for result in flush(block):
-                yield result
+        finally:
+            self.ctx.mem_release(inner_held)
 
 
 class IndexNLJoinOp(Operator):
@@ -566,7 +644,9 @@ class IndexNLJoinOp(Operator):
     def __init__(self, ctx: RuntimeContext, outer: Operator, table: Table,
                  inner_schema: Schema, index_column: str,
                  outer_position: int, residual: Optional[Expr],
-                 schema: Schema, remote: bool = False):
+                 schema: Schema, remote: bool = False,
+                 local_site: Optional[str] = None,
+                 remote_site: Optional[str] = None):
         super().__init__(ctx, schema)
         self.outer = outer
         self.table = table
@@ -575,6 +655,8 @@ class IndexNLJoinOp(Operator):
         self.outer_position = outer_position
         self.residual = residual
         self.remote = remote
+        self.local_site = local_site
+        self.remote_site = remote_site
 
     def rows(self) -> Iterator[Row]:
         bind_memberships(self.residual, self.ctx)
@@ -593,8 +675,10 @@ class IndexNLJoinOp(Operator):
                 self.table, self.index_column, len(positions)))
             self.ctx.charge_cpu(len(positions) + 1)
             if self.remote:
-                self.ctx.ledger.net_msgs += 2
-                self.ctx.ledger.net_bytes += 16 + len(positions) * width
+                self.ctx.charge_probe_roundtrip(
+                    self.local_site, self.remote_site,
+                    16, len(positions) * width,
+                )
             for position in positions:
                 combined = outer_row + self.table.row_at(position)
                 if self.residual is not None and \
@@ -658,10 +742,14 @@ class FilterJoinOp(Operator):
                  residual: Optional[Expr], schema: Schema,
                  materialize_production: bool = True,
                  lossy: bool = False, bloom_bits: int = 64 * 1024,
-                 ship_filter: bool = False):
+                 ship_filter: bool = False,
+                 site: Optional[str] = None,
+                 filter_site: Optional[str] = None):
         super().__init__(ctx, schema)
         self.outer = outer
         self.template = template
+        self.site = site
+        self.filter_site = filter_site
         self.param_id = param_id
         self.bind_positions = list(bind_positions)
         self.filter_schema = filter_schema
@@ -686,6 +774,7 @@ class FilterJoinOp(Operator):
         # 1. Production set (JoinCost_P + ProductionCost_P)
         before = ledger.snapshot()
         production = list(self.outer.rows())
+        self.ctx.mem_acquire(len(production) * outer_width)
         self._component("JoinCost_P", before)
         before = ledger.snapshot()
         if self.materialize_production:
@@ -717,14 +806,20 @@ class FilterJoinOp(Operator):
                 bloom.add(key if len(key) > 1 else key[0])
             self.ctx.bind_membership(self.param_id, bloom)
             if self.ship_filter:
-                ledger.charge_message(bloom.size_bytes)
+                self.ctx.charge_message(bloom.size_bytes,
+                                        from_site=self.site,
+                                        to_site=self.filter_site)
         else:
             temp = TempTable(sorted(keys, key=_sort_key),
                              self.filter_schema)
+            self.ctx.mem_acquire(
+                len(keys) * self.filter_schema.row_width())
             self.ctx.bind_filter_set(self.param_id, temp)
             if self.ship_filter:
                 self.ctx.charge_ship(len(keys),
-                                     self.filter_schema.row_width())
+                                     self.filter_schema.row_width(),
+                                     from_site=self.site,
+                                     to_site=self.filter_site)
         self._component("AvailCost_F", before)
 
         # 4. Restricted inner (FilterCost_Rk). Any ship-home of a remote
@@ -732,6 +827,8 @@ class FilterJoinOp(Operator):
         # so AvailCost_Rk' is zero here (it pipelines into the join).
         before = ledger.snapshot()
         restricted = list(self.template.rows())
+        self.ctx.mem_acquire(
+            len(restricted) * self.template.schema.row_width())
         self._component("FilterCost_Rk", before)
         self.measured_components["AvailCost_Rk'"] = 0.0
 

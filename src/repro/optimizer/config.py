@@ -60,6 +60,11 @@ class OptimizerConfig:
     message_payload_bytes: int = 8192
     bloom_bits: int = 64 * 1024      # fixed Bloom filter size (bits)
     cost_params: CostParams = field(default_factory=CostParams)
+    # Per-query byte budget for operator working memory (hash tables,
+    # sorts, materialized temps, filter sets). None = unlimited; when
+    # set, a query that would exceed it fails with ResourceExhausted
+    # instead of growing unboundedly.
+    memory_budget_bytes: int = None
 
     def replace(self, **changes) -> "OptimizerConfig":
         """A copy with the given fields changed."""
@@ -68,6 +73,12 @@ class OptimizerConfig:
     def validate(self) -> None:
         if self.parametric_classes < 2:
             raise ValueError("parametric_classes must be >= 2 (line fit)")
+        if self.memory_budget_bytes is not None \
+                and self.memory_budget_bytes <= 0:
+            raise ValueError(
+                "memory_budget_bytes must be positive (or None for "
+                "unlimited)"
+            )
         if self.filter_column_strategy not in ("all", "all_and_singles"):
             raise ValueError(
                 "filter_column_strategy must be 'all' or 'all_and_singles'"

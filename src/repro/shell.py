@@ -12,7 +12,13 @@ start with a backslash:
     \\cache         show plan-cache counters (hits/misses/invalidations)
     \\cache clear   empty the plan cache and reset its counters
     \\cache size N  resize the plan cache (0 disables it)
+    \\timeout S     set a per-statement deadline in seconds (off = none)
+    \\faults ...    configure network fault injection (\\faults help)
     \\q             quit
+
+Syntax errors point at the offending token with a caret line, and a
+``Ctrl-C`` mid-statement abandons the buffered input without killing
+the shell (the database stays consistent — statements are atomic).
 
 Statements executed in the shell go through the versioned plan cache, so
 re-running a query skips parse/bind/optimize; ``\\cache`` shows the
@@ -27,7 +33,7 @@ import sys
 from typing import Iterable, Optional, TextIO
 
 from .database import Database, QueryResult
-from .errors import ReproError
+from .errors import ReproError, SqlSyntaxError
 from .harness.report import TextTable
 
 PROMPT = "repro> "
@@ -58,6 +64,27 @@ def format_result(result: QueryResult, max_rows: int = 50) -> str:
     return "\n".join(lines)
 
 
+def caret_lines(text: str, exc: SqlSyntaxError) -> list:
+    """The source line holding a syntax error plus a caret pointer.
+
+    Uses the ``position``/``line`` fields every :class:`SqlSyntaxError`
+    carries; returns an empty list when no position is available.
+    """
+    position = getattr(exc, "position", -1)
+    if position is None or position < 0 or position > len(text):
+        return []
+    position = min(position, len(text))
+    line_start = text.rfind("\n", 0, position) + 1
+    line_end = text.find("\n", position)
+    if line_end == -1:
+        line_end = len(text)
+    source_line = text[line_start:line_end]
+    if not source_line.strip():
+        return []
+    column = position - line_start
+    return [source_line, " " * column + "^"]
+
+
 class Shell:
     """Stateful REPL over one Database."""
 
@@ -66,6 +93,7 @@ class Shell:
         self.db = db or Database()
         self.out = out
         self.done = False
+        self.timeout: Optional[float] = None
 
     def write(self, text: str) -> None:
         self.out.write(text + "\n")
@@ -101,8 +129,100 @@ class Shell:
         if command == "\\cache":
             self._cache_command(argument)
             return
+        if command == "\\timeout":
+            self._timeout_command(argument)
+            return
+        if command == "\\faults":
+            self._faults_command(argument)
+            return
         self.write("unknown command %r (try \\d, \\e, \\ea, \\config, "
-                   "\\set, \\cache, \\q)" % command)
+                   "\\set, \\cache, \\timeout, \\faults, \\q)" % command)
+
+    def _timeout_command(self, argument: str) -> None:
+        if not argument:
+            if self.timeout is None:
+                self.write("no statement timeout set")
+            else:
+                self.write("statement timeout = %.3fs" % self.timeout)
+            return
+        if argument.lower() in ("off", "none"):
+            self.timeout = None
+            self.write("statement timeout cleared")
+            return
+        try:
+            seconds = float(argument)
+            if seconds <= 0:
+                raise ValueError
+        except ValueError:
+            self.write("usage: \\timeout SECONDS (positive) | off")
+            return
+        self.timeout = seconds
+        self.write("statement timeout = %.3fs" % seconds)
+
+    def _faults_command(self, argument: str) -> None:
+        from .distributed.network import FaultPlan, SimulatedNetwork
+
+        parts = argument.split()
+        if parts and parts[0] == "help":
+            self.write("usage: \\faults                 show status")
+            self.write("       \\faults off             disable injection")
+            self.write("       \\faults KEY VALUE ...   configure, keys:")
+            self.write("         drop R | truncate R | latency R [SECONDS]")
+            self.write("         seed N | down SITE[,SITE...]")
+            return
+        if not parts:
+            network = self.db.network
+            if network is None or network.injector is None:
+                self.write("fault injection off")
+            else:
+                plan = network.injector.plan
+                self.write("fault injection on (seed %d):"
+                           % network.injector.seed)
+                for key, value in sorted(vars(plan).items()):
+                    if value:
+                        self.write("  %-18s %r" % (key, value))
+            if network is not None:
+                for key, value in network.stats.as_dict().items():
+                    self.write("  %-18s %s" % (key, value))
+            return
+        if parts[0] == "off":
+            if self.db.network is not None:
+                self.db.network.set_fault_plan(None)
+            self.write("fault injection off")
+            return
+        settings = {"seed": 0}
+        fields = {"drop": "drop_rate", "truncate": "truncate_rate",
+                  "latency": "latency_rate"}
+        i = 0
+        try:
+            while i < len(parts):
+                key = parts[i]
+                if key in fields:
+                    settings[fields[key]] = float(parts[i + 1])
+                    i += 2
+                    if (key == "latency" and i < len(parts)
+                            and parts[i] not in fields
+                            and parts[i] not in ("seed", "down")):
+                        settings["latency_seconds"] = float(parts[i])
+                        i += 1
+                elif key == "seed":
+                    settings["seed"] = int(parts[i + 1])
+                    i += 2
+                elif key == "down":
+                    settings["down_sites"] = frozenset(
+                        parts[i + 1].split(","))
+                    i += 2
+                else:
+                    raise ValueError("unknown key %r" % key)
+            seed = settings.pop("seed")
+            plan = FaultPlan(**settings)
+        except (IndexError, ValueError, TypeError) as exc:
+            self.write("rejected: %s (try \\faults help)" % exc)
+            return
+        if self.db.network is None:
+            self.db.network = SimulatedNetwork()
+        self.db.network.set_fault_plan(plan, seed)
+        self.write("fault injection on (seed %d)" % seed)
 
     def _cache_command(self, argument: str) -> None:
         parts = argument.split()
@@ -190,8 +310,13 @@ class Shell:
 
     def execute(self, text: str) -> None:
         try:
-            for result in self.db.execute_script(text, use_cache=True):
+            for result in self.db.execute_script(text, use_cache=True,
+                                                 timeout=self.timeout):
                 self.write(format_result(result))
+        except SqlSyntaxError as exc:
+            self.write("error: %s" % exc)
+            for line in caret_lines(text, exc):
+                self.write(line)
         except ReproError as exc:
             self.write("error: %s" % exc)
 
@@ -204,15 +329,21 @@ class Shell:
         for raw in lines:
             line = raw.rstrip("\n")
             stripped = line.strip()
-            if not buffer and stripped.startswith("\\"):
-                self.handle_meta(stripped)
-                if self.done:
-                    return
-            elif stripped:
-                buffer.append(line)
-                if stripped.endswith(";"):
-                    self.execute("\n".join(buffer))
-                    buffer = []
+            try:
+                if not buffer and stripped.startswith("\\"):
+                    self.handle_meta(stripped)
+                    if self.done:
+                        return
+                elif stripped:
+                    buffer.append(line)
+                    if stripped.endswith(";"):
+                        self.execute("\n".join(buffer))
+                        buffer = []
+            except KeyboardInterrupt:
+                # abandon the buffered statement, keep the shell alive;
+                # statements are atomic, so the database is consistent
+                buffer = []
+                self.write("^C — statement abandoned")
             if interactive:
                 self.out.write(CONTINUATION if buffer else PROMPT)
                 self.out.flush()
@@ -225,10 +356,16 @@ def main(argv=None) -> int:
     interactive = sys.stdin.isatty()
     if interactive:
         shell.write("repro SQL shell — \\q to quit, \\d for relations")
-    try:
-        shell.run(sys.stdin, interactive=interactive)
-    except KeyboardInterrupt:
-        shell.write("")
+    while True:
+        try:
+            shell.run(sys.stdin, interactive=interactive)
+            break
+        except KeyboardInterrupt:
+            # Ctrl-C at the prompt (outside execute): stay alive when
+            # interactive, exit cleanly when scripted
+            shell.write("^C")
+            if not interactive or shell.done:
+                break
     return 0
 
 

@@ -141,6 +141,8 @@ class Catalog:
         self._views: Dict[str, ViewDefinition] = {}
         self._stats: Dict[str, TableStats] = {}
         self._sites: Dict[str, str] = {}
+        self._replicas: Dict[str, List[str]] = {}
+        self._down_sites: set = set()
         self._version = 0
 
     # --------------------------------------------------------------- version
@@ -242,8 +244,58 @@ class Catalog:
             self._sites[name.lower()] = site
         self.bump_version()
 
+    def add_replica(self, name: str, site: str) -> None:
+        """Register an additional placement for a table. Replicas are
+        used (in registration order) when the primary site is down."""
+        self.table(name)  # raises if unknown
+        replicas = self._replicas.setdefault(name.lower(), [])
+        if site not in replicas:
+            replicas.append(site)
+            self.bump_version()
+
+    def replicas_for_table(self, name: str) -> List[str]:
+        return list(self._replicas.get(name.lower(), ()))
+
     def site_for_table(self, name: str) -> Optional[str]:
-        return self._sites.get(name.lower())
+        """The *effective* placement of a table.
+
+        Returns the primary site while it is up; otherwise the first
+        registered replica at a live site; otherwise None — the
+        coordinator-local fallback copy (in this simulation every table
+        has one, so a query can always degrade to a local plan).
+        """
+        primary = self._sites.get(name.lower())
+        if primary is None or primary not in self._down_sites:
+            return primary
+        for replica in self._replicas.get(name.lower(), ()):
+            if replica not in self._down_sites:
+                return replica
+        return None
+
+    # ---------------------------------------------------------- site status
+
+    def set_site_available(self, site: str, available: bool) -> bool:
+        """Mark a site up or down; placement decisions (and therefore
+        cached plans, via the version bump) react immediately. Returns
+        True when the status actually changed."""
+        changed = (
+            site in self._down_sites if available
+            else site not in self._down_sites
+        )
+        if not changed:
+            return False
+        if available:
+            self._down_sites.discard(site)
+        else:
+            self._down_sites.add(site)
+        self.bump_version()
+        return True
+
+    def site_is_down(self, site: str) -> bool:
+        return site in self._down_sites
+
+    def down_sites(self) -> List[str]:
+        return sorted(self._down_sites)
 
     # ------------------------------------------------------------ statistics
 

@@ -73,6 +73,9 @@ class Column:
     width: Optional[int] = None
 
     def __post_init__(self):
+        if not isinstance(self.dtype, DataType):
+            raise TypeError("column %r: dtype must be a DataType, got %r"
+                            % (self.name, self.dtype))
         if self.width is None:
             object.__setattr__(self, "width", self.dtype.default_width)
 

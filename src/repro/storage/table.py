@@ -61,12 +61,20 @@ class Table:
             index.insert(key, position)
 
     def insert_many(self, rows: Iterable[Sequence]) -> int:
-        """Insert many rows; returns the number inserted."""
-        count = 0
-        for row in rows:
-            self.insert(row)
-            count += 1
-        return count
+        """Insert many rows atomically; returns the number inserted.
+
+        The whole batch is validated before any row is appended, so a
+        bad row mid-batch leaves the table untouched — this is what
+        makes a failed INSERT statement all-or-nothing.
+        """
+        coerced_rows = [self.schema.validate_row(row) for row in rows]
+        for coerced in coerced_rows:
+            position = len(self.rows)
+            self.rows.append(coerced)
+            for index in self.indexes.values():
+                key = coerced[self.schema.index_of(index.column_name)]
+                index.insert(key, position)
+        return len(coerced_rows)
 
     def row_at(self, position: int) -> tuple:
         return self.rows[position]

@@ -1,0 +1,197 @@
+"""Error-taxonomy property: only ``ReproError`` subclasses escape the
+public API.
+
+A fuzzer throws malformed SQL, bad parameter vectors, and bad API
+arguments at every public ``Database`` entry point and asserts that
+nothing but a typed :class:`ReproError` (or a plain ``TypeError`` /
+``ValueError`` for non-SQL argument-contract violations) ever escapes —
+no ``KeyError``, ``AttributeError``, ``IndexError``, or other internal
+exceptions leaking implementation details to callers.
+"""
+
+import random
+import string
+
+import pytest
+
+from repro import Database, DataType, ReproError
+from repro.distributed import DistributedDatabase, FaultPlan
+
+# Internal exception types that must NEVER escape a public entry point.
+_LEAKY = (KeyError, AttributeError, IndexError, UnboundLocalError,
+          RecursionError, ZeroDivisionError, StopIteration)
+
+# Argument-contract violations (wrong Python types passed to a Python
+# API) may surface as TypeError/ValueError — that is normal Python
+# behavior, not a leak.
+_ACCEPTABLE = (ReproError, TypeError, ValueError)
+
+
+def make_db():
+    db = Database()
+    db.create_table("Emp", [("name", DataType.STR),
+                            ("dept", DataType.INT),
+                            ("sal", DataType.INT)])
+    db.create_table("Dept", [("dno", DataType.INT),
+                             ("dname", DataType.STR)])
+    db.insert("Emp", [("e%d" % i, i % 4, 100 * i) for i in range(40)])
+    db.insert("Dept", [(i, "d%d" % i) for i in range(4)])
+    db.create_index("Emp", "dept")
+    db.analyze()
+    return db
+
+
+def mutate_sql(rng):
+    """One malformed-ish SQL string: a valid statement with random
+    corruption, or pure garbage."""
+    seeds = [
+        "SELECT name FROM Emp WHERE dept = 2",
+        "SELECT E.name, D.dname FROM Emp E, Dept D WHERE E.dept = D.dno",
+        "SELECT dept, COUNT(*) FROM Emp GROUP BY dept",
+        "INSERT INTO Emp VALUES ('x', 1, 2)",
+        "CREATE TABLE Zed (a INT)",
+        "SELECT name FROM Emp ORDER BY sal",
+        "SELECT name FROM Emp WHERE sal > ? AND dept = ?",
+    ]
+    text = rng.choice(seeds)
+    op = rng.randrange(6)
+    if op == 0:      # delete a random slice
+        i = rng.randrange(len(text))
+        text = text[:i] + text[i + rng.randrange(1, 8):]
+    elif op == 1:    # insert random junk
+        i = rng.randrange(len(text))
+        junk = "".join(rng.choice(string.printable)
+                       for _ in range(rng.randrange(1, 6)))
+        text = text[:i] + junk + text[i:]
+    elif op == 2:    # swap two tokens
+        words = text.split()
+        if len(words) > 2:
+            a, b = rng.randrange(len(words)), rng.randrange(len(words))
+            words[a], words[b] = words[b], words[a]
+        text = " ".join(words)
+    elif op == 3:    # truncate
+        text = text[:rng.randrange(len(text))]
+    elif op == 4:    # pure garbage
+        text = "".join(rng.choice(string.printable)
+                       for _ in range(rng.randrange(0, 40)))
+    # op == 5: leave the statement intact (valid input must not raise
+    # anything non-typed either)
+    return text
+
+
+@pytest.mark.parametrize("seed", range(120))
+def test_sql_entry_points_raise_only_typed_errors(seed):
+    rng = random.Random(seed)
+    db = make_db()
+    text = mutate_sql(rng)
+    entry_points = [
+        lambda: db.sql(text),
+        lambda: db.sql(text, use_cache=True),
+        lambda: db.explain(text),
+        lambda: db.explain_analyze(text),
+        lambda: db.prepare(text),
+        lambda: db.bind(text),
+        lambda: db.plan(text),
+        lambda: list(db.execute_script(text + ";" + text)),
+    ]
+    for call in entry_points:
+        try:
+            call()
+        except ReproError:
+            pass
+        except _LEAKY as exc:  # pragma: no cover - the bug we hunt
+            pytest.fail("raw %s leaked for %r: %s"
+                        % (type(exc).__name__, text, exc))
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_prepared_parameter_fuzz(seed):
+    rng = random.Random(seed)
+    db = make_db()
+    stmt = db.prepare("SELECT name FROM Emp WHERE sal > ? AND dept = ?")
+    bad_param_vectors = [
+        (),                       # too few
+        (1,),                     # too few
+        (1, 2, 3),                # too many
+        ("not-an-int", "nope"),   # wrong types
+        (None, None),
+        (object(), object()),
+        ([1], {2: 3}),
+    ]
+    params = rng.choice(bad_param_vectors)
+    try:
+        stmt.execute(params)
+    except _ACCEPTABLE:
+        pass
+    except _LEAKY as exc:
+        pytest.fail("raw %s leaked for params %r: %s"
+                    % (type(exc).__name__, params, exc))
+
+
+class TestApiArgumentFuzz:
+    """Bad non-SQL arguments to catalog-mutating entry points."""
+
+    def check(self, call):
+        try:
+            call()
+        except _ACCEPTABLE:
+            pass
+        except _LEAKY as exc:
+            pytest.fail("raw %s leaked: %s" % (type(exc).__name__, exc))
+
+    def test_create_table_bad_args(self):
+        db = make_db()
+        self.check(lambda: db.create_table("Emp", [("a", DataType.INT)]))
+        self.check(lambda: db.create_table("", []))
+        self.check(lambda: db.create_table("X", [("a", "not-a-type")]))
+        self.check(lambda: db.create_table("Y", [("a",)]))
+
+    def test_insert_bad_args(self):
+        db = make_db()
+        self.check(lambda: db.insert("Missing", [(1,)]))
+        self.check(lambda: db.insert("Emp", [(1,)]))          # arity
+        self.check(lambda: db.insert("Emp", [("a", "b", "c")]))
+        self.check(lambda: db.insert("Emp", "not-rows"))
+
+    def test_create_index_bad_args(self):
+        db = make_db()
+        self.check(lambda: db.create_index("Missing", "a"))
+        self.check(lambda: db.create_index("Emp", "missing_col"))
+
+    def test_analyze_bad_args(self):
+        db = make_db()
+        self.check(lambda: db.analyze("Missing"))
+
+    def test_sql_bad_run_options(self):
+        db = make_db()
+        self.check(lambda: db.sql("SELECT name FROM Emp",
+                                  timeout="soon"))
+        self.check(lambda: db.sql("SELECT name FROM Emp",
+                                  memory_budget_bytes="lots"))
+
+    def test_view_bad_args(self):
+        db = make_db()
+        self.check(lambda: db.create_view("V", "SELECT nope FROM gone"))
+        self.check(lambda: db.create_view("Emp", "SELECT name FROM Emp"))
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_distributed_fuzz_stays_typed(seed):
+    """The distributed façade under faults obeys the same taxonomy."""
+    rng = random.Random(seed)
+    db = DistributedDatabase()
+    db.create_table("R", [("x", DataType.INT)], site="east")
+    db.insert("R", [(i,) for i in range(30)])
+    db.analyze()
+    db.set_fault_plan(FaultPlan(drop_rate=rng.random() * 0.9,
+                                latency_rate=rng.random() * 0.5,
+                                latency_seconds=rng.random() * 5),
+                      seed=seed)
+    text = mutate_sql(rng).replace("Emp", "R").replace("Dept", "R")
+    try:
+        db.sql(text, timeout=rng.choice([None, 0.01, 1.0]))
+    except ReproError:
+        pass
+    except _LEAKY as exc:
+        pytest.fail("raw %s leaked for %r: %s"
+                    % (type(exc).__name__, text, exc))

@@ -122,3 +122,133 @@ class TestFormatResult:
         result = db.sql("SELECT x FROM Big")
         text = format_result(result, max_rows=10)
         assert "90 more rows" in text
+
+
+class TestSyntaxErrorCaret:
+    def test_caret_points_at_offending_token(self):
+        output = run_shell("SELECT a FRM T;\n")
+        lines = output.splitlines()
+        assert any("error:" in line for line in lines)
+        # the source line is echoed with a caret underneath
+        source_index = next(i for i, line in enumerate(lines)
+                            if "SELECT a FRM T;" in line)
+        caret = lines[source_index + 1]
+        assert caret.strip() == "^"
+        # the parser reads FRM as an alias and errors at the next
+        # token — the caret lands exactly there
+        assert lines[source_index][caret.index("^")] == "T"
+
+    def test_caret_on_multiline_statement(self):
+        output = run_shell("SELECT a\nFRM T;\n")
+        lines = output.splitlines()
+        source_index = next(i for i, line in enumerate(lines)
+                            if line.strip() == "FRM T;")
+        assert lines[source_index + 1].strip() == "^"
+
+    def test_non_syntax_errors_have_no_caret(self):
+        output = run_shell("SELECT nope FROM missing;\n")
+        assert "error:" in output
+        assert "^" not in output
+
+
+class TestTimeoutCommand:
+    def test_set_show_and_clear(self):
+        output = run_shell("\\timeout 2.5\n\\timeout\n\\timeout off\n")
+        assert output.count("statement timeout = 2.500s") == 2
+        assert "statement timeout cleared" in output
+
+    def test_rejects_garbage(self):
+        output = run_shell("\\timeout -1\n\\timeout soon\n")
+        assert output.count("usage:") == 2
+
+    def test_timeout_applies_to_statements(self):
+        from repro.distributed import DistributedDatabase, FaultPlan
+
+        db = DistributedDatabase()
+        db.create_table("R", [("x", DataType.INT)], site="east")
+        db.insert("R", [(i,) for i in range(50)])
+        db.analyze()
+        db.set_fault_plan(FaultPlan(latency_rate=1.0,
+                                    latency_seconds=30.0))
+        output = run_shell("\\timeout 0.1\nSELECT x FROM R;\n", db=db)
+        assert "error:" in output and "deadline" in output
+
+
+class TestFaultsCommand:
+    def test_status_when_off(self):
+        output = run_shell("\\faults\n")
+        assert "fault injection off" in output
+
+    def test_configure_and_show(self):
+        from repro.distributed import DistributedDatabase
+
+        db = DistributedDatabase()
+        output = run_shell(
+            "\\faults drop 0.5 seed 7\n\\faults\n", db=db)
+        assert "fault injection on (seed 7)" in output
+        assert "drop_rate" in output
+        assert db.network.injector is not None
+
+    def test_off_clears_plan(self):
+        from repro.distributed import DistributedDatabase
+
+        db = DistributedDatabase()
+        output = run_shell("\\faults drop 0.5\n\\faults off\n", db=db)
+        assert "fault injection off" in output
+        assert db.network.injector is None
+
+    def test_help_and_bad_key(self):
+        output = run_shell("\\faults help\n\\faults warp 0.5\n")
+        assert "usage:" in output
+        assert "rejected:" in output
+
+    def test_creates_network_on_plain_database(self):
+        db = Database()
+        assert db.network is None
+        run_shell("\\faults latency 1.0 0.5\n", db=db)
+        assert db.network is not None
+        assert db.network.injector.plan.latency_seconds == 0.5
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_mid_statement_keeps_shell_alive(self):
+        out = io.StringIO()
+        shell = Shell(out=out)
+        original = shell.execute
+        calls = []
+
+        def flaky(text):
+            if not calls:
+                calls.append(text)
+                raise KeyboardInterrupt
+            return original(text)
+
+        shell.execute = flaky
+        shell.run(io.StringIO(
+            "CREATE TABLE A (x INT);\nCREATE TABLE T (a INT);\n"))
+        output = out.getvalue()
+        assert "statement abandoned" in output
+        # the shell went on to run the next statement
+        assert "OK (create table)" in output
+
+    def test_interrupt_clears_pending_buffer(self):
+        out = io.StringIO()
+        shell = Shell(out=out)
+
+        class Interrupting:
+            def __init__(self, lines):
+                self.lines = iter(lines)
+                self.sent = 0
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                return next(self.lines)
+
+        shell.run(io.StringIO("CREATE TABLE T (a INT);\n"))
+        # buffer a partial statement, then interrupt inside handle
+        shell.execute = lambda text: (_ for _ in ()).throw(
+            KeyboardInterrupt)
+        shell.run(io.StringIO("SELECT a\nFROM T;\n"))
+        assert "statement abandoned" in out.getvalue()
