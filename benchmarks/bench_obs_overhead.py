@@ -1,0 +1,132 @@
+"""Observability overhead with tracing off: must stay under 3%.
+
+The observability layer rides along on every query — statement-kind
+counters, the plan-cache listener, and the ``trace=None`` resolution in
+``sql``/``run_plan``. All of it is engineered to cost ~nothing when no
+trace is requested: the executor never wraps operators, the ledger is
+never swapped for the teeing subclass, and metric increments are a dict
+update per *query* (never per row).
+
+``python benchmarks/bench_obs_overhead.py`` runs the standalone smoke
+check used by CI: the motivating EmpDept query on a default database
+(metrics on, tracing off) must run within ``MAX_OVERHEAD`` of the same
+database with the metrics registry disabled wholesale.
+"""
+
+import gc
+import time
+
+from repro.workloads import EmpDeptConfig, MOTIVATING_QUERY, fresh_empdept
+
+REPEATS = 10
+MAX_OVERHEAD = 0.03  # 3%
+TRIALS = 25          # many short paired trials; min converges fast
+ATTEMPTS = 3         # re-measure before declaring a regression
+
+
+def bench_db():
+    return fresh_empdept(EmpDeptConfig(
+        num_departments=100, employees_per_department=10, seed=301,
+    ))
+
+
+def run_loop(db, repeats=REPEATS):
+    rows = None
+    for _ in range(repeats):
+        rows = db.sql(MOTIVATING_QUERY).rows
+    return rows
+
+
+def measured_overhead():
+    """(overhead_fraction, bare_seconds, observed_seconds).
+
+    Both configurations run on the *same* database instance — the
+    metrics registry is toggled between halves of each interleaved
+    pair — so allocation-layout luck between two separately built
+    databases can't masquerade as overhead. The reported overhead is
+    the ratio of the two *minimum* trial times: noise (GC pressure,
+    turbo decay, noisy neighbors) only ever adds time, so the min over
+    several trials converges on each configuration's true cost.
+    """
+    db = bench_db()
+    registry = db.metrics_registry
+    # warm both paths (first-run costs: stats, imports, allocator)
+    registry.enabled = False
+    expected = run_loop(db, 2)
+    registry.enabled = True
+    got = run_loop(db, 2)
+    assert sorted(got) == sorted(expected), \
+        "observability plumbing changed the answer"
+
+    best = {False: float("inf"), True: float("inf")}
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for trial in range(TRIALS):
+            # alternate which configuration runs first so thermal/
+            # frequency drift within a pair can't bias one side
+            order = (False, True) if trial % 2 == 0 else (True, False)
+            for enabled in order:
+                registry.enabled = enabled
+                started = time.perf_counter()
+                run_loop(db)
+                elapsed = time.perf_counter() - started
+                best[enabled] = min(best[enabled], elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        registry.enabled = True
+    bare, observed = best[False], best[True]
+    return observed / bare - 1.0, bare, observed
+
+
+def best_overhead(report=None):
+    """Measure up to ``ATTEMPTS`` times, stopping early on a pass.
+
+    A 3% budget sits below the noise floor of a busy shared machine
+    (±4% even on min-of-trials), so a single measurement would flake.
+    Noise can only *inflate* an attempt's estimate; a genuine
+    regression keeps every attempt above the gate, so taking the best
+    of a few attempts keeps the gate honest without the flake rate.
+    """
+    best = None
+    for _ in range(ATTEMPTS):
+        result = measured_overhead()
+        if report is not None:
+            report(result)
+        if best is None or result[0] < best[0]:
+            best = result
+        if best[0] < MAX_OVERHEAD:
+            break
+    return best
+
+
+def test_tracing_off_overhead_under_3_percent():
+    overhead, bare, observed = best_overhead()
+    assert overhead < MAX_OVERHEAD, (
+        "observability overhead %.1f%% >= %.0f%% "
+        "(metrics off %.3fs, on %.3fs)"
+        % (overhead * 100, MAX_OVERHEAD * 100, bare, observed)
+    )
+
+
+def main():
+    def report(result):
+        overhead, bare, observed = result
+        print("metrics off: %.3fs min-trial (%.1f q/s); "
+              "metrics on: %.3fs (%.1f q/s)  -> %+.1f%%"
+              % (bare, REPEATS / bare, observed, REPEATS / observed,
+                 overhead * 100))
+
+    overhead, _bare, _observed = best_overhead(report)
+    print("overhead: %+.1f%% (maximum allowed: %.0f%%)"
+          % (overhead * 100, MAX_OVERHEAD * 100))
+    if overhead >= MAX_OVERHEAD:
+        raise SystemExit("FAIL: overhead above %.0f%%"
+                         % (MAX_OVERHEAD * 100))
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

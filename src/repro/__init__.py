@@ -31,6 +31,14 @@ from .errors import (
     StatsError,
 )
 from .ledger import CostLedger, CostParams
+from .obs import (
+    DriftRecorder,
+    DriftReport,
+    MetricsRegistry,
+    QueryTrace,
+    Span,
+    global_metrics,
+)
 from .optimizer.config import OptimizerConfig
 from .plancache import PlanCache
 from .storage.schema import Column, DataType, Schema
@@ -45,7 +53,10 @@ __all__ = [
     "CostParams",
     "DataType",
     "Database",
+    "DriftRecorder",
+    "DriftReport",
     "ExecutionError",
+    "MetricsRegistry",
     "OptimizerConfig",
     "ParameterError",
     "PlanCache",
@@ -53,11 +64,14 @@ __all__ = [
     "PreparedStatement",
     "QueryResult",
     "QueryTimeout",
+    "QueryTrace",
     "ReproError",
     "ResourceExhausted",
     "Schema",
+    "Span",
     "SiteUnavailable",
     "SqlSyntaxError",
     "StatsError",
     "__version__",
+    "global_metrics",
 ]

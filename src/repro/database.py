@@ -29,6 +29,10 @@ from .executor.lowering import lower
 from .executor.runtime import RuntimeContext
 from .expr.nodes import PARAMETER_TYPES
 from .ledger import CostLedger
+from .obs.drift import DriftRecorder, DriftReport
+from .obs.metrics import MetricsRegistry, global_metrics
+from .obs.render import render_explain_analyze
+from .obs.trace import QueryTrace, TraceBuilder
 from .optimizer.config import OptimizerConfig
 from .optimizer.planner import Planner, PlannerMetrics
 from .optimizer.plans import PlanNode
@@ -52,6 +56,19 @@ _TYPE_MAP = {
     "bool": DataType.BOOL,
 }
 
+#: statement class -> label for the queries_total metric
+_STATEMENT_KINDS = {
+    "SelectStmt": "select",
+    "UnionStmt": "union",
+    "ExplainStmt": "explain",
+    "CreateTableStmt": "create_table",
+    "CreateTableAsStmt": "create_table_as",
+    "CreateViewStmt": "create_view",
+    "CreateIndexStmt": "create_index",
+    "InsertStmt": "insert",
+    "DropStmt": "drop",
+}
+
 
 @dataclass
 class QueryResult:
@@ -67,6 +84,8 @@ class QueryResult:
     # True when the plan was served by the cross-statement plan cache
     # rather than freshly optimized for this call
     cached_plan: bool = False
+    # the span tree for this execution (only when traced)
+    trace: Optional[QueryTrace] = None
 
     @property
     def columns(self) -> List[str]:
@@ -101,12 +120,49 @@ class Database:
         self.config = config or OptimizerConfig()
         self.config.validate()
         self.last_planner: Optional[Planner] = None
+        # observability: per-database metrics chained to the process
+        # registry, the estimate-drift window, and the tracing default
+        # (per-call ``trace=`` overrides it)
+        self.metrics_registry = MetricsRegistry("db",
+                                                parent=global_metrics())
+        self.drift = DriftRecorder()
+        self.tracing = False
         # cross-statement cache of optimized plans; size 0 disables it
-        self.plan_cache = PlanCache(plan_cache_size)
+        self.plan_cache = PlanCache(plan_cache_size,
+                                    listener=self._plan_cache_event)
         # resilience: an optional SimulatedNetwork every shipment routes
         # through, and a default per-query deadline in seconds
         self.network = None
         self.default_timeout: Optional[float] = None
+
+    # ---------------------------------------------------------- observability
+
+    def _plan_cache_event(self, event: str, count: int) -> None:
+        self.metrics_registry.inc("plan_cache_events_total", count,
+                                  label=event)
+
+    def metrics(self) -> dict:
+        """A snapshot of every recorded metric, plus network counters
+        when a simulated network is installed."""
+        data = self.metrics_registry.as_dict()
+        if self.network is not None:
+            data["network"] = self.network.stats.as_dict()
+        return data
+
+    def drift_report(self) -> DriftReport:
+        """Estimate drift over the recent traced-query window, worst
+        operators first (see ``docs/observability.md``)."""
+        return self.drift.report()
+
+    def _record_trace(self, result: "QueryResult") -> None:
+        trace = result.trace
+        self.drift.record_trace(trace)
+        registry = self.metrics_registry
+        registry.observe("query_qerror", trace.max_q_error)
+        for span in trace.operator_spans():
+            if span.executions:
+                registry.inc("operator_rows_total", span.actual_rows,
+                             label=span.node_type)
 
     # ----------------------------------------------------------------- DDL
 
@@ -183,56 +239,21 @@ class Database:
     def explain_analyze(self, sql_text: str,
                         config: Optional[OptimizerConfig] = None) -> str:
         """EXPLAIN plus execution: the plan annotated with per-operator
-        actual row counts, followed by the measured cost ledger and
-        estimate-vs-actual totals."""
-        from .executor.lowering import lower_traced
-
+        actual row counts (from the query's span tree), followed by the
+        measured cost ledger and the measured/est cost q-error."""
         config = config or self.config
-        plan, planner = self.plan(sql_text, config)
-        ctx = RuntimeContext(
-            params=config.cost_params,
-            memory_pages=config.memory_pages,
-            message_payload_bytes=config.message_payload_bytes,
-            network=self.network,
-        )
-        root, tracers = lower_traced(plan, ctx)
-        rows = list(root.rows())
-        result = QueryResult(rows=rows, schema=plan.schema, plan=plan,
-                             ledger=ctx.ledger, metrics=planner.metrics)
-
-        def render(node, indent=0):
-            tracer = tracers.get(id(node))
-            if tracer is not None and tracer.executions > 0:
-                actual = "actual rows=%d" % tracer.rows_out
-                if tracer.executions > 1:
-                    actual += " over %d runs" % tracer.executions
-            else:
-                actual = "never executed"
-            line = "%s%s  [est rows=%.0f | %s | cost=%.1f]" % (
-                "  " * indent, node.label(), node.est_rows, actual,
-                node.est_cost,
+        parse_started = time.perf_counter()
+        statement = parse(sql_text)
+        parse_seconds = time.perf_counter() - parse_started
+        if not isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
+            raise ReproError(
+                "EXPLAIN ANALYZE requires a query, got %s"
+                % type(statement).__name__
             )
-            parts = [line]
-            for child in node.children():
-                parts.append(render(child, indent + 1))
-            return "\n".join(parts)
-
-        measured = result.ledger.total(config.cost_params)
-        lines = [
-            render(plan),
-            "",
-            "actual rows: %d" % len(result.rows),
-            "estimated cost: %.1f   measured cost: %.1f   (ratio %.2f)"
-            % (plan.est_cost, measured,
-               plan.est_cost / measured if measured else float("nan")),
-            "measured: %s" % result.ledger,
-            "optimizer: %d plans considered, %d filter joins costed, "
-            "%d nested optimizations"
-            % (planner.metrics.plans_considered,
-               planner.metrics.filter_joins_considered,
-               planner.metrics.nested_optimizations),
-        ]
-        return "\n".join(lines)
+        result = self._execute_statement(statement, sql_text, config,
+                                         trace=True,
+                                         parse_seconds=parse_seconds)
+        return render_explain_analyze(result, config.cost_params)
 
     # ------------------------------------------------------- prepared plans
 
@@ -295,7 +316,8 @@ class Database:
                  metrics: Optional[PlannerMetrics] = None,
                  config: Optional[OptimizerConfig] = None,
                  timeout: Optional[float] = None,
-                 memory_budget_bytes: Optional[float] = None
+                 memory_budget_bytes: Optional[float] = None,
+                 trace: Optional[TraceBuilder] = None
                  ) -> QueryResult:
         """Execute a physical plan and collect rows + measured costs.
 
@@ -304,7 +326,10 @@ class Database:
         under, defaulting to the database-wide config. ``timeout`` is a
         per-call deadline in seconds (defaulting to
         ``self.default_timeout``); ``memory_budget_bytes`` caps operator
-        working memory (defaulting to the config's budget).
+        working memory (defaulting to the config's budget). ``trace``
+        is an optional :class:`TraceBuilder` to record this execution
+        into; the finished span tree rides on ``result.trace`` and
+        feeds the drift recorder and metrics registry.
         """
         config = config or self.config
         deadline = timeout if timeout is not None else self.default_timeout
@@ -319,23 +344,40 @@ class Database:
             memory_budget_bytes=budget,
         )
         started = time.perf_counter()
-        operator = lower(plan, ctx)
-        rows = list(operator.rows())
-        elapsed = time.perf_counter() - started
-        return QueryResult(
+        if trace is None:
+            operator = lower(plan, ctx)
+            rows = list(operator.rows())
+            elapsed = time.perf_counter() - started
+            ledger = ctx.ledger
+        else:
+            trace.install(ctx)
+            with trace.phase("lower"):
+                operator = lower(plan, ctx)
+            with trace.phase("execute"):
+                rows = list(operator.rows())
+            elapsed = time.perf_counter() - started
+            # a plain snapshot, not the tee subclass, so ledger equality
+            # against untraced runs behaves normally
+            ledger = ctx.ledger.snapshot()
+        result = QueryResult(
             rows=rows,
             schema=plan.schema,
             plan=plan,
-            ledger=ctx.ledger,
+            ledger=ledger,
             metrics=metrics,
             elapsed_seconds=elapsed,
         )
+        if trace is not None:
+            result.trace = trace.finish(plan)
+            self._record_trace(result)
+        return result
 
     def sql(self, text: str,
             config: Optional[OptimizerConfig] = None,
             use_cache: bool = False,
             timeout: Optional[float] = None,
-            memory_budget_bytes: Optional[float] = None) -> QueryResult:
+            memory_budget_bytes: Optional[float] = None,
+            trace: Optional[bool] = None) -> QueryResult:
         """Execute one SQL statement (query or DDL/DML).
 
         With ``use_cache=True``, parameterless queries go through the
@@ -345,10 +387,18 @@ class Database:
         bound this call's execution; they raise
         :class:`~repro.errors.QueryTimeout` /
         :class:`~repro.errors.ResourceExhausted` when exceeded.
+        ``trace=True`` records a span tree onto ``result.trace``
+        (``None`` defers to ``self.tracing``).
         """
+        traced = self.tracing if trace is None else trace
+        parse_started = time.perf_counter() if traced else 0.0
         statement = parse(text)
+        parse_seconds = (time.perf_counter() - parse_started
+                         if traced else 0.0)
         return self._execute_statement(statement, text, config, use_cache,
-                                       timeout, memory_budget_bytes)
+                                       timeout, memory_budget_bytes,
+                                       trace=traced,
+                                       parse_seconds=parse_seconds)
 
     def execute_script(self, text: str,
                        use_cache: bool = False,
@@ -381,12 +431,29 @@ class Database:
                            config: Optional[OptimizerConfig],
                            use_cache: bool = False,
                            timeout: Optional[float] = None,
-                           memory_budget_bytes: Optional[float] = None
+                           memory_budget_bytes: Optional[float] = None,
+                           trace: Optional[bool] = None,
+                           parse_seconds: float = 0.0
                            ) -> QueryResult:
+        kind = _STATEMENT_KINDS.get(type(statement).__name__, "other")
+        self.metrics_registry.inc("queries_total", label=kind)
         if isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
+            traced = self.tracing if trace is None else trace
+            builder = None
+            if traced:
+                builder = TraceBuilder(original_text)
+                builder.add_phase("parse", parse_seconds)
             if use_cache:
-                entry, hit = self._plan_entry(original_text, statement,
-                                              config)
+                if builder is None:
+                    entry, hit = self._plan_entry(original_text,
+                                                  statement, config)
+                else:
+                    # the cache path folds bind into optimize on a miss
+                    with builder.phase("optimize") as span:
+                        entry, hit = self._plan_entry(original_text,
+                                                      statement, config)
+                        span.extras["plan_cache"] = (
+                            "hit" if hit else "miss")
                 if entry.parameters:
                     raise ParameterError(
                         "statement has %d unbound parameter(s); use "
@@ -395,13 +462,21 @@ class Database:
                     )
                 entry.executions += 1
                 result = self.run_plan(entry.plan, entry.metrics, config,
-                                       timeout, memory_budget_bytes)
+                                       timeout, memory_budget_bytes,
+                                       trace=builder)
                 result.cached_plan = hit
                 return result
-            block = self._bind_statement(statement)
-            plan, planner = self.plan(block, config)
+            if builder is None:
+                block = self._bind_statement(statement)
+                plan, planner = self.plan(block, config)
+            else:
+                with builder.phase("bind"):
+                    block = self._bind_statement(statement)
+                with builder.phase("optimize"):
+                    plan, planner = self.plan(block, config)
             return self.run_plan(plan, planner.metrics, config,
-                                 timeout, memory_budget_bytes)
+                                 timeout, memory_budget_bytes,
+                                 trace=builder)
         if isinstance(statement, ast.ExplainStmt):
             block = self._bind_statement(statement.select)
             plan, planner = self.plan(block, config)

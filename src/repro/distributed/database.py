@@ -163,7 +163,8 @@ class DistributedDatabase(Database):
 
     def _execute_statement(self, statement, original_text, config,
                            use_cache=False, timeout=None,
-                           memory_budget_bytes=None):
+                           memory_budget_bytes=None, trace=None,
+                           parse_seconds=0.0):
         """Execute with graceful degradation: on ``SiteUnavailable``,
         mark the site down, record the event, and re-optimize against
         the surviving placement. Bounded by the number of known sites,
@@ -174,7 +175,7 @@ class DistributedDatabase(Database):
             try:
                 return super()._execute_statement(
                     statement, original_text, config, use_cache,
-                    timeout, memory_budget_bytes,
+                    timeout, memory_budget_bytes, trace, parse_seconds,
                 )
             except SiteUnavailable as exc:
                 site = exc.site
@@ -191,4 +192,44 @@ class DistributedDatabase(Database):
                         if not self.catalog.site_is_down(s)
                     ],
                 ))
+                self.metrics_registry.inc("degradation_events_total",
+                                          label=site)
                 fallbacks += 1
+
+    # ---------------------------------------------------------- observability
+
+    def metrics(self) -> dict:
+        """Database metrics plus a per-site section: availability,
+        placed tables, degradations, and per-link traffic."""
+        data = super().metrics()
+        retries = self.network.stats.retries
+        if retries:
+            data["network_retries_total"] = {
+                "kind": "counter", "total": retries,
+            }
+        per_site = {}
+        for site in self.sites:
+            per_site[site] = {
+                "status": ("down" if self.catalog.site_is_down(site)
+                           else "up"),
+                "tables": sorted(
+                    table.name for table in self.catalog.tables()
+                    if self.catalog.site_for_table(table.name) == site
+                ),
+                "degradations": sum(
+                    1 for event in self.degradation_events
+                    if event.site == site
+                ),
+                "sent_messages": 0, "sent_bytes": 0.0,
+                "received_messages": 0, "received_bytes": 0.0,
+            }
+        for (from_site, to_site), (messages, nbytes) in \
+                self.network.link_stats.items():
+            if from_site in per_site:
+                per_site[from_site]["sent_messages"] += messages
+                per_site[from_site]["sent_bytes"] += nbytes
+            if to_site in per_site:
+                per_site[to_site]["received_messages"] += messages
+                per_site[to_site]["received_bytes"] += nbytes
+        data["sites"] = per_site
+        return data

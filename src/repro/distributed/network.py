@@ -188,9 +188,20 @@ class SimulatedNetwork:
         self.injector = injector
         self.retry_policy = retry_policy or RetryPolicy()
         self.stats = NetworkStats()
+        # (from_site, to_site) -> [messages, bytes]; feeds the per-site
+        # section of DistributedDatabase.metrics()
+        self.link_stats: Dict[tuple, list] = {}
         # jitter source when no injector is installed (never consulted
         # for faults, only for backoff on... nothing; kept for safety)
         self._fallback_rng = random.Random(0)
+
+    def _count_link(self, from_site: Optional[str], to_site: Optional[str],
+                    messages: int, nbytes: float) -> None:
+        entry = self.link_stats.get((from_site, to_site))
+        if entry is None:
+            entry = self.link_stats[(from_site, to_site)] = [0, 0.0]
+        entry[0] += messages
+        entry[1] += nbytes
 
     # ------------------------------------------------------------- control
 
@@ -204,6 +215,7 @@ class SimulatedNetwork:
         if self.injector is not None:
             self.injector.reset()
         self.stats = NetworkStats()
+        self.link_stats = {}
 
     @property
     def faulty(self) -> bool:
@@ -225,10 +237,10 @@ class SimulatedNetwork:
         per_message = nbytes / messages if messages else 0.0
         if not self.faulty:
             # fast path: identical accounting to the legacy inline code
-            ctx.ledger.net_msgs += messages
-            ctx.ledger.net_bytes += nbytes
+            ctx.ledger.charge_network(messages, nbytes)
             self.stats.messages += messages
             self.stats.bytes += nbytes
+            self._count_link(from_site, to_site, messages, nbytes)
             return
         for _ in range(messages):
             self._send_one(ctx, from_site, to_site, per_message)
@@ -249,10 +261,10 @@ class SimulatedNetwork:
                     site=remote, attempts=attempt,
                 )
             # the attempt uses the wire whether or not it is delivered
-            ctx.ledger.net_msgs += 1
-            ctx.ledger.net_bytes += nbytes
+            ctx.ledger.charge_network(1, nbytes)
             self.stats.messages += 1
             self.stats.bytes += nbytes
+            self._count_link(from_site, to_site, 1, nbytes)
             if fault is None or fault == "latency":
                 if fault == "latency":
                     self.stats.latency_spikes += 1

@@ -7,6 +7,7 @@ operators themselves work purely positionally.
 
 from __future__ import annotations
 
+import time
 from typing import List
 
 from ..errors import PlanError
@@ -63,59 +64,91 @@ def lower(node: PlanNode, ctx: RuntimeContext) -> Operator:
     return _Lowering(ctx).lower(node)
 
 
-class TracingOperator(Operator):
-    """Transparent wrapper counting rows produced by one plan node."""
+class SpanOperator(Operator):
+    """Transparent wrapper recording one plan node's execution into its
+    trace span.
 
-    def __init__(self, inner: Operator, plan_node: PlanNode):
+    The span is pushed onto the trace's stack around the initial
+    ``rows()`` call (eager operators like FilterJoinOp do all their work
+    there) *and* around every advancement of the resulting iterator, and
+    popped before each row is yielded — so every ledger charge routed by
+    the tee ledger lands on the innermost operator actually doing the
+    work, exactly once. Wall time accumulates inclusively over the same
+    windows; the builder derives self-time at finalize.
+    """
+
+    def __init__(self, inner: Operator, plan_node: PlanNode, trace):
         super().__init__(inner.ctx, inner.schema)
         self.inner = inner
         self.plan_node = plan_node
-        self.rows_out = 0
-        self.executions = 0
+        self.trace = trace
+        self.span = trace.span_for_node(plan_node, inner)
         # keep the structural attributes visible for tree walkers
         for attr in ("child", "outer", "template"):
             if hasattr(inner, attr):
                 setattr(self, attr, getattr(inner, attr))
 
     def rows(self):
-        self.executions += 1
-        for row in self.inner.rows():
-            self.rows_out += 1
+        span = self.span
+        trace = self.trace
+        clock = time.perf_counter
+        span.executions += 1
+        trace.push(span)
+        started = clock()
+        try:
+            iterator = iter(self.inner.rows())
+        finally:
+            span.wall_seconds += clock() - started
+            trace.pop()
+        while True:
+            trace.push(span)
+            started = clock()
+            try:
+                try:
+                    row = next(iterator)
+                except StopIteration:
+                    return
+            finally:
+                span.wall_seconds += clock() - started
+                trace.pop()
+            span.actual_rows += 1
             yield row
 
 
 def lower_traced(node: PlanNode, ctx: RuntimeContext):
-    """Lower with per-node row counting.
+    """Lower with per-node row counting (compatibility wrapper).
 
-    Returns (root operator, {plan node: TracingOperator}) — after
-    execution, each tracer holds the actual row count for its node,
-    ready to print next to the optimizer's estimate.
+    Returns (root operator, {id(plan node): span}) — after execution,
+    each span holds the actual row count (``rows_out``) and execution
+    count for its node. New code should trace through
+    ``db.sql(..., trace=True)`` and read ``QueryResult.trace`` instead;
+    this shim rides on the same span machinery without installing the
+    tee ledger (row counts only, no per-span cost attribution).
     """
-    lowering = _Lowering(ctx)
-    tracers = {}
+    from ..obs.trace import TraceBuilder
 
-    original = lowering.lower
-
-    def traced(plan_node: PlanNode) -> Operator:
-        op = original(plan_node)
-        tracer = TracingOperator(op, plan_node)
-        tracers[id(plan_node)] = tracer
-        return tracer
-
-    lowering.lower = traced
-    root = lowering.lower(node)
-    return root, tracers
+    builder = TraceBuilder()
+    ctx.trace = builder
+    try:
+        root = lower(node, ctx)
+    finally:
+        ctx.trace = None
+    return root, builder._by_node
 
 
 class _Lowering:
     def __init__(self, ctx: RuntimeContext):
         self.ctx = ctx
+        self.trace = getattr(ctx, "trace", None)
 
     def lower(self, node: PlanNode) -> Operator:
         method = getattr(self, "_lower_%s" % type(node).__name__, None)
         if method is None:
             raise PlanError("cannot lower plan node %r" % type(node).__name__)
-        return method(node)
+        op = method(node)
+        if self.trace is not None:
+            op = SpanOperator(op, node, self.trace)
+        return op
 
     # ----------------------------------------------------------------- leaves
 

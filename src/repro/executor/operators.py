@@ -761,6 +761,13 @@ class FilterJoinOp(Operator):
         self.bloom_bits = bloom_bits
         self.ship_filter = ship_filter
         self.measured_components = {}
+        # filter effectiveness, filled in by rows() and lifted into the
+        # operator's trace span: how many production rows there were, how
+        # many distinct keys the filter carried, and how many inner rows
+        # survived the restriction
+        self.production_rows: Optional[int] = None
+        self.filter_set_size: Optional[int] = None
+        self.restricted_rows: Optional[int] = None
 
     def _component(self, name: str, before) -> None:
         delta = self.ctx.ledger.delta(before)
@@ -795,6 +802,8 @@ class FilterJoinOp(Operator):
             if _null_free(key):
                 keys.add(key)
         self._component("ProjCost_F", before)
+        self.production_rows = len(production)
+        self.filter_set_size = len(keys)
 
         # 3. Make the filter available (AvailCost_F)
         before = ledger.snapshot()
@@ -831,6 +840,7 @@ class FilterJoinOp(Operator):
             len(restricted) * self.template.schema.row_width())
         self._component("FilterCost_Rk", before)
         self.measured_components["AvailCost_Rk'"] = 0.0
+        self.restricted_rows = len(restricted)
 
         # 5. Final join (FinalJoinCost): hash join production x restricted
         before = ledger.snapshot()

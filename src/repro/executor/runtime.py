@@ -63,6 +63,9 @@ class RuntimeContext:
                  memory_budget_bytes: Optional[float] = None):
         self.ledger = ledger if ledger is not None else CostLedger()
         self.params = params or CostParams()
+        # when set (a TraceBuilder), lowering wraps every operator in a
+        # SpanOperator and the ledger is teed into the active span
+        self.trace = None
         self.memory_pages = memory_pages
         self.message_payload_bytes = message_payload_bytes
         # param_id -> TempTable holding the exact filter set
@@ -151,8 +154,7 @@ class RuntimeContext:
             self.network.transfer(self, from_site, to_site, nbytes)
         else:
             messages = max(1, math.ceil(nbytes / self.message_payload_bytes))
-            self.ledger.net_msgs += messages
-            self.ledger.net_bytes += nbytes
+            self.ledger.charge_network(messages, nbytes)
         self.charge_cpu(rows)
 
     def charge_message(self, nbytes: float,
@@ -175,8 +177,7 @@ class RuntimeContext:
             self.network.transfer(self, remote_site, local_site,
                                   response_bytes)
         else:
-            self.ledger.net_msgs += 2
-            self.ledger.net_bytes += request_bytes + response_bytes
+            self.ledger.charge_network(2, request_bytes + response_bytes)
 
     # --------------------------------------------------------------- memory
 

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional
 
 from ..database import Database, QueryResult
 from ..ledger import CostLedger
+from ..obs.trace import TraceBuilder
 from ..optimizer.config import OptimizerConfig
 from ..optimizer.planner import PlannerMetrics
 from ..optimizer.plans import PlanNode
@@ -42,15 +43,42 @@ class Measured:
     def ledger(self) -> CostLedger:
         return self.result.ledger
 
+    @property
+    def trace(self):
+        """The span tree, when the query ran with ``trace=True``."""
+        return self.result.trace
+
+    @property
+    def cost_q_error(self) -> float:
+        """q-error of total estimated vs. measured cost (inf when one
+        side is zero and the other is not)."""
+        est, measured = self.estimated_cost, self.measured_cost
+        if est <= 0 or measured <= 0:
+            return 1.0 if est == measured else float("inf")
+        return max(est / measured, measured / est)
+
+    @property
+    def max_row_q_error(self) -> Optional[float]:
+        """Worst per-operator cardinality q-error (None untraced)."""
+        return (self.result.trace.max_q_error
+                if self.result.trace is not None else None)
+
 
 def run_query(db: Database, sql: str,
-              config: Optional[OptimizerConfig] = None) -> Measured:
-    """Plan + execute; returns estimates and measurements together."""
+              config: Optional[OptimizerConfig] = None,
+              trace: bool = False) -> Measured:
+    """Plan + execute; returns estimates and measurements together.
+
+    With ``trace=True`` the execution records a span tree (available as
+    ``measured.trace``), so experiments can report per-operator
+    est-vs-actual columns without re-instrumenting anything.
+    """
     config = config or db.config
     started = time.perf_counter()
     plan, planner = db.plan(sql, config)
     optimize_seconds = time.perf_counter() - started
-    result = db.run_plan(plan, planner.metrics, config)
+    builder = TraceBuilder(sql) if trace else None
+    result = db.run_plan(plan, planner.metrics, config, trace=builder)
     return Measured(
         result=result,
         plan=plan,

@@ -72,10 +72,19 @@ class CostLedger:
     def charge_cpu(self, steps: float) -> None:
         self.tuple_cpu += steps
 
+    def charge_network(self, messages: float, nbytes: float) -> None:
+        """``messages`` network messages carrying ``nbytes`` in total.
+
+        Every network charge in the engine funnels through here (or
+        :meth:`charge_message`), so a tracing subclass can observe each
+        increment exactly once.
+        """
+        self.net_msgs += messages
+        self.net_bytes += nbytes
+
     def charge_message(self, nbytes: float) -> None:
         """One network message carrying ``nbytes`` of payload."""
-        self.net_msgs += 1
-        self.net_bytes += nbytes
+        self.charge_network(1, nbytes)
 
     def charge_invocation(self, count: float = 1.0) -> None:
         self.fn_invocations += count

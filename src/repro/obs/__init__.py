@@ -1,0 +1,45 @@
+"""Query observability: structured tracing, process metrics, and
+estimate-drift recording.
+
+- :mod:`~repro.obs.trace` — per-operator span trees with exact
+  cost-ledger attribution, attached to ``QueryResult.trace`` and
+  exportable as JSON or Chrome-trace format;
+- :mod:`~repro.obs.metrics` — counters/gauges/histograms chained to a
+  process-global registry, surfaced via ``db.metrics()`` and the
+  shell's ``\\metrics``;
+- :mod:`~repro.obs.drift` — a ring buffer of per-operator q-errors
+  behind ``db.drift_report()``;
+- :mod:`~repro.obs.render` — the shared EXPLAIN ANALYZE renderer.
+
+See ``docs/observability.md`` for the span schema and metrics catalog.
+"""
+
+from .drift import DriftRecorder, DriftReport, DriftSample
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QERROR_BUCKETS,
+    global_metrics,
+)
+from .render import cost_ratio_text, render_explain_analyze
+from .trace import QueryTrace, Span, TraceBuilder, q_error
+
+__all__ = [
+    "Counter",
+    "DriftRecorder",
+    "DriftReport",
+    "DriftSample",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QERROR_BUCKETS",
+    "QueryTrace",
+    "Span",
+    "TraceBuilder",
+    "cost_ratio_text",
+    "global_metrics",
+    "q_error",
+    "render_explain_analyze",
+]

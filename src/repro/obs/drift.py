@@ -1,0 +1,178 @@
+"""Estimate-drift recording: which operators does the optimizer
+mis-estimate, and by how much?
+
+Every traced query feeds one :class:`DriftSample` per executed operator
+into a bounded ring buffer (old samples age out, so the report tracks
+*recent* behavior — rerunning ``analyze`` visibly resets the drift).
+``db.drift_report()`` aggregates the buffer by operator/predicate and
+ranks groups by their worst q-error, naming the tables and predicates
+whose statistics most need attention. This is the measurement half of
+the feedback loop PAPERS.md motivates ("Efficient Cost-Based Rewrite"):
+the optimizer's estimates become an auditable time series instead of
+values that vanish when the plan does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .trace import q_error
+
+
+class DriftSample:
+    """One operator execution's estimate vs. reality."""
+
+    __slots__ = ("operator", "node_type", "statement",
+                 "est_rows", "actual_rows", "q_error")
+
+    def __init__(self, operator: str, node_type: str, statement: str,
+                 est_rows: float, actual_rows: float):
+        self.operator = operator
+        self.node_type = node_type
+        self.statement = statement
+        self.est_rows = float(est_rows)
+        self.actual_rows = float(actual_rows)
+        self.q_error = q_error(est_rows, actual_rows)
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class DriftGroup:
+    """Aggregated samples for one operator label."""
+
+    def __init__(self, operator: str, node_type: str):
+        self.operator = operator
+        self.node_type = node_type
+        self.samples = 0
+        self.max_q_error = 1.0
+        self.sum_q_error = 0.0
+        self.worst: Optional[DriftSample] = None
+
+    def add(self, sample: DriftSample) -> None:
+        self.samples += 1
+        self.sum_q_error += sample.q_error
+        if sample.q_error >= self.max_q_error:
+            self.max_q_error = sample.q_error
+            self.worst = sample
+
+    @property
+    def mean_q_error(self) -> float:
+        return self.sum_q_error / self.samples if self.samples else 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "operator": self.operator,
+            "node_type": self.node_type,
+            "samples": self.samples,
+            "max_q_error": self.max_q_error,
+            "mean_q_error": self.mean_q_error,
+            "worst": self.worst.as_dict() if self.worst else None,
+        }
+
+
+class DriftReport:
+    """Drift groups ranked worst-first, with a text rendering."""
+
+    def __init__(self, groups: List[DriftGroup], window: int,
+                 recorded: int):
+        self.groups = groups
+        self.window = window
+        self.recorded = recorded
+
+    @property
+    def worst(self) -> Optional[DriftGroup]:
+        return self.groups[0] if self.groups else None
+
+    def as_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "recorded": self.recorded,
+            "groups": [g.as_dict() for g in self.groups],
+        }
+
+    def render(self, limit: int = 10) -> str:
+        if not self.groups:
+            return ("(no drift samples recorded — run traced queries "
+                    "first: db.sql(..., trace=True))")
+        lines = [
+            "estimate drift over the last %d operator executions "
+            "(window %d):" % (self.recorded, self.window),
+            "%-6s %-10s %-9s %-44s %s"
+            % ("rank", "max q-err", "mean", "operator", "worst est->actual"),
+        ]
+        for rank, group in enumerate(self.groups[:limit], start=1):
+            worst = group.worst
+            est_actual = (
+                "%g -> %g" % (worst.est_rows, worst.actual_rows)
+                if worst else "-"
+            )
+            lines.append(
+                "%-6d %-10.2f %-9.2f %-44s %s"
+                % (rank, group.max_q_error, group.mean_q_error,
+                   group.operator[:44], est_actual)
+            )
+        if len(self.groups) > limit:
+            lines.append("... and %d more operator groups"
+                         % (len(self.groups) - limit))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class DriftRecorder:
+    """Bounded ring buffer of :class:`DriftSample`.
+
+    ``record_trace`` walks a finished :class:`~repro.obs.trace.QueryTrace`
+    and records every executed operator span; :meth:`report` aggregates
+    whatever is currently in the window.
+    """
+
+    def __init__(self, window: int = 2048):
+        self.window = window
+        self._samples: Deque[DriftSample] = deque(maxlen=window)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, sample: DriftSample) -> None:
+        self._samples.append(sample)
+
+    def record_trace(self, trace) -> int:
+        """Record every executed operator span of ``trace``; returns the
+        number of samples taken."""
+        taken = 0
+        for span in trace.operator_spans():
+            if not span.executions or span.est_rows is None:
+                continue
+            self.record(DriftSample(
+                operator=span.name,
+                node_type=span.node_type,
+                statement=trace.statement,
+                est_rows=span.est_rows,
+                actual_rows=span.actual_rows,
+            ))
+            taken += 1
+        return taken
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+    def report(self) -> DriftReport:
+        """Aggregate the current window, ranked by max q-error (ties
+        broken by mean, then by sample count)."""
+        groups: Dict[str, DriftGroup] = {}
+        for sample in self._samples:
+            group = groups.get(sample.operator)
+            if group is None:
+                group = groups[sample.operator] = DriftGroup(
+                    sample.operator, sample.node_type)
+            group.add(sample)
+        ranked = sorted(
+            groups.values(),
+            key=lambda g: (-g.max_q_error, -g.mean_q_error, -g.samples,
+                           g.operator),
+        )
+        return DriftReport(ranked, self.window, len(self._samples))

@@ -1,0 +1,502 @@
+"""Structured query tracing: one span per physical operator plus one per
+pipeline phase (parse/bind/optimize/lower/execute).
+
+A :class:`Span` carries the optimizer's estimates next to what actually
+happened — wall time, row counts, and the exact :class:`CostLedger`
+charges attributable to that operator — so estimate drift, Filter-Join
+effectiveness, and hot operators are first-class, inspectable artifacts
+on every traced query (``QueryResult.trace``), not strings inside
+``explain_analyze``.
+
+Attribution works by *routing*, not by sampling: while a traced plan
+executes, ``ctx.ledger`` is a :class:`_TeeLedger` that forwards every
+charge both to the primary accumulation (so the measured ledger is
+byte-identical with tracing on or off — the trace-invariance suite
+enforces this) and to the innermost active span. Span operators
+(:class:`~repro.executor.lowering.SpanOperator`) push/pop their span
+around every advancement of the wrapped iterator, so each charge lands
+on exactly one span. The execute phase's inclusive ledger is recorded
+as a direct snapshot delta and therefore reconciles *exactly* with
+``QueryResult.ledger``; per-span self-ledgers reconcile up to float
+addition reordering (see :meth:`QueryTrace.reconcile`).
+
+Tracing is opt-in (``db.sql(..., trace=True)`` or ``db.tracing = True``);
+with it off none of this code runs and the engine's hot paths are
+untouched (enforced by ``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import fields
+from typing import Dict, Iterator, List, Optional
+
+from ..ledger import CostLedger
+
+LEDGER_FIELDS = tuple(f.name for f in fields(CostLedger))
+
+#: order in which pipeline phases are reported
+PHASE_ORDER = ("parse", "bind", "optimize", "lower", "execute")
+
+
+def q_error(est: float, actual: float) -> float:
+    """The q-error max(est/actual, actual/est), clamped to >= 1.
+
+    Cardinalities below one row (including the troublesome zero) are
+    clamped to one before dividing, so an estimate of 0.3 rows against
+    an actual 0 is a perfect q-error of 1.0 rather than a division by
+    zero — the convention the drift recorder and ``explain_analyze``
+    share.
+    """
+    est = max(float(est), 1.0)
+    actual = max(float(actual), 1.0)
+    return max(est / actual, actual / est)
+
+
+class Span:
+    """One node of a query trace.
+
+    ``kind`` is ``"phase"`` for pipeline phases, ``"operator"`` for
+    physical operators, and ``"query"`` for the root. Ledger counts are
+    kept in two forms: ``self_ledger`` holds the charges attributed to
+    this span alone; ``ledger`` (filled at finalize time) additionally
+    includes every descendant. ``wall_seconds`` is inclusive.
+    """
+
+    __slots__ = (
+        "name", "kind", "node_type", "est_rows", "est_cost",
+        "actual_rows", "executions", "wall_seconds", "self_seconds",
+        "self_counts", "self_ledger", "ledger", "extras", "children",
+    )
+
+    def __init__(self, name: str, kind: str = "operator",
+                 node_type: str = "",
+                 est_rows: Optional[float] = None,
+                 est_cost: Optional[float] = None):
+        self.name = name
+        self.kind = kind
+        self.node_type = node_type
+        self.est_rows = est_rows
+        self.est_cost = est_cost
+        self.actual_rows = 0
+        self.executions = 0
+        self.wall_seconds = 0.0
+        self.self_seconds = 0.0
+        # raw per-field accumulation while executing; folded into
+        # self_ledger / ledger by TraceBuilder.finish()
+        self.self_counts: Dict[str, float] = dict.fromkeys(
+            LEDGER_FIELDS, 0.0)
+        self.self_ledger = CostLedger()
+        self.ledger = CostLedger()
+        self.extras: Dict[str, object] = {}
+        self.children: List["Span"] = []
+
+    # Compatibility with the pre-span TracingOperator API.
+    @property
+    def rows_out(self) -> int:
+        return self.actual_rows
+
+    @property
+    def q_error(self) -> Optional[float]:
+        """Cardinality q-error, or None for phases / unexecuted nodes."""
+        if self.kind != "operator" or not self.executions \
+                or self.est_rows is None:
+            return None
+        return q_error(self.est_rows, self.actual_rows)
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            for span in child.walk():
+                yield span
+
+    def to_dict(self) -> dict:
+        data = {
+            "name": self.name,
+            "kind": self.kind,
+            "wall_seconds": self.wall_seconds,
+            "self_seconds": self.self_seconds,
+        }
+        if self.kind == "operator":
+            data.update({
+                "node_type": self.node_type,
+                "est_rows": self.est_rows,
+                "est_cost": self.est_cost,
+                "actual_rows": self.actual_rows,
+                "executions": self.executions,
+                "q_error": self.q_error,
+                "self_ledger": self.self_ledger.as_dict(),
+                "ledger": self.ledger.as_dict(),
+            })
+        if self.extras:
+            data["extras"] = dict(self.extras)
+        if self.children:
+            data["children"] = [c.to_dict() for c in self.children]
+        return data
+
+    def __repr__(self) -> str:
+        return "Span(%s%s, rows=%d, %.3fms)" % (
+            self.name[:40], " never-run" if not self.executions else "",
+            self.actual_rows, self.wall_seconds * 1e3,
+        )
+
+
+class _TeeLedger(CostLedger):
+    """A CostLedger that additionally routes every charge to the
+    innermost active span.
+
+    The primary accumulation (`self.page_reads += ...` etc.) runs the
+    identical statements in the identical order as an untraced run, so
+    the query's measured ledger is byte-for-byte the same with tracing
+    on or off.
+    """
+
+    def __init__(self, stack: list, start: Optional[CostLedger] = None):
+        if start is not None:
+            super().__init__(**start.as_dict())
+        else:
+            super().__init__()
+        self._stack = stack
+
+    def _span_counts(self) -> Optional[Dict[str, float]]:
+        stack = self._stack
+        return stack[-1].self_counts if stack else None
+
+    def charge_reads(self, pages: float) -> None:
+        counts = self._span_counts()
+        if counts is not None:
+            counts["page_reads"] += pages
+        self.page_reads += pages
+
+    def charge_writes(self, pages: float) -> None:
+        counts = self._span_counts()
+        if counts is not None:
+            counts["page_writes"] += pages
+        self.page_writes += pages
+
+    def charge_cpu(self, steps: float) -> None:
+        counts = self._span_counts()
+        if counts is not None:
+            counts["tuple_cpu"] += steps
+        self.tuple_cpu += steps
+
+    def charge_network(self, messages: float, nbytes: float) -> None:
+        counts = self._span_counts()
+        if counts is not None:
+            counts["net_msgs"] += messages
+            counts["net_bytes"] += nbytes
+        self.net_msgs += messages
+        self.net_bytes += nbytes
+
+    def charge_invocation(self, count: float = 1.0) -> None:
+        counts = self._span_counts()
+        if counts is not None:
+            counts["fn_invocations"] += count
+        self.fn_invocations += count
+
+
+#: operator attributes lifted into span extras after execution
+_EXTRA_ATTRS = (
+    "filter_set_size", "production_rows", "restricted_rows",
+    "invocation_count", "bloom_bits",
+)
+
+
+class TraceBuilder:
+    """Accumulates spans while one statement runs; produces the
+    immutable :class:`QueryTrace` via :meth:`finish`."""
+
+    def __init__(self, statement: str = ""):
+        self.statement = statement
+        self.root = Span("query", kind="query")
+        self.phases: Dict[str, Span] = {}
+        self._stack: List[Span] = []
+        self._by_node: Dict[int, Span] = {}
+        self._op_of: Dict[int, object] = {}
+        self._ledger_start: Optional[CostLedger] = None
+        self._ctx = None
+        self.extras: Dict[str, object] = {}
+
+    # ------------------------------------------------------------- phases
+
+    def add_phase(self, name: str, seconds: float, **extras) -> Span:
+        """Record a phase measured externally (e.g. parse time)."""
+        span = Span(name, kind="phase")
+        span.wall_seconds = span.self_seconds = seconds
+        span.executions = 1
+        span.extras.update(extras)
+        self.phases[name] = span
+        return span
+
+    @contextmanager
+    def phase(self, name: str, **extras):
+        span = Span(name, kind="phase")
+        span.extras.update(extras)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.wall_seconds = span.self_seconds = (
+                time.perf_counter() - started)
+            span.executions = 1
+            self.phases[name] = span
+
+    # ---------------------------------------------------------- operators
+
+    def install(self, ctx) -> None:
+        """Arm ``ctx`` for traced execution: swap in the tee ledger and
+        expose this builder as ``ctx.trace`` so lowering wraps every
+        operator in a span."""
+        self._ctx = ctx
+        self._ledger_start = ctx.ledger.snapshot()
+        ctx.ledger = _TeeLedger(self._stack, start=ctx.ledger)
+        ctx.trace = self
+
+    def span_for_node(self, plan_node, operator) -> Span:
+        span = Span(
+            plan_node.label(),
+            kind="operator",
+            node_type=type(plan_node).__name__,
+            est_rows=plan_node.est_rows,
+            est_cost=plan_node.est_cost,
+        )
+        self._by_node[id(plan_node)] = span
+        self._op_of[id(span)] = operator
+        return span
+
+    def span_of(self, plan_node) -> Optional[Span]:
+        return self._by_node.get(id(plan_node))
+
+    def push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    # ----------------------------------------------------------- assembly
+
+    def finish(self, plan=None) -> "QueryTrace":
+        """Assemble the span tree (mirroring the plan tree), fold raw
+        counts into ledgers, and compute inclusive totals."""
+        for span in self._by_node.values():
+            span.self_ledger = CostLedger(**span.self_counts)
+            op = self._op_of.get(id(span))
+            for attr in _EXTRA_ATTRS:
+                value = getattr(op, attr, None)
+                if value is not None:
+                    span.extras[attr] = value
+            components = getattr(op, "measured_components", None)
+            if components:
+                span.extras["measured_components"] = dict(components)
+
+        operator_root = None
+        if plan is not None:
+            operator_root = self._link(plan)
+
+        execute = self.phases.get("execute")
+        if execute is not None:
+            if self._ctx is not None and self._ledger_start is not None:
+                # exact by construction: a snapshot delta, not a sum
+                execute.ledger = self._ctx.ledger.delta(self._ledger_start)
+                execute.self_ledger = execute.ledger.snapshot()
+            if operator_root is not None:
+                execute.children = [operator_root]
+
+        self.root.children = [
+            self.phases[name] for name in PHASE_ORDER if name in self.phases
+        ]
+        self.root.wall_seconds = sum(
+            c.wall_seconds for c in self.root.children)
+        self.root.executions = 1
+        self.root.extras.update(self.extras)
+        return QueryTrace(self.statement, self.root, self._by_node)
+
+    def _link(self, plan_node) -> Optional[Span]:
+        """Recursively mirror the plan tree onto the span tree and fill
+        inclusive ledgers/self times bottom-up."""
+        span = self._by_node.get(id(plan_node))
+        children = [self._link(c) for c in plan_node.children()]
+        children = [c for c in children if c is not None]
+        if span is None:
+            return children[0] if children else None
+        span.children = children
+        inclusive = span.self_ledger.snapshot()
+        for child in children:
+            inclusive.merge(child.ledger)
+        span.ledger = inclusive
+        span.self_seconds = max(
+            0.0,
+            span.wall_seconds - sum(c.wall_seconds for c in children),
+        )
+        return span
+
+
+class QueryTrace:
+    """The finished span tree for one executed statement."""
+
+    def __init__(self, statement: str, root: Span,
+                 by_node: Optional[Dict[int, Span]] = None):
+        self.statement = statement
+        self.root = root
+        self.created_at = time.time()
+        self._by_node = by_node or {}
+
+    # ----------------------------------------------------------- accessors
+
+    @property
+    def phases(self) -> Dict[str, Span]:
+        return {span.name: span for span in self.root.children}
+
+    @property
+    def operator_root(self) -> Optional[Span]:
+        execute = self.phases.get("execute")
+        if execute is None or not execute.children:
+            return None
+        return execute.children[0]
+
+    def span_for(self, plan_node) -> Optional[Span]:
+        """The span recorded for one plan node (for plan-tree renders)."""
+        return self._by_node.get(id(plan_node))
+
+    def operator_spans(self) -> List[Span]:
+        root = self.operator_root
+        return list(root.walk()) if root is not None else []
+
+    def walk(self) -> Iterator[Span]:
+        return self.root.walk()
+
+    @property
+    def total_ledger(self) -> CostLedger:
+        """The execute phase's ledger — exactly ``QueryResult.ledger``
+        for a query traced end to end."""
+        execute = self.phases.get("execute")
+        return execute.ledger if execute is not None else CostLedger()
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.root.wall_seconds
+
+    @property
+    def max_q_error(self) -> float:
+        """The worst per-operator cardinality q-error (1.0 if nothing
+        executed)."""
+        worst = 1.0
+        for span in self.operator_spans():
+            q = span.q_error
+            if q is not None and q > worst:
+                worst = q
+        return worst
+
+    # ------------------------------------------------------ reconciliation
+
+    def reconcile(self, ledger: CostLedger,
+                  rel_tol: float = 1e-9, abs_tol: float = 1e-6) -> dict:
+        """Check the span tree's ledger accounting against the query's
+        measured ledger; raises ``ValueError`` on any discrepancy.
+
+        Two checks, matching how the numbers are produced:
+
+        - the execute phase's inclusive ledger must equal ``ledger``
+          *exactly* (it is a snapshot delta of the same accumulator);
+        - the per-span self-ledgers must sum to ``ledger`` within float
+          addition reordering (``abs_tol + rel_tol * total`` per
+          component) — attribution routes every charge to exactly one
+          span, but summing per-span floats re-associates the additions.
+
+        Returns ``{field: summed value}`` for inspection.
+        """
+        expected = ledger.as_dict()
+        exact = self.total_ledger.as_dict()
+        if exact != expected:
+            raise ValueError(
+                "trace execute-phase ledger %r != measured ledger %r"
+                % (exact, expected)
+            )
+        summed = dict.fromkeys(LEDGER_FIELDS, 0.0)
+        for span in self.walk():
+            if span.kind == "operator":
+                for name, value in span.self_ledger.as_dict().items():
+                    summed[name] += value
+        for name in LEDGER_FIELDS:
+            want = expected[name]
+            if abs(summed[name] - want) > abs_tol + rel_tol * abs(want):
+                raise ValueError(
+                    "span self-ledgers sum to %s=%r, measured %r"
+                    % (name, summed[name], want)
+                )
+        return summed
+
+    # ------------------------------------------------------------- export
+
+    def to_dict(self) -> dict:
+        return {
+            "statement": self.statement,
+            "created_at": self.created_at,
+            "wall_seconds": self.wall_seconds,
+            "max_q_error": self.max_q_error,
+            "total_ledger": self.total_ledger.as_dict(),
+            "root": self.root.to_dict(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_chrome_trace(self) -> List[dict]:
+        """Chrome-trace ("catapult") complete events for
+        ``chrome://tracing`` / Perfetto.
+
+        Span wall times are accumulated across interleaved iterator
+        advancements, so the timeline is *synthesized*: each span is
+        rendered as one contiguous slice of its inclusive duration,
+        children laid out left to right inside their parent. Durations
+        are faithful; start offsets are not.
+        """
+        events: List[dict] = []
+
+        def emit(span: Span, start_us: float, parent_avail: float) -> None:
+            duration = min(span.wall_seconds * 1e6, parent_avail)
+            args = {"kind": span.kind, "executions": span.executions}
+            if span.kind == "operator":
+                args.update({
+                    "node_type": span.node_type,
+                    "est_rows": span.est_rows,
+                    "actual_rows": span.actual_rows,
+                    "q_error": span.q_error,
+                    "cost_ledger": span.self_ledger.as_dict(),
+                })
+            if span.extras:
+                args["extras"] = {
+                    k: v for k, v in span.extras.items()
+                    if isinstance(v, (int, float, str, bool))
+                }
+            events.append({
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": round(start_us, 3),
+                "dur": round(max(duration, 0.01), 3),
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            })
+            offset = start_us
+            for child in span.children:
+                emit(child, offset, duration)
+                offset += min(child.wall_seconds * 1e6, duration)
+
+        emit(self.root, 0.0, self.root.wall_seconds * 1e6 or 1.0)
+        return events
+
+    def save_chrome_trace(self, path: str) -> str:
+        """Write the Chrome-trace JSON to ``path``; returns the path."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+        return path
+
+    def __repr__(self) -> str:
+        return "QueryTrace(%r, %d spans, %.3fms)" % (
+            self.statement.strip()[:40], sum(1 for _ in self.walk()),
+            self.wall_seconds * 1e3,
+        )

@@ -94,7 +94,7 @@ class PlanCacheEntry:
 class PlanCache:
     """LRU cache of optimized plans with version-based invalidation."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, listener=None):
         if capacity < 0:
             raise ValueError("plan cache capacity must be >= 0")
         self.capacity = capacity
@@ -105,6 +105,14 @@ class PlanCache:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        # called with "hit"/"miss"/"invalidation"/"eviction" as counters
+        # move, so an owning Database can mirror them into its metrics
+        # registry without polling
+        self.listener = listener
+
+    def _emit(self, event: str, count: int = 1) -> None:
+        if self.listener is not None and count:
+            self.listener(event, count)
 
     @property
     def enabled(self) -> bool:
@@ -126,14 +134,18 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            self._emit("miss")
             return None
         if entry.catalog_version != catalog_version:
             del self._entries[key]
             self.invalidations += 1
             self.misses += 1
+            self._emit("invalidation")
+            self._emit("miss")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        self._emit("hit")
         return entry
 
     def peek(self, key: Tuple[str, str]) -> Optional[PlanCacheEntry]:
@@ -151,12 +163,14 @@ class PlanCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self._emit("eviction")
 
     def invalidate_all(self) -> int:
         """Drop every entry (counted as invalidations); returns how many."""
         dropped = len(self._entries)
         self._entries.clear()
         self.invalidations += dropped
+        self._emit("invalidation", dropped)
         return dropped
 
     def clear(self) -> None:
@@ -174,6 +188,7 @@ class PlanCache:
         while len(self._entries) > capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            self._emit("eviction")
 
     def stats(self) -> dict:
         total = self.hits + self.misses

@@ -14,6 +14,10 @@ start with a backslash:
     \\cache size N  resize the plan cache (0 disables it)
     \\timeout S     set a per-statement deadline in seconds (off = none)
     \\faults ...    configure network fault injection (\\faults help)
+    \\metrics       dump the database metrics registry
+    \\drift         estimate-drift report (worst-misestimated operators)
+    \\trace on|off  trace every statement; traced queries print phase
+                    times and their worst operator q-error
     \\q             quit
 
 Syntax errors point at the offending token with a caret line, and a
@@ -61,6 +65,14 @@ def format_result(result: QueryResult, max_rows: int = 50) -> str:
         len(result.rows), "" if len(result.rows) == 1 else "s",
         result.measured_cost(),
     ))
+    if result.trace is not None:
+        phase_bits = [
+            "%s %.2fms" % (name, span.wall_seconds * 1e3)
+            for name, span in result.trace.phases.items()
+        ]
+        lines.append("trace: %s   worst q-err %.2f" % (
+            "  ".join(phase_bits), result.trace.max_q_error,
+        ))
     return "\n".join(lines)
 
 
@@ -101,6 +113,12 @@ class Shell:
     # ------------------------------------------------------------- commands
 
     def handle_meta(self, line: str) -> None:
+        try:
+            self._dispatch_meta(line)
+        except ReproError as exc:
+            self.write("error: %s" % exc)
+
+    def _dispatch_meta(self, line: str) -> None:
         parts = line.split(None, 1)
         command = parts[0]
         argument = parts[1].strip() if len(parts) > 1 else ""
@@ -135,8 +153,34 @@ class Shell:
         if command == "\\faults":
             self._faults_command(argument)
             return
+        if command == "\\metrics":
+            self.write(self.db.metrics_registry.render())
+            if self.db.network is not None:
+                self.write("network:")
+                for key, value in self.db.network.stats.as_dict().items():
+                    self.write("  %-18s %s" % (key, value))
+            return
+        if command == "\\drift":
+            self.write(self.db.drift_report().render())
+            return
+        if command == "\\trace":
+            self._trace_command(argument)
+            return
         self.write("unknown command %r (try \\d, \\e, \\ea, \\config, "
-                   "\\set, \\cache, \\timeout, \\faults, \\q)" % command)
+                   "\\set, \\cache, \\timeout, \\faults, \\metrics, "
+                   "\\drift, \\trace, \\q)" % command)
+
+    def _trace_command(self, argument: str) -> None:
+        if not argument:
+            self.write("tracing is %s"
+                       % ("on" if self.db.tracing else "off"))
+            return
+        value = _BOOL_WORDS.get(argument.lower())
+        if value is None:
+            self.write("usage: \\trace [on | off]")
+            return
+        self.db.tracing = value
+        self.write("tracing %s" % ("on" if value else "off"))
 
     def _timeout_command(self, argument: str) -> None:
         if not argument:

@@ -6,6 +6,19 @@ from repro import Database, DataType
 from repro.workloads import EmpDeptConfig, fresh_empdept
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/ snapshots from the current planner "
+             "instead of asserting against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
 SMALL_EMPDEPT = EmpDeptConfig(
     num_departments=40,
     employees_per_department=15,

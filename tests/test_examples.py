@@ -47,3 +47,12 @@ def test_heterogeneous_view():
     output = run_example("heterogeneous_view.py")
     assert "remote" in output or "branch" in output
     assert "cost-based optimizer" in output
+
+
+def test_tracing():
+    output = run_example("tracing.py")
+    assert "every operator becomes a span" in output
+    assert "reconcile with the measured ledger exactly" in output
+    assert "estimate drift over the last" in output
+    assert "Chrome-trace export" in output
+    assert "wrote" in output and "events" in output

@@ -1,0 +1,232 @@
+"""Golden-plan regression tests.
+
+Snapshots ``plan.explain()`` for a battery of canonical queries —
+EmpDept, star-schema, UDF, and distributed — under three optimizer
+regimes into ``tests/golden/``. Any planner change (costing tweak,
+new rule, enumeration-order fix) now shows up as a reviewable diff
+instead of a silent behavior shift.
+
+To refresh after an intentional planner change::
+
+    PYTHONPATH=src python -m pytest tests/test_plan_golden.py --update-golden
+
+One golden file per (workload, regime) keeps diffs grouped by what
+changed; each file holds every query's plan under a ``-- Qn:`` header.
+"""
+
+import pathlib
+import random
+
+import pytest
+
+from repro import Database, DataType, OptimizerConfig
+from repro.distributed import DistributedDatabase, distributed_config
+from repro.workloads import (
+    EmpDeptConfig,
+    MOTIVATING_QUERY,
+    StarConfig,
+    fresh_empdept,
+    fresh_star,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: regime name -> OptimizerConfig overrides (applied on top of the
+#: workload's base config, so distributed queries keep network weights)
+REGIMES = {
+    "default": {},
+    "no_filter_join": {
+        "enable_filter_join": False,
+        "enable_bloom_filter": False,
+    },
+    "low_memory_hash_only": {
+        "memory_pages": 8,
+        "enable_index_nested_loops": False,
+        "enable_merge_join": False,
+        "enable_bloom_filter": False,
+    },
+}
+
+EMPDEPT_QUERIES = [
+    ("motivating", MOTIVATING_QUERY.strip()),
+    ("young_filter", "SELECT E.eid, E.sal FROM Emp E WHERE E.age < 30"),
+    ("index_probe", "SELECT E.eid FROM Emp E WHERE E.did = 7"),
+    ("join_budget",
+     "SELECT E.eid, D.budget FROM Emp E, Dept D "
+     "WHERE E.did = D.did AND D.budget > 100000"),
+    ("view_join",
+     "SELECT E.eid, V.avgsal FROM Emp E, DepAvgSal V "
+     "WHERE E.did = V.did AND E.age < 30"),
+    ("group_avg",
+     "SELECT E.did, AVG(E.sal) AS avgsal, COUNT(*) AS heads "
+     "FROM Emp E GROUP BY E.did"),
+    ("ordered_top",
+     "SELECT E.eid, E.sal FROM Emp E WHERE E.sal > 50000 "
+     "ORDER BY E.sal DESC LIMIT 10"),
+    ("distinct_depts",
+     "SELECT DISTINCT E.did FROM Emp E WHERE E.age < 30"),
+]
+
+STAR_QUERIES = [
+    ("cust_spend",
+     "SELECT C.region, V.total_spend FROM Customer C, CustSpend V "
+     "WHERE C.cust_id = V.cust_id AND C.segment = 1"),
+    ("product_volume",
+     "SELECT P.category, V.total_qty FROM Product P, ProductVolume V "
+     "WHERE P.prod_id = V.prod_id AND P.price > 400"),
+    ("store_revenue",
+     "SELECT S2.region, V.revenue FROM Store S2, StoreRevenue V "
+     "WHERE S2.store_id = V.store_id AND S2.sqft > 40000"),
+    ("three_way",
+     "SELECT C.region, P.category, S.amount "
+     "FROM Sales S, Customer C, Product P "
+     "WHERE S.cust_id = C.cust_id AND S.prod_id = P.prod_id "
+     "AND P.price > 450 AND C.segment = 2"),
+    ("sales_by_region",
+     "SELECT C.region, SUM(S.amount) AS revenue "
+     "FROM Sales S, Customer C WHERE S.cust_id = C.cust_id "
+     "GROUP BY C.region"),
+    ("big_stores",
+     "SELECT S2.store_id, S2.sqft FROM Store S2 "
+     "WHERE S2.sqft > 45000 ORDER BY S2.sqft DESC"),
+]
+
+UDF_QUERIES = [
+    ("square_join",
+     "SELECT P.pid, F.xx FROM Pts P, square F WHERE P.x = F.x"),
+    ("square_selective",
+     "SELECT P.pid, F.xx FROM Pts P, square F "
+     "WHERE P.x = F.x AND P.pid < 40"),
+    ("square_distinct",
+     "SELECT DISTINCT F.xx FROM Pts P, square F WHERE P.x = F.x"),
+]
+
+DISTRIBUTED_QUERIES = [
+    ("remote_join",
+     "SELECT O.oid, C.name FROM Orders O, Cust C "
+     "WHERE O.cid = C.cid AND O.total > 900"),
+    ("remote_selective",
+     "SELECT O.oid, C.region FROM Orders O, Cust C "
+     "WHERE O.cid = C.cid AND O.total > 990"),
+    ("remote_agg",
+     "SELECT C.region, COUNT(*) AS orders FROM Orders O, Cust C "
+     "WHERE O.cid = C.cid GROUP BY C.region"),
+]
+
+
+def _empdept_db():
+    return fresh_empdept(EmpDeptConfig(
+        num_departments=40, employees_per_department=15,
+        big_fraction=0.2, young_fraction=0.3, seed=11,
+    ))
+
+
+def _star_db():
+    return fresh_star(StarConfig(num_sales=1500, seed=7))
+
+
+def _udf_db():
+    db = Database()
+    db.create_table("Pts", [("pid", DataType.INT), ("x", DataType.INT)])
+    db.insert("Pts", [(i, i % 10) for i in range(200)])
+    db.analyze()
+    db.functions.register_function(
+        "square", [("x", DataType.INT)], [("xx", DataType.INT)],
+        lambda args: [(args[0] * args[0],)],
+        cost_per_invocation=2.0, locality_factor=0.5,
+    )
+    return db
+
+
+def _distributed_db():
+    rng = random.Random(1)
+    db = DistributedDatabase(distributed_config(1.0, 0.001))
+    db.create_table("Orders", [("oid", DataType.INT),
+                               ("cid", DataType.INT),
+                               ("total", DataType.INT)])
+    db.create_table("Cust", [("cid", DataType.INT),
+                             ("name", DataType.STR),
+                             ("region", DataType.STR)], site="siteB")
+    db.insert("Orders", [
+        (i, rng.randint(1, 400), rng.randint(1, 1000))
+        for i in range(1, 2001)
+    ])
+    db.insert("Cust", [
+        (c, "n%d" % c, rng.choice(["east", "west"]))
+        for c in range(1, 401)
+    ])
+    db.analyze()
+    return db
+
+
+WORKLOADS = {
+    "empdept": (_empdept_db, EMPDEPT_QUERIES),
+    "star": (_star_db, STAR_QUERIES),
+    "udf": (_udf_db, UDF_QUERIES),
+    "distributed": (_distributed_db, DISTRIBUTED_QUERIES),
+}
+
+_DB_CACHE = {}
+
+
+def _workload_db(name):
+    if name not in _DB_CACHE:
+        _DB_CACHE[name] = WORKLOADS[name][0]()
+    return _DB_CACHE[name]
+
+
+def _regime_config(db, overrides):
+    config = db.config.replace(**overrides) if overrides else db.config
+    config.validate()
+    return config
+
+
+def snapshot_text(db, queries, config) -> str:
+    chunks = []
+    for key, sql in queries:
+        plan, _planner = db.plan(sql, config)
+        chunks.append("-- %s: %s\n%s\n" % (
+            key, " ".join(sql.split()), plan.explain(),
+        ))
+    return "\n".join(chunks)
+
+
+def test_coverage_floor():
+    """The acceptance criterion: >=20 queries x 3 regimes."""
+    total = sum(len(queries) for _build, queries in WORKLOADS.values())
+    assert total >= 20
+    assert len(REGIMES) == 3
+
+
+@pytest.mark.parametrize("regime", sorted(REGIMES))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_golden_plans(workload, regime, update_golden):
+    db = _workload_db(workload)
+    config = _regime_config(db, REGIMES[regime])
+    text = snapshot_text(db, WORKLOADS[workload][1], config)
+    golden_path = GOLDEN_DIR / ("%s__%s.txt" % (workload, regime))
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(text)
+        return
+    assert golden_path.exists(), (
+        "missing golden file %s — run with --update-golden to create it"
+        % golden_path
+    )
+    expected = golden_path.read_text()
+    assert text == expected, (
+        "plan snapshot for %s/%s changed; if intentional, refresh with "
+        "`pytest tests/test_plan_golden.py --update-golden` and review "
+        "the diff" % (workload, regime)
+    )
+
+
+def test_snapshots_are_stable_within_process():
+    """Planning the same battery twice yields identical text (guards
+    against enumeration order leaking nondeterminism into plans)."""
+    workload = "empdept"
+    db = _workload_db(workload)
+    config = _regime_config(db, REGIMES["default"])
+    first = snapshot_text(db, WORKLOADS[workload][1], config)
+    second = snapshot_text(db, WORKLOADS[workload][1], config)
+    assert first == second

@@ -252,3 +252,36 @@ class TestKeyboardInterrupt:
             KeyboardInterrupt)
         shell.run(io.StringIO("SELECT a\nFROM T;\n"))
         assert "statement abandoned" in out.getvalue()
+
+
+class TestObservabilityCommands:
+    def test_metrics_renders_counters(self):
+        output = run_shell(SETUP + "SELECT a FROM T;\n\\metrics\n")
+        assert "queries_total" in output
+        assert "{select}" in output
+        assert "{create_table}" in output
+
+    def test_trace_toggle_and_summary_line(self):
+        output = run_shell(SETUP + "\\trace\n\\trace on\n"
+                           "SELECT a FROM T WHERE b > 15;\n\\trace off\n")
+        assert "tracing is off" in output
+        assert "tracing on" in output
+        assert "trace:" in output and "worst q-err" in output
+        assert "tracing off" in output
+
+    def test_trace_bad_argument(self):
+        output = run_shell("\\trace sideways\n")
+        assert "error" in output or "usage" in output
+
+    def test_drift_empty_then_populated(self):
+        output = run_shell(SETUP + "\\drift\n\\trace on\n"
+                           "SELECT a FROM T;\n\\drift\n")
+        assert "no drift samples" in output
+        assert "estimate drift over the last" in output
+
+    def test_explain_analyze_non_query_reports_inline(self):
+        """\\ea of a DDL must print an error line, not kill the shell."""
+        output = run_shell("\\ea CREATE TABLE X (a INT)\n\\d\n")
+        assert "error: EXPLAIN ANALYZE requires a query" in output
+        # the shell survived and ran the next command (\d header)
+        assert "name  kind  rows" in output

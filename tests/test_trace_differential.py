@@ -1,0 +1,162 @@
+"""Trace-invariance differential suite.
+
+Tracing must be a pure observer: for any query under any optimizer
+config, running with ``trace=True`` must produce byte-identical rows,
+a byte-identical measured cost ledger, and the same chosen plan as the
+untraced run. On top of that, the span tree's internal accounting must
+reconcile with the query's measured ledger:
+
+- the execute phase's inclusive ledger equals ``result.ledger``
+  *exactly* (it is recorded as a snapshot delta of the same
+  accumulator);
+- the per-span self-ledgers — each charge attributed to exactly one
+  operator — sum back to the measured ledger (up to float addition
+  reordering, tolerance 1e-6).
+
+The random-query generator and configs are shared with the
+engine-vs-reference differential suite in :mod:`tests.test_differential`.
+"""
+
+import random
+
+import pytest
+
+from repro import DataType, OptimizerConfig
+from repro.distributed import DistributedDatabase, distributed_config
+from tests.test_differential import CONFIGS, make_random_db, random_query
+
+
+def assert_trace_invariant(db, query, config):
+    """Run traced and untraced; assert observational equivalence and
+    span-ledger reconciliation."""
+    plain = db.sql(query, config=config)
+    traced = db.sql(query, config=config, trace=True)
+
+    assert traced.rows == plain.rows, query
+    assert traced.ledger == plain.ledger, (
+        "measured ledger differs with tracing on:\n  on:  %s\n  off: %s"
+        % (traced.ledger, plain.ledger)
+    )
+    assert traced.plan.explain() == plain.plan.explain(), query
+
+    assert plain.trace is None
+    trace = traced.trace
+    assert trace is not None
+    # exact + attributed reconciliation (raises on mismatch)
+    trace.reconcile(traced.ledger)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_random_queries_trace_invariant(seed):
+    rng = random.Random(4000 + seed)
+    db = make_random_db(rng)
+    for _ in range(5):
+        query = random_query(rng)
+        config = rng.choice(CONFIGS)
+        assert_trace_invariant(db, query, config)
+
+
+def test_trace_invariant_under_every_config():
+    rng = random.Random(555)
+    db = make_random_db(rng)
+    corpus = [
+        "SELECT T1.b, T2.d FROM T1, T2 WHERE T1.a = T2.a AND T1.c < 3",
+        "SELECT T1.b, T3.e FROM T1, T2, T3 "
+        "WHERE T1.a = T2.a AND T2.d = T3.d AND T3.e > 20",
+        "SELECT T1.b, V1.n FROM T1, V1 WHERE T1.a = V1.a AND V1.n > 1",
+        "SELECT T1.c, AVG(T1.b) AS m FROM T1 GROUP BY T1.c",
+        "SELECT DISTINCT T1.a, T1.c FROM T1 WHERE T1.b > 5 ORDER BY a",
+    ]
+    for config in CONFIGS:
+        for query in corpus:
+            assert_trace_invariant(db, query, config)
+
+
+def test_trace_invariant_with_udf():
+    from repro import Database
+
+    db = Database()
+    db.create_table("Pts", [("pid", DataType.INT), ("x", DataType.INT)])
+    db.insert("Pts", [(i, i % 10) for i in range(150)])
+    db.analyze()
+    db.functions.register_function(
+        "square", [("x", DataType.INT)], [("xx", DataType.INT)],
+        lambda args: [(args[0] * args[0],)],
+        cost_per_invocation=2.0, locality_factor=0.5,
+    )
+    query = "SELECT P.pid, F.xx FROM Pts P, square F WHERE P.x = F.x"
+    for mode in ("repeated", "memo", "filter"):
+        config = OptimizerConfig(forced_function_join=mode)
+        assert_trace_invariant(db, query, config)
+
+
+def test_trace_invariant_distributed():
+    """Network charges (ships, probe round-trips, Bloom shipments) are
+    attributed through the same tee; the invariant holds across
+    semi-join/fetch strategies on a two-site database."""
+    rng = random.Random(9)
+    db = DistributedDatabase(distributed_config(1.0, 0.001))
+    db.create_table("Orders", [("oid", DataType.INT),
+                               ("cid", DataType.INT),
+                               ("total", DataType.INT)])
+    db.create_table("Cust", [("cid", DataType.INT),
+                             ("name", DataType.STR)], site="siteB")
+    db.insert("Orders", [
+        (i, rng.randint(1, 200), rng.randint(1, 1000))
+        for i in range(1, 1201)
+    ])
+    db.insert("Cust", [(c, "n%d" % c) for c in range(1, 201)])
+    db.analyze()
+    queries = [
+        "SELECT O.oid, C.name FROM Orders O, Cust C "
+        "WHERE O.cid = C.cid AND O.total > 900",
+        "SELECT C.name, COUNT(*) AS n FROM Orders O, Cust C "
+        "WHERE O.cid = C.cid GROUP BY C.name",
+    ]
+    for query in queries:
+        assert_trace_invariant(db, query, db.config)
+
+
+def test_span_ledgers_attribute_to_operators():
+    """Self-ledgers are genuinely per-operator: a scan span carries page
+    reads, and no single span hoards the whole query's charges."""
+    rng = random.Random(21)
+    db = make_random_db(rng)
+    result = db.sql(
+        "SELECT T1.b, T2.d FROM T1, T2 WHERE T1.a = T2.a",
+        trace=True,
+    )
+    spans = result.trace.operator_spans()
+    scan_spans = [s for s in spans if s.node_type == "SeqScanNode"]
+    assert scan_spans, "expected scan spans in the tree"
+    assert all(s.self_ledger.page_reads > 0 for s in scan_spans)
+    charged = [s for s in spans if s.self_ledger.total() > 0]
+    assert len(charged) >= 2, (
+        "charges concentrated in %d span(s); attribution is broken"
+        % len(charged)
+    )
+
+
+def test_execute_phase_ledger_is_exact():
+    """The execute phase's inclusive ledger is the measured ledger,
+    field for field, exactly (no tolerance)."""
+    rng = random.Random(33)
+    db = make_random_db(rng)
+    for _ in range(4):
+        query = random_query(rng)
+        result = db.sql(query, config=rng.choice(CONFIGS), trace=True)
+        assert result.trace.total_ledger == result.ledger, query
+
+
+def test_cached_plan_execution_trace_invariant():
+    """The plan-cache path is traced too, and stays invariant."""
+    rng = random.Random(68)
+    db = make_random_db(rng)
+    query = "SELECT T1.b, T2.d FROM T1, T2 WHERE T1.a = T2.a"
+    warm = db.sql(query, use_cache=True)
+    traced = db.sql(query, use_cache=True, trace=True)
+    assert traced.cached_plan
+    assert traced.rows == warm.rows
+    assert traced.ledger == warm.ledger
+    traced.trace.reconcile(traced.ledger)
+    assert traced.trace.phases["optimize"].extras["plan_cache"] == "hit"
