@@ -1,0 +1,99 @@
+"""Vector-engine benchmark: batch execution vs tuple-at-a-time.
+
+The vectorized executor must earn its keep: identical rows, identical
+cost ledger (asserted here as well as in the differential suite), and a
+wall-clock win on the star-join workload that motivated it. ``python
+benchmarks/bench_vector_engine.py`` runs the CI gate: min-of-trials
+execution time on a three-way star join with aggregation, requiring the
+vector engine to be at least :data:`MIN_SPEEDUP` times faster than the
+iterator engine on the same machine, same plan, same data.
+
+Min-of-trials (not mean) deliberately: the minimum is the least noisy
+estimator of the achievable time on a shared CI box, and both engines
+get the same treatment.
+"""
+
+import time
+
+from repro.workloads import StarConfig, fresh_star
+
+TRIALS = 5
+MIN_SPEEDUP = 3.0
+
+STAR_JOIN = """
+SELECT C.region, P.category, SUM(S.amount) AS revenue
+FROM Sales S, Customer C, Product P
+WHERE S.cust_id = C.cust_id AND S.prod_id = P.prod_id
+  AND P.price > 100
+GROUP BY C.region, P.category
+"""
+
+
+def bench_db():
+    return fresh_star(StarConfig(num_sales=20000, seed=7))
+
+
+def _best_of(db, plan, metrics, engine, trials=TRIALS):
+    """(best_seconds, last_result) for repeat executions of one plan."""
+    result = db.run_plan(plan, metrics, engine=engine)  # warm
+    best = float("inf")
+    for _ in range(trials):
+        started = time.perf_counter()
+        result = db.run_plan(plan, metrics, engine=engine)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def measured_speedup(trials=TRIALS):
+    """(speedup, iterator_seconds, vector_seconds) on a fresh star
+    database, planning excluded (both engines execute the same plan)."""
+    db = bench_db()
+    plan, planner = db.plan(STAR_JOIN)
+    iterator_s, base = _best_of(db, plan, planner.metrics, "iterator",
+                                trials)
+    vector_s, vec = _best_of(db, plan, planner.metrics, "vector", trials)
+    assert vec.rows == base.rows, "vector engine changed the answer"
+    assert vec.ledger.as_dict() == base.ledger.as_dict(), (
+        "vector engine changed the measured cost ledger"
+    )
+    return iterator_s / vector_s, iterator_s, vector_s
+
+
+def test_benchmark_iterator_engine(benchmark):
+    db = bench_db()
+    plan, planner = db.plan(STAR_JOIN)
+    db.run_plan(plan, planner.metrics, engine="iterator")
+    benchmark(db.run_plan, plan, planner.metrics, engine="iterator")
+
+
+def test_benchmark_vector_engine(benchmark):
+    db = bench_db()
+    plan, planner = db.plan(STAR_JOIN)
+    db.run_plan(plan, planner.metrics, engine="vector")
+    benchmark(db.run_plan, plan, planner.metrics, engine="vector")
+
+
+def test_vector_speedup_floor():
+    """Acceptance: >= 3x wall-clock on the star-join workload with
+    byte-identical rows and an identical ledger."""
+    speedup, iterator_s, vector_s = measured_speedup()
+    assert speedup >= MIN_SPEEDUP, (
+        "vector speedup %.2fx < %.1fx (iterator %.3fs, vector %.3fs)"
+        % (speedup, MIN_SPEEDUP, iterator_s, vector_s)
+    )
+
+
+def main():
+    speedup, iterator_s, vector_s = measured_speedup()
+    print("iterator: %.4fs (best of %d)" % (iterator_s, TRIALS))
+    print("vector:   %.4fs (best of %d)" % (vector_s, TRIALS))
+    print("speedup:  %.2fx (minimum required: %.1fx)"
+          % (speedup, MIN_SPEEDUP))
+    if speedup < MIN_SPEEDUP:
+        raise SystemExit("FAIL: vector engine speedup below %.1fx"
+                         % MIN_SPEEDUP)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,7 @@ latency against a deadline (clean typed abort). Every regime either
 returns the exact fault-free answer or raises a typed error.
 """
 
-from repro import DataType, QueryTimeout, ResourceExhausted
+from repro import DataType, Options, QueryTimeout, ResourceExhausted
 from repro.distributed import (DistributedDatabase, FaultPlan,
                                distributed_config)
 
@@ -50,7 +50,7 @@ def main():
     db.mark_site_up("east")
     db.set_fault_plan(FaultPlan(latency_rate=1.0, latency_seconds=30.0))
     try:
-        db.sql(query, timeout=0.5)
+        db.sql(query, options=Options(timeout=0.5))
     except QueryTimeout as exc:
         print("deadline: aborted after %.2fs simulated "
               "(budget %.2fs)" % (exc.elapsed, exc.timeout))
@@ -58,7 +58,7 @@ def main():
     # --- memory budget: clean typed abort, not an OOM ---------------
     db.set_fault_plan(None)
     try:
-        db.sql(query, memory_budget_bytes=64)
+        db.sql(query, options=Options(memory_budget_bytes=64))
     except ResourceExhausted as exc:
         print("memory: refused — wanted %d bytes against a %d-byte "
               "budget" % (exc.requested_bytes, exc.budget_bytes))

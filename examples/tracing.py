@@ -13,7 +13,8 @@ import json
 import os
 import tempfile
 
-from repro import Database
+import repro
+from repro import Database, Options
 
 SCHEMA = """
 CREATE TABLE Dept (did INT, budget INT);
@@ -57,12 +58,12 @@ def banner(title: str) -> None:
 
 
 def main() -> None:
-    db = Database()
+    db = repro.connect(trace=True)
     db.execute_script(SCHEMA)
     load_data(db)
 
     banner("A traced query: every operator becomes a span")
-    result = db.sql(QUERY, trace=True)
+    result = db.sql(QUERY)
     trace = result.trace
     print("%d rows; phases: %s" % (
         len(result.rows),
@@ -96,13 +97,13 @@ def main() -> None:
     stale = [(10_000 + i, 1 + i % 60, 45_000, 25) for i in range(2400)]
     db.insert("Emp", stale)
     for _ in range(3):
-        db.sql(QUERY, trace=True)
+        db.sql(QUERY)
     print(db.drift_report().render(limit=5))
     print()
     print("after re-analyze, drift falls back to steady state:")
     db.analyze()
     db.drift.clear()
-    db.sql(QUERY, trace=True)
+    db.sql(QUERY)
     worst = db.drift_report().worst
     print("  worst q-error now %.2f (%s)"
           % (worst.max_q_error, worst.operator))

@@ -9,14 +9,26 @@ algorithm — the Filter Join — chosen purely by cost.
 
 Quickstart::
 
-    from repro import Database
-    db = Database()
-    ...
+    import repro
+
+    db = repro.connect()
+    db.execute_script(open("schema.sql").read())
+    db.analyze()
+    result = db.sql("SELECT ... FROM Emp E, Dept D, DepAvgSal V WHERE ...")
+
+Everything an application needs is exported here — :func:`connect`,
+:class:`Options`, :class:`QueryResult`, and the error taxonomy rooted at
+:class:`ReproError`. Deep module paths (``repro.executor...``,
+``repro.optimizer...``) are implementation detail and may move between
+releases; this module's ``__all__`` is the stable surface.
 
 See README.md for the full tour and DESIGN.md for the architecture.
 """
 
+from typing import Optional, Sequence
+
 from .database import Database, PreparedStatement, QueryResult
+from .options import BUILTIN, ENGINES, Options
 from .errors import (
     BindError,
     CatalogError,
@@ -45,6 +57,44 @@ from .storage.schema import Column, DataType, Schema
 
 __version__ = "1.0.0"
 
+
+def connect(*, sites: Optional[Sequence[str]] = None,
+            config: Optional[OptimizerConfig] = None,
+            plan_cache_size: Optional[int] = None,
+            **options) -> Database:
+    """Open an embedded database — the front door of the library.
+
+    With no arguments this is a local single-site engine. Passing
+    ``sites=["tokyo", "paris"]`` instead returns a
+    :class:`~repro.distributed.DistributedDatabase` with those sites
+    registered and network costs enabled in the cost model (place
+    tables with ``db.create_table(..., site="tokyo")``).
+
+    Any :class:`Options` field may be given as a keyword and becomes
+    the connection's default (equivalent to calling
+    :meth:`Database.configure` immediately)::
+
+        db = repro.connect(engine="vector", trace=True)
+
+    ``config`` overrides the optimizer configuration;
+    ``plan_cache_size`` bounds the versioned plan cache.
+    """
+    if sites is not None:
+        from .distributed.database import DistributedDatabase
+
+        db: Database = DistributedDatabase(
+            config=config, plan_cache_size=plan_cache_size)
+        for name in sites:
+            db.add_site(name)
+    elif plan_cache_size is not None:
+        db = Database(config, plan_cache_size)
+    else:
+        db = Database(config)
+    if options:
+        db.configure(**options)
+    return db
+
+
 __all__ = [
     "BindError",
     "CatalogError",
@@ -56,8 +106,10 @@ __all__ = [
     "DriftRecorder",
     "DriftReport",
     "ExecutionError",
+    "ENGINES",
     "MetricsRegistry",
     "OptimizerConfig",
+    "Options",
     "ParameterError",
     "PlanCache",
     "PlanError",
@@ -73,5 +125,6 @@ __all__ = [
     "SqlSyntaxError",
     "StatsError",
     "__version__",
+    "connect",
     "global_metrics",
 ]

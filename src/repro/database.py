@@ -20,11 +20,13 @@ cost ledger rides along on the :class:`QueryResult`.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from .algebra.block import QueryBlock
 from .errors import ParameterError, ReproError
+from .executor.lowering import execute as execute_tree
 from .executor.lowering import lower
 from .executor.runtime import RuntimeContext
 from .expr.nodes import PARAMETER_TYPES
@@ -33,6 +35,7 @@ from .obs.drift import DriftRecorder, DriftReport
 from .obs.metrics import MetricsRegistry, global_metrics
 from .obs.render import render_explain_analyze
 from .obs.trace import QueryTrace, TraceBuilder
+from .options import OPTION_FIELDS, Options, warn_legacy_kwargs
 from .optimizer.config import OptimizerConfig
 from .optimizer.planner import Planner, PlannerMetrics
 from .optimizer.plans import PlanNode
@@ -120,20 +123,80 @@ class Database:
         self.config = config or OptimizerConfig()
         self.config.validate()
         self.last_planner: Optional[Planner] = None
+        # execution defaults (engine, tracing, timeout, cache, memory
+        # budget); per-call Options layer over these — see configure()
+        self.defaults = Options()
         # observability: per-database metrics chained to the process
-        # registry, the estimate-drift window, and the tracing default
-        # (per-call ``trace=`` overrides it)
+        # registry and the estimate-drift window
         self.metrics_registry = MetricsRegistry("db",
                                                 parent=global_metrics())
         self.drift = DriftRecorder()
-        self.tracing = False
         # cross-statement cache of optimized plans; size 0 disables it
         self.plan_cache = PlanCache(plan_cache_size,
                                     listener=self._plan_cache_event)
         # resilience: an optional SimulatedNetwork every shipment routes
-        # through, and a default per-query deadline in seconds
+        # through (deadlines now live on self.defaults.timeout)
         self.network = None
-        self.default_timeout: Optional[float] = None
+
+    # ----------------------------------------------------------- options
+
+    def configure(self, **options) -> Options:
+        """Set execution defaults for this database; returns the new
+        defaults. Accepts :class:`Options` field names::
+
+            db.configure(engine="vector", use_cache=True)
+
+        Per-call ``options=`` values layer over these; pass ``None`` to
+        reset a field to the built-in behavior.
+        """
+        unknown = set(options) - set(OPTION_FIELDS)
+        if unknown:
+            raise TypeError(
+                "unknown option(s): %s (valid: %s)"
+                % (", ".join(sorted(unknown)), ", ".join(OPTION_FIELDS))
+            )
+        self.defaults = self.defaults.replace(**options)
+        return self.defaults
+
+    @contextmanager
+    def session(self, **options):
+        """Scope execution defaults to a ``with`` block::
+
+            with db.session(engine="vector", trace=True):
+                db.sql(...)
+
+        Restores the previous defaults on exit, even on error.
+        """
+        saved = self.defaults
+        self.configure(**options)
+        try:
+            yield self
+        finally:
+            self.defaults = saved
+
+    def _resolve_options(self, options: Optional[Options]) -> Options:
+        """BUILTIN <- database defaults <- per-call options."""
+        return self.defaults.merged(options).resolved()
+
+    # Pre-Options attributes, kept as views over self.defaults so
+    # existing ``db.tracing = True`` / ``db.default_timeout = 2.0``
+    # call sites keep their exact behavior.
+
+    @property
+    def tracing(self) -> bool:
+        return bool(self.defaults.trace)
+
+    @tracing.setter
+    def tracing(self, value: bool) -> None:
+        self.defaults = self.defaults.replace(trace=bool(value))
+
+    @property
+    def default_timeout(self) -> Optional[float]:
+        return self.defaults.timeout
+
+    @default_timeout.setter
+    def default_timeout(self, value: Optional[float]) -> None:
+        self.defaults = self.defaults.replace(timeout=value)
 
     # ---------------------------------------------------------- observability
 
@@ -251,7 +314,7 @@ class Database:
                 % type(statement).__name__
             )
         result = self._execute_statement(statement, sql_text, config,
-                                         trace=True,
+                                         options=Options(trace=True),
                                          parse_seconds=parse_seconds)
         return render_explain_analyze(result, config.cost_params)
 
@@ -317,7 +380,8 @@ class Database:
                  config: Optional[OptimizerConfig] = None,
                  timeout: Optional[float] = None,
                  memory_budget_bytes: Optional[float] = None,
-                 trace: Optional[TraceBuilder] = None
+                 trace: Optional[TraceBuilder] = None,
+                 engine: Optional[str] = None
                  ) -> QueryResult:
         """Execute a physical plan and collect rows + measured costs.
 
@@ -329,12 +393,17 @@ class Database:
         working memory (defaulting to the config's budget). ``trace``
         is an optional :class:`TraceBuilder` to record this execution
         into; the finished span tree rides on ``result.trace`` and
-        feeds the drift recorder and metrics registry.
+        feeds the drift recorder and metrics registry. ``engine``
+        selects the execution protocol (``"iterator"`` or ``"vector"``,
+        defaulting to the database's configured engine); either way the
+        same lowered operator tree runs and charges the same ledger.
         """
         config = config or self.config
         deadline = timeout if timeout is not None else self.default_timeout
         budget = (memory_budget_bytes if memory_budget_bytes is not None
                   else config.memory_budget_bytes)
+        if engine is None:
+            engine = self.defaults.resolved().engine
         ctx = RuntimeContext(
             params=config.cost_params,
             memory_pages=config.memory_pages,
@@ -346,7 +415,7 @@ class Database:
         started = time.perf_counter()
         if trace is None:
             operator = lower(plan, ctx)
-            rows = list(operator.rows())
+            rows = execute_tree(operator, engine)
             elapsed = time.perf_counter() - started
             ledger = ctx.ledger
         else:
@@ -354,7 +423,7 @@ class Database:
             with trace.phase("lower"):
                 operator = lower(plan, ctx)
             with trace.phase("execute"):
-                rows = list(operator.rows())
+                rows = execute_tree(operator, engine)
             elapsed = time.perf_counter() - started
             # a plain snapshot, not the tee subclass, so ledger equality
             # against untraced runs behaves normally
@@ -372,36 +441,52 @@ class Database:
             self._record_trace(result)
         return result
 
+    def _legacy_options(self, kwargs: dict) -> Optional[Options]:
+        """Fold non-None legacy keyword arguments into an Options value,
+        emitting the deprecation warning once per call site."""
+        supplied = {k: v for k, v in kwargs.items() if v is not None}
+        if not supplied:
+            return None
+        # stacklevel 4: warn at the caller of the public method (this
+        # helper -> sql/execute_script -> user code)
+        warn_legacy_kwargs(supplied, stacklevel=4)
+        return Options(**supplied)
+
     def sql(self, text: str,
             config: Optional[OptimizerConfig] = None,
-            use_cache: bool = False,
+            options: Optional[Options] = None, *,
+            use_cache: Optional[bool] = None,
             timeout: Optional[float] = None,
             memory_budget_bytes: Optional[float] = None,
             trace: Optional[bool] = None) -> QueryResult:
         """Execute one SQL statement (query or DDL/DML).
 
-        With ``use_cache=True``, parameterless queries go through the
-        versioned plan cache (the shell uses this); the default keeps
-        the classic optimize-every-call behavior the experiments
-        measure. ``timeout`` (seconds) and ``memory_budget_bytes``
-        bound this call's execution; they raise
-        :class:`~repro.errors.QueryTimeout` /
-        :class:`~repro.errors.ResourceExhausted` when exceeded.
-        ``trace=True`` records a span tree onto ``result.trace``
-        (``None`` defers to ``self.tracing``).
+        ``options`` carries the per-call execution knobs — engine
+        selection, tracing, the plan cache, timeouts, and memory
+        budgets (see :class:`repro.Options`); anything unset inherits
+        the database defaults installed with :meth:`configure` /
+        :meth:`session`. The individual keywords (``use_cache=``,
+        ``timeout=``, ``memory_budget_bytes=``, ``trace=``) are the
+        deprecated pre-Options spelling: they still bind, layered under
+        ``options``, and emit a :class:`DeprecationWarning` once per
+        call site.
         """
-        traced = self.tracing if trace is None else trace
-        parse_started = time.perf_counter() if traced else 0.0
+        legacy = self._legacy_options({
+            "use_cache": use_cache, "timeout": timeout,
+            "memory_budget_bytes": memory_budget_bytes, "trace": trace,
+        })
+        effective = self.defaults.merged(legacy).merged(options).resolved()
+        parse_started = time.perf_counter() if effective.trace else 0.0
         statement = parse(text)
         parse_seconds = (time.perf_counter() - parse_started
-                         if traced else 0.0)
-        return self._execute_statement(statement, text, config, use_cache,
-                                       timeout, memory_budget_bytes,
-                                       trace=traced,
+                         if effective.trace else 0.0)
+        return self._execute_statement(statement, text, config,
+                                       options=effective,
                                        parse_seconds=parse_seconds)
 
     def execute_script(self, text: str,
-                       use_cache: bool = False,
+                       options: Optional[Options] = None, *,
+                       use_cache: Optional[bool] = None,
                        timeout: Optional[float] = None
                        ) -> List[QueryResult]:
         """Execute a ';'-separated script; returns one result per
@@ -414,14 +499,19 @@ class Database:
         effect or none. When statement *k* of *n* raises, the effects
         of statements 1..k-1 persist, statement *k* leaves no partial
         state behind, and statements k+1..n never run. There is no
-        script-level rollback. ``timeout`` applies per statement, not
-        to the script as a whole.
+        script-level rollback. ``options`` applies per statement, not
+        to the script as a whole (``use_cache=`` / ``timeout=`` are the
+        deprecated spelling).
         """
+        legacy = self._legacy_options({
+            "use_cache": use_cache, "timeout": timeout,
+        })
+        effective = self.defaults.merged(legacy).merged(options).resolved()
         results = []
         for statement, span in Parser(text).parse_script_spans():
             results.append(
-                self._execute_statement(statement, span, None, use_cache,
-                                        timeout)
+                self._execute_statement(statement, span, None,
+                                        options=effective)
             )
         return results
 
@@ -429,21 +519,18 @@ class Database:
 
     def _execute_statement(self, statement, original_text: str,
                            config: Optional[OptimizerConfig],
-                           use_cache: bool = False,
-                           timeout: Optional[float] = None,
-                           memory_budget_bytes: Optional[float] = None,
-                           trace: Optional[bool] = None,
+                           options: Optional[Options] = None,
                            parse_seconds: float = 0.0
                            ) -> QueryResult:
+        opts = self.defaults.merged(options).resolved()
         kind = _STATEMENT_KINDS.get(type(statement).__name__, "other")
         self.metrics_registry.inc("queries_total", label=kind)
         if isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
-            traced = self.tracing if trace is None else trace
             builder = None
-            if traced:
+            if opts.trace:
                 builder = TraceBuilder(original_text)
                 builder.add_phase("parse", parse_seconds)
-            if use_cache:
+            if opts.use_cache:
                 if builder is None:
                     entry, hit = self._plan_entry(original_text,
                                                   statement, config)
@@ -462,8 +549,9 @@ class Database:
                     )
                 entry.executions += 1
                 result = self.run_plan(entry.plan, entry.metrics, config,
-                                       timeout, memory_budget_bytes,
-                                       trace=builder)
+                                       opts.timeout,
+                                       opts.memory_budget_bytes,
+                                       trace=builder, engine=opts.engine)
                 result.cached_plan = hit
                 return result
             if builder is None:
@@ -475,8 +563,8 @@ class Database:
                 with builder.phase("optimize"):
                     plan, planner = self.plan(block, config)
             return self.run_plan(plan, planner.metrics, config,
-                                 timeout, memory_budget_bytes,
-                                 trace=builder)
+                                 opts.timeout, opts.memory_budget_bytes,
+                                 trace=builder, engine=opts.engine)
         if isinstance(statement, ast.ExplainStmt):
             block = self._bind_statement(statement.select)
             plan, planner = self.plan(block, config)
@@ -583,14 +671,22 @@ class PreparedStatement:
         return entry.plan if entry is not None else None
 
     def execute(self, params: Sequence = (),
-                timeout: Optional[float] = None) -> QueryResult:
-        """Bind ``params`` (one value per ``?``, in order) and run."""
+                timeout: Optional[float] = None,
+                options: Optional[Options] = None) -> QueryResult:
+        """Bind ``params`` (one value per ``?``, in order) and run.
+
+        ``options`` layers over the database defaults (engine, timeout,
+        memory budget); ``timeout`` is a shorthand that wins over both.
+        """
         params = tuple(params)
         if len(params) != self.param_count:
             raise ParameterError(
                 "statement takes %d parameter(s), got %d"
                 % (self.param_count, len(params))
             )
+        opts = self.db.defaults.merged(options).resolved()
+        if timeout is not None:
+            opts = opts.replace(timeout=timeout)
         if self.is_query:
             entry, hit = self.db._plan_entry(self.text, self.statement,
                                              self.config)
@@ -598,12 +694,14 @@ class PreparedStatement:
                 node.bind(value)
             entry.executions += 1
             result = self.db.run_plan(entry.plan, entry.metrics,
-                                      self.config, timeout)
+                                      self.config, opts.timeout,
+                                      opts.memory_budget_bytes,
+                                      engine=opts.engine)
             result.cached_plan = hit
             return result
         statement = self._substituted(params) if params else self.statement
         return self.db._execute_statement(statement, self.text,
-                                          self.config)
+                                          self.config, options=options)
 
     def _substituted(self, params: tuple) -> ast.InsertStmt:
         """An InsertStmt copy with every placeholder replaced by its

@@ -79,8 +79,13 @@ class DistributedDatabase(Database):
     LOCAL = None  # the coordinator/query site
 
     def __init__(self, config: Optional[OptimizerConfig] = None,
-                 network: Optional[SimulatedNetwork] = None):
-        super().__init__(config or distributed_config())
+                 network: Optional[SimulatedNetwork] = None,
+                 plan_cache_size: Optional[int] = None):
+        if plan_cache_size is None:
+            super().__init__(config or distributed_config())
+        else:
+            super().__init__(config or distributed_config(),
+                             plan_cache_size)
         self._site_names = set()
         self.network = network or SimulatedNetwork()
         self.degradation_events: List[DegradationEvent] = []
@@ -162,9 +167,7 @@ class DistributedDatabase(Database):
     # ------------------------------------------------------------ execution
 
     def _execute_statement(self, statement, original_text, config,
-                           use_cache=False, timeout=None,
-                           memory_budget_bytes=None, trace=None,
-                           parse_seconds=0.0):
+                           options=None, parse_seconds=0.0):
         """Execute with graceful degradation: on ``SiteUnavailable``,
         mark the site down, record the event, and re-optimize against
         the surviving placement. Bounded by the number of known sites,
@@ -174,8 +177,8 @@ class DistributedDatabase(Database):
         while True:
             try:
                 return super()._execute_statement(
-                    statement, original_text, config, use_cache,
-                    timeout, memory_budget_bytes, trace, parse_seconds,
+                    statement, original_text, config, options,
+                    parse_seconds,
                 )
             except SiteUnavailable as exc:
                 site = exc.site

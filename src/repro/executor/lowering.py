@@ -64,6 +64,29 @@ def lower(node: PlanNode, ctx: RuntimeContext) -> Operator:
     return _Lowering(ctx).lower(node)
 
 
+#: valid execution engines: tuple-at-a-time Volcano iterators, or the
+#: vectorized batch protocol (column-oriented batches of ~1024 rows)
+ENGINES = ("iterator", "vector")
+
+
+def execute(root: Operator, engine: str = "iterator") -> List[tuple]:
+    """Run a lowered operator tree to completion under ``engine``.
+
+    Both engines drive the *same* operator tree — the engine only
+    selects which protocol the root is drained through (``rows()`` or
+    ``batches()``); operators without a native batch implementation
+    transparently bridge to their iterator form, charging identically.
+    """
+    if engine == "vector":
+        return root.drain()
+    if engine == "iterator":
+        return list(root.rows())
+    raise PlanError(
+        "unknown engine %r (expected one of %s)"
+        % (engine, ", ".join(ENGINES))
+    )
+
+
 class SpanOperator(Operator):
     """Transparent wrapper recording one plan node's execution into its
     trace span.
@@ -113,6 +136,36 @@ class SpanOperator(Operator):
                 trace.pop()
             span.actual_rows += 1
             yield row
+
+    def batches(self):
+        """Vectorized twin of :meth:`rows`: the span brackets every
+        *batch* advancement, so bulk charges land on the operator doing
+        the work and ``actual_rows`` counts rows, not batches."""
+        span = self.span
+        trace = self.trace
+        clock = time.perf_counter
+        span.executions += 1
+        trace.push(span)
+        started = clock()
+        try:
+            iterator = iter(self.inner.batches())
+        finally:
+            span.wall_seconds += clock() - started
+            trace.pop()
+        while True:
+            trace.push(span)
+            started = clock()
+            try:
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    return
+            finally:
+                span.wall_seconds += clock() - started
+                trace.pop()
+            span.actual_rows += batch.n
+            span.batches += 1
+            yield batch
 
 
 def lower_traced(node: PlanNode, ctx: RuntimeContext):

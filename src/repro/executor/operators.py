@@ -1,4 +1,4 @@
-"""Physical operators (iterator model).
+"""Physical operators (iterator and vectorized batch models).
 
 Every operator exposes ``rows()``, returning a fresh iterator per call;
 re-invoking ``rows()`` re-executes the subtree (and re-charges its cost),
@@ -6,6 +6,18 @@ which is exactly what correlated nested iteration needs. All work is
 charged to the shared :class:`RuntimeContext` ledger using the same
 formulas as the optimizer's :class:`~repro.optimizer.cost.CostModel`, so
 measured and estimated cost components are directly comparable.
+
+Operators additionally expose ``batches()``, the vectorized execution
+protocol: column-oriented :class:`~repro.executor.vectorize.Batch`
+objects of ~1024 rows flow between operators, with predicates and
+projections compiled once per execution into column-level closures.
+Batch implementations charge the *same* ledger unit counts as their
+iterator twins, just chunked (one ``charge_cpu(n)`` per batch instead of
+``n`` unit charges), so cost totals, golden plans, memory budgets, and
+trace reconciliation are engine-independent. Operators without a native
+batch implementation inherit a bridge that runs their ``rows()``
+iterator and chunks it — trivially charge-identical — and the two
+protocols compose freely within one tree.
 """
 
 from __future__ import annotations
@@ -21,6 +33,13 @@ from ..stats.estimator import yao_blocks
 from ..storage.schema import Schema
 from ..storage.table import Table, pages_for
 from .runtime import RuntimeContext, TempTable
+from .vectorize import (
+    Batch,
+    batches_from_list,
+    batches_from_rows,
+    compile_expr,
+    compile_optional_filter,
+)
 
 Row = tuple
 
@@ -61,6 +80,18 @@ class Operator:
     def rows(self) -> Iterator[Row]:
         raise NotImplementedError
 
+    def batches(self) -> Iterator[Batch]:
+        """Vectorized protocol; the default bridges through ``rows()``,
+        running this subtree tuple-at-a-time (identical charges)."""
+        return batches_from_rows(self.rows(), len(self.schema))
+
+    def drain(self) -> List[Row]:
+        """Materialize ``batches()`` back into row tuples."""
+        out: List[Row] = []
+        for batch in self.batches():
+            out.extend(batch.rows())
+        return out
+
     def to_list(self) -> List[Row]:
         return list(self.rows())
 
@@ -91,6 +122,19 @@ class SeqScanOp(Operator):
                 if self.predicate.eval(row) is not True:
                     continue
             yield row
+
+    def batches(self) -> Iterator[Batch]:
+        self.ctx.charge_scan(self.table.num_pages)
+        bind_memberships(self.predicate, self.ctx)
+        predicate = compile_optional_filter(self.predicate)
+        width = len(self.schema)
+        for batch in batches_from_list(self.table.rows, width):
+            self.ctx.charge_cpu(batch.n)
+            if predicate is not None:
+                self.ctx.charge_cpu(batch.n)
+                batch = batch.select(predicate(batch))
+            if batch.n:
+                yield batch
 
 
 def _probe_data_pages(table: Table, column: str, matches: int) -> float:
@@ -151,6 +195,21 @@ class IndexScanOp(Operator):
                     continue
             yield row
 
+    def batches(self) -> Iterator[Batch]:
+        positions = self._positions()
+        self.ctx.ledger.charge_reads(1.0 + _probe_data_pages(
+            self.table, self.column, len(positions)))
+        self.ctx.charge_cpu(len(positions) + 1)
+        bind_memberships(self.residual, self.ctx)
+        residual = compile_optional_filter(self.residual)
+        rows = [self.table.row_at(p) for p in positions]
+        for batch in batches_from_list(rows, len(self.schema)):
+            if residual is not None:
+                self.ctx.charge_cpu(batch.n)
+                batch = batch.select(residual(batch))
+            if batch.n:
+                yield batch
+
 
 class FilterSetScanOp(Operator):
     """Scan the run-time-bound filter set (magic set)."""
@@ -164,6 +223,11 @@ class FilterSetScanOp(Operator):
         self.ctx.charge_rescan(temp)
         return iter(temp.rows)
 
+    def batches(self) -> Iterator[Batch]:
+        temp = self.ctx.filter_set(self.param_id)
+        self.ctx.charge_rescan(temp)
+        return batches_from_list(temp.rows, len(self.schema))
+
 
 class ValuesOp(Operator):
     """A constant in-memory rowset (tests and utilities)."""
@@ -175,6 +239,10 @@ class ValuesOp(Operator):
     def rows(self) -> Iterator[Row]:
         self.ctx.charge_cpu(len(self._rows))
         return iter(self._rows)
+
+    def batches(self) -> Iterator[Batch]:
+        self.ctx.charge_cpu(len(self._rows))
+        return batches_from_list(self._rows, len(self.schema))
 
 
 # ------------------------------------------------------------- unary ops
@@ -192,6 +260,15 @@ class FilterOp(Operator):
             if self.predicate.eval(row) is True:
                 yield row
 
+    def batches(self) -> Iterator[Batch]:
+        bind_memberships(self.predicate, self.ctx)
+        predicate = compile_optional_filter(self.predicate)
+        for batch in self.child.batches():
+            self.ctx.charge_cpu(batch.n)
+            batch = batch.select(predicate(batch))
+            if batch.n:
+                yield batch
+
 
 class ProjectOp(Operator):
     def __init__(self, ctx: RuntimeContext, child: Operator,
@@ -206,6 +283,14 @@ class ProjectOp(Operator):
         for row in self.child.rows():
             self.ctx.charge_cpu(1)
             yield tuple(expr.eval(row) for expr in self.exprs)
+
+    def batches(self) -> Iterator[Batch]:
+        for expr in self.exprs:
+            bind_memberships(expr, self.ctx)
+        fns = [compile_expr(expr) for expr in self.exprs]
+        for batch in self.child.batches():
+            self.ctx.charge_cpu(batch.n)
+            yield Batch([fn(batch) for fn in fns], batch.n)
 
 
 class DistinctOp(Operator):
@@ -229,6 +314,28 @@ class DistinctOp(Operator):
         finally:
             self.ctx.mem_release(held)
 
+    def batches(self) -> Iterator[Batch]:
+        seen = set()
+        width = self.schema.row_width()
+        held = 0.0
+        try:
+            for batch in self.child.batches():
+                self.ctx.charge_cpu(batch.n)
+                keep = []
+                for i, row in enumerate(batch.rows()):
+                    if row not in seen:
+                        seen.add(row)
+                        if not (len(seen) & _MEM_CHUNK_MASK):
+                            self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
+                            held += _MEM_CHUNK_ROWS * width
+                        keep.append(i)
+                if len(keep) == batch.n:
+                    yield batch
+                elif keep:
+                    yield batch.take(keep)
+        finally:
+            self.ctx.mem_release(held)
+
 
 class SortOp(Operator):
     """Full sort; charges external-merge I/O when the input spills."""
@@ -239,28 +346,46 @@ class SortOp(Operator):
         self.child = child
         self.keys = list(keys)
 
+    def _sort(self, data: List[Row]) -> None:
+        """Charge the sort and order ``data`` in place (shared by both
+        protocols so the charge sequence is identical)."""
+        n = len(data)
+        if n > 1:
+            self.ctx.charge_cpu(n * math.log2(n))
+        sort_pages = pages_for(n, self.schema.row_width())
+        if not self.ctx.fits(sort_pages):
+            fan_in = max(2, self.ctx.memory_pages - 1)
+            runs = sort_pages / self.ctx.memory_pages
+            passes = max(1, math.ceil(math.log(max(runs, 2), fan_in)))
+            self.ctx.ledger.charge_writes(sort_pages * passes)
+            self.ctx.ledger.charge_reads(sort_pages * passes)
+        for position, ascending in reversed(self.keys):
+            data.sort(
+                key=lambda row: _sort_key((row[position],)),
+                reverse=not ascending,
+            )
+
     def rows(self) -> Iterator[Row]:
         data = list(self.child.rows())
         n = len(data)
         width = self.schema.row_width()
         self.ctx.mem_acquire(n * width)
         try:
-            if n > 1:
-                self.ctx.charge_cpu(n * math.log2(n))
-            sort_pages = pages_for(n, width)
-            if not self.ctx.fits(sort_pages):
-                fan_in = max(2, self.ctx.memory_pages - 1)
-                runs = sort_pages / self.ctx.memory_pages
-                passes = max(1, math.ceil(math.log(max(runs, 2), fan_in)))
-                self.ctx.ledger.charge_writes(sort_pages * passes)
-                self.ctx.ledger.charge_reads(sort_pages * passes)
-            for position, ascending in reversed(self.keys):
-                data.sort(
-                    key=lambda row: _sort_key((row[position],)),
-                    reverse=not ascending,
-                )
+            self._sort(data)
             for row in data:
                 yield row
+        finally:
+            self.ctx.mem_release(n * width)
+
+    def batches(self) -> Iterator[Batch]:
+        data = self.child.drain()
+        n = len(data)
+        width = self.schema.row_width()
+        self.ctx.mem_acquire(n * width)
+        try:
+            self._sort(data)
+            for batch in batches_from_list(data, len(self.schema)):
+                yield batch
         finally:
             self.ctx.mem_release(n * width)
 
@@ -278,6 +403,22 @@ class LimitOp(Operator):
                 break
             count += 1
             yield row
+
+    def batches(self) -> Iterator[Batch]:
+        # Batch granularity: the child charges for whole batches, so a
+        # limit over a *streaming* child can charge for up to one
+        # batch's worth of rows the iterator engine never produced
+        # (blocking children — sorts, aggregates — have already done
+        # their work and are unaffected). See docs/execution.md.
+        remaining = self.limit
+        if remaining <= 0:
+            return
+        for batch in self.child.batches():
+            if batch.n >= remaining:
+                yield batch.head(remaining)
+                return
+            remaining -= batch.n
+            yield batch
 
 
 class AggregateOp(Operator):
@@ -327,6 +468,72 @@ class AggregateOp(Operator):
         finally:
             self.ctx.mem_release(held)
 
+    def batches(self) -> Iterator[Batch]:
+        groups = {}
+        width = self.schema.row_width()
+        held = 0.0
+        for spec, argument in self.aggregates:
+            bind_memberships(argument, self.ctx)
+        arg_fns = [
+            None if argument is None else compile_expr(argument)
+            for _, argument in self.aggregates
+        ]
+        single_agg = (len(arg_fns) == 1)
+        get = groups.get
+        try:
+            for batch in self.child.batches():
+                self.ctx.charge_cpu(batch.n)
+                key_columns = [batch.column(p)
+                               for p in self.group_positions]
+                keys = (list(zip(*key_columns)) if key_columns
+                        else [()] * batch.n)
+                arg_columns = [
+                    [None] * batch.n if fn is None else fn(batch)
+                    for fn in arg_fns
+                ]
+                if single_agg:
+                    # one accumulator per group: skip the inner zip
+                    for key, value in zip(keys, arg_columns[0]):
+                        accumulators = get(key)
+                        if accumulators is None:
+                            accumulators = [Accumulator.for_spec(
+                                self.aggregates[0][0])]
+                            groups[key] = accumulators
+                            if not (len(groups) & _MEM_CHUNK_MASK):
+                                self.ctx.mem_acquire(
+                                    _MEM_CHUNK_ROWS * width)
+                                held += _MEM_CHUNK_ROWS * width
+                        accumulators[0].add(value)
+                    continue
+                for i, key in enumerate(keys):
+                    accumulators = get(key)
+                    if accumulators is None:
+                        accumulators = [
+                            Accumulator.for_spec(spec)
+                            for spec, _ in self.aggregates
+                        ]
+                        groups[key] = accumulators
+                        if not (len(groups) & _MEM_CHUNK_MASK):
+                            self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
+                            held += _MEM_CHUNK_ROWS * width
+                    for column, accumulator in zip(arg_columns,
+                                                   accumulators):
+                        accumulator.add(column[i])
+            if not groups and not self.group_positions and self.aggregates:
+                groups[()] = [
+                    Accumulator.for_spec(spec) for spec, _ in self.aggregates
+                ]
+            if groups:
+                self.ctx.charge_cpu(len(groups))
+            out = [
+                key + tuple(a.result() for a in accumulators)
+                for key, accumulators in groups.items()
+            ]
+            for batch in batches_from_list(out, len(self.schema)):
+                yield batch
+        finally:
+            self.ctx.mem_release(held)
+
 
 class MaterializeOp(Operator):
     """Materialize the child into a temp each time it is consumed."""
@@ -353,6 +560,17 @@ class MaterializeOp(Operator):
         finally:
             self.ctx.mem_release(nbytes)
 
+    def batches(self) -> Iterator[Batch]:
+        data = self.child.drain()
+        self.ctx.charge_materialize(len(data), self.schema.row_width())
+        nbytes = len(data) * self.schema.row_width()
+        self.ctx.mem_acquire(nbytes)
+        try:
+            for batch in batches_from_list(data, len(self.schema)):
+                yield batch
+        finally:
+            self.ctx.mem_release(nbytes)
+
 
 class RelabelOp(Operator):
     """Pass rows through under a renamed schema."""
@@ -363,6 +581,9 @@ class RelabelOp(Operator):
 
     def rows(self) -> Iterator[Row]:
         return self.child.rows()
+
+    def batches(self) -> Iterator[Batch]:
+        return self.child.batches()
 
 
 class ShipOp(Operator):
@@ -387,6 +608,16 @@ class ShipOp(Operator):
                              from_site=self.from_site,
                              to_site=self.to_site)
         return iter(data)
+
+    def batches(self) -> Iterator[Batch]:
+        # both protocols drain the child fully before transferring, so
+        # the simulated network sees one transfer of the same size at
+        # the same point in the fault schedule regardless of engine
+        data = self.child.drain()
+        self.ctx.charge_ship(len(data), self.schema.row_width(),
+                             from_site=self.from_site,
+                             to_site=self.to_site)
+        return batches_from_list(data, len(self.schema))
 
 
 class UnionOp(Operator):
@@ -415,6 +646,33 @@ class UnionOp(Operator):
                             self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
                             held += _MEM_CHUNK_ROWS * width
                     yield row
+        finally:
+            self.ctx.mem_release(held)
+
+    def batches(self) -> Iterator[Batch]:
+        seen = set() if self.distinct else None
+        width = self.schema.row_width()
+        held = 0.0
+        try:
+            for source in (self.left, self.right):
+                for batch in source.batches():
+                    self.ctx.charge_cpu(batch.n)
+                    if seen is None:
+                        yield batch
+                        continue
+                    keep = []
+                    for i, row in enumerate(batch.rows()):
+                        if row in seen:
+                            continue
+                        seen.add(row)
+                        if not (len(seen) & _MEM_CHUNK_MASK):
+                            self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
+                            held += _MEM_CHUNK_ROWS * width
+                        keep.append(i)
+                    if len(keep) == batch.n:
+                        yield batch
+                    elif keep:
+                        yield batch.take(keep)
         finally:
             self.ctx.mem_release(held)
 
@@ -481,6 +739,106 @@ class HashJoinOp(Operator):
                             self.residual.eval(combined) is not True:
                         continue
                     yield combined
+            if not self.ctx.fits(build_pages):
+                probe_pages = pages_for(probe_rows,
+                                        self.outer.schema.row_width())
+                self.ctx.ledger.charge_writes(build_pages + probe_pages)
+                self.ctx.ledger.charge_reads(build_pages + probe_pages)
+        finally:
+            self.ctx.mem_release(held)
+
+    def batches(self) -> Iterator[Batch]:
+        bind_memberships(self.residual, self.ctx)
+        residual = compile_optional_filter(self.residual)
+        table = {}
+        build_rows = 0
+        build_width = self.inner.schema.row_width()
+        out_width = len(self.schema)
+        held = 0.0
+        try:
+            # single-column keys (the common case) index the hash table
+            # by the bare value — no per-row tuple allocation, and the
+            # null check is an identity test instead of a call
+            single = (len(self.inner_positions) == 1)
+            setdefault = table.setdefault
+            for batch in self.inner.batches():
+                self.ctx.charge_cpu(batch.n)
+                # replicate the iterator's every-1024-rows memory
+                # acquisitions: one per chunk boundary this batch crosses
+                crossings = ((build_rows + batch.n) // _MEM_CHUNK_ROWS
+                             - build_rows // _MEM_CHUNK_ROWS)
+                build_rows += batch.n
+                for _ in range(crossings):
+                    self.ctx.mem_acquire(_MEM_CHUNK_ROWS * build_width)
+                    held += _MEM_CHUNK_ROWS * build_width
+                rows = batch.rows()
+                if single:
+                    for key, row in zip(
+                            batch.column(self.inner_positions[0]), rows):
+                        if key is not None:
+                            setdefault(key, []).append(row)
+                else:
+                    key_columns = [batch.column(p)
+                                   for p in self.inner_positions]
+                    keys = (zip(*key_columns) if key_columns
+                            else [()] * batch.n)
+                    for key, row in zip(keys, rows):
+                        if _null_free(key):
+                            setdefault(key, []).append(row)
+            tail = (build_rows & _MEM_CHUNK_MASK) * build_width
+            self.ctx.mem_acquire(tail)
+            held += tail
+            build_pages = pages_for(build_rows, build_width)
+            probe_rows = 0
+            emitted_inner = set() if self.semi else None
+            get = table.get
+            for batch in self.outer.batches():
+                self.ctx.charge_cpu(batch.n)
+                probe_rows += batch.n
+                if single:
+                    keys = batch.column(self.outer_positions[0])
+                else:
+                    key_columns = [batch.column(p)
+                                   for p in self.outer_positions]
+                    keys = (list(zip(*key_columns)) if key_columns
+                            else [()] * batch.n)
+                rows = batch.rows()
+                out: List[Row] = []
+                append = out.append
+                pairs = 0
+                if self.semi:
+                    seen_add = emitted_inner.add
+                    for key in keys:
+                        if key is None or (not single
+                                           and not _null_free(key)):
+                            continue
+                        bucket = get(key)
+                        if not bucket:
+                            continue
+                        pairs += len(bucket)
+                        for inner_row in bucket:
+                            if id(inner_row) not in emitted_inner:
+                                seen_add(id(inner_row))
+                                append(inner_row)
+                else:
+                    for outer_row, key in zip(rows, keys):
+                        if key is None or (not single
+                                           and not _null_free(key)):
+                            continue
+                        bucket = get(key)
+                        if not bucket:
+                            continue
+                        pairs += len(bucket)
+                        for inner_row in bucket:
+                            append(outer_row + inner_row)
+                self.ctx.charge_cpu(pairs)
+                if not out:
+                    continue
+                result = Batch.from_rows(out, out_width)
+                if residual is not None and not self.semi:
+                    result = result.select(residual(result))
+                if result.n:
+                    yield result
             if not self.ctx.fits(build_pages):
                 probe_pages = pages_for(probe_rows,
                                         self.outer.schema.row_width())
@@ -878,6 +1236,118 @@ class FilterJoinOp(Operator):
             ledger.charge_reads(build_pages + probe_pages)
         self._component("FinalJoinCost", before)
         return iter(matches)
+
+    def batches(self) -> Iterator[Batch]:
+        """Vectorized Filter Join: same phases, same Table 1 component
+        charges, with the production/template subtrees pulled as batches
+        and the final hash join evaluated batch-at-a-time."""
+        bind_memberships(self.residual, self.ctx)
+        residual = compile_optional_filter(self.residual)
+        ledger = self.ctx.ledger
+        outer_width = self.outer.schema.row_width()
+
+        # 1. Production set (JoinCost_P + ProductionCost_P)
+        before = ledger.snapshot()
+        production = self.outer.drain()
+        self.ctx.mem_acquire(len(production) * outer_width)
+        self._component("JoinCost_P", before)
+        before = ledger.snapshot()
+        if self.materialize_production:
+            temp_pages = self.ctx.charge_materialize(
+                len(production), outer_width
+            )
+            production_spilled = not self.ctx.fits(temp_pages)
+        else:
+            production_spilled = False
+        self._component("ProductionCost_P", before)
+
+        # 2. Distinct projection into the filter set (ProjCost_F)
+        before = ledger.snapshot()
+        self.ctx.charge_cpu(len(production))
+        keys = set()
+        for row in production:
+            key = tuple(row[p] for p in self.bind_positions)
+            if _null_free(key):
+                keys.add(key)
+        self._component("ProjCost_F", before)
+        self.production_rows = len(production)
+        self.filter_set_size = len(keys)
+
+        # 3. Make the filter available (AvailCost_F)
+        before = ledger.snapshot()
+        if self.lossy:
+            bloom = BloomFilter(self.bloom_bits,
+                                expected_items=max(1, len(keys)))
+            self.ctx.charge_cpu(len(keys))
+            for key in keys:
+                bloom.add(key if len(key) > 1 else key[0])
+            self.ctx.bind_membership(self.param_id, bloom)
+            if self.ship_filter:
+                self.ctx.charge_message(bloom.size_bytes,
+                                        from_site=self.site,
+                                        to_site=self.filter_site)
+        else:
+            temp = TempTable(sorted(keys, key=_sort_key),
+                             self.filter_schema)
+            self.ctx.mem_acquire(
+                len(keys) * self.filter_schema.row_width())
+            self.ctx.bind_filter_set(self.param_id, temp)
+            if self.ship_filter:
+                self.ctx.charge_ship(len(keys),
+                                     self.filter_schema.row_width(),
+                                     from_site=self.site,
+                                     to_site=self.filter_site)
+        self._component("AvailCost_F", before)
+
+        # 4. Restricted inner (FilterCost_Rk); AvailCost_Rk' pipelines
+        before = ledger.snapshot()
+        restricted = self.template.drain()
+        self.ctx.mem_acquire(
+            len(restricted) * self.template.schema.row_width())
+        self._component("FilterCost_Rk", before)
+        self.measured_components["AvailCost_Rk'"] = 0.0
+        self.restricted_rows = len(restricted)
+
+        # 5. Final join (FinalJoinCost): hash join production x restricted
+        before = ledger.snapshot()
+        if self.materialize_production:
+            self.ctx.charge_cpu(len(production))
+            if production_spilled:
+                ledger.charge_reads(pages_for(len(production), outer_width))
+        else:
+            production = self.outer.drain()
+        self.ctx.charge_cpu(len(restricted))
+        table = {}
+        for row in restricted:
+            key = tuple(row[p] for p in self.final_inner_positions)
+            if _null_free(key):
+                table.setdefault(key, []).append(row)
+        build_pages = pages_for(len(restricted),
+                                self.template.schema.row_width())
+        self.ctx.charge_cpu(len(production))
+        candidates: List[Row] = []
+        pairs = 0
+        for outer_row in production:
+            key = tuple(outer_row[p] for p in self.final_outer_positions)
+            if not _null_free(key):
+                continue
+            bucket = table.get(key)
+            if bucket:
+                pairs += len(bucket)
+                for inner_row in bucket:
+                    candidates.append(outer_row + inner_row)
+        self.ctx.charge_cpu(pairs)
+        if not self.ctx.fits(build_pages):
+            probe_pages = pages_for(len(production), outer_width)
+            ledger.charge_writes(build_pages + probe_pages)
+            ledger.charge_reads(build_pages + probe_pages)
+        self._component("FinalJoinCost", before)
+        out_width = len(self.schema)
+        for batch in batches_from_list(candidates, out_width):
+            if residual is not None:
+                batch = batch.select(residual(batch))
+            if batch.n:
+                yield batch
 
 
 class FunctionJoinOp(Operator):

@@ -121,8 +121,12 @@ class RuntimeContext:
 
     def _charge_cpu_with_deadline(self, steps: float = 1.0) -> None:
         self.ledger.charge_cpu(steps)
-        self._tick += 1
-        if not (self._tick & _DEADLINE_CHECK_MASK):
+        # count *steps*, not calls: the vector engine charges a whole
+        # batch in one call, and must hit deadline checks as often per
+        # row as the iterator engine does
+        self._tick += int(steps) if steps > 1 else 1
+        if self._tick > _DEADLINE_CHECK_MASK:
+            self._tick = 0
             self.check_deadline()
 
     def charge_materialize(self, rows: int, width: int) -> float:

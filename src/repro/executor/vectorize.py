@@ -1,0 +1,413 @@
+"""Columnar batches and the batch-at-a-time expression compiler.
+
+The vector engine moves data between operators as :class:`Batch` objects
+— column-oriented slices of ~:data:`BATCH_ROWS` rows, each column a
+plain Python sequence — instead of one tuple at a time. Scalar
+expression trees are *compiled once per operator execution* into
+column-level closures (:func:`compile_expr`), so evaluating a predicate
+over a batch costs one Python call plus a C-speed comprehension rather
+than a recursive ``Expr.eval`` tree walk per row.
+
+Two invariants tie the vector engine to the iterator engine:
+
+- **Value fidelity.** Columns hold the exact Python objects the storage
+  layer holds (no numpy dtype coercion), and compiled closures implement
+  the same SQL three-valued logic as ``Expr.eval``, so reassembled rows
+  are byte-identical to the iterator engine's output.
+- **Chunked cost parity.** Batch operators charge the same ledger unit
+  counts as their tuple-at-a-time twins, just in bulk (one
+  ``charge_cpu(n)`` per batch instead of ``n`` calls of 1); every count
+  is an exact integer, so the totals — and therefore estimated-vs-
+  measured comparisons — are identical between engines.
+"""
+
+from __future__ import annotations
+
+import operator as _operator
+from itertools import compress
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from ..errors import ExecutionError
+from ..expr.nodes import (
+    Arithmetic,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Parameter,
+    RuntimeMembership,
+)
+
+#: target rows per batch; chosen so a batch of typical rows stays within
+#: L2-cache-ish sizes while amortizing per-batch interpreter overhead
+BATCH_ROWS = 1024
+
+
+class Batch:
+    """A slice of rows with lazy dual representation.
+
+    A batch is backed by *either* row tuples (:meth:`from_rows` — e.g.
+    straight off a table page or a join's output) *or* columns (the
+    constructor — e.g. a projection's computed outputs), and converts on
+    demand: :attr:`columns` transposes once and caches, :meth:`column`
+    extracts a single column without paying for a full transpose, and
+    :meth:`rows` is free on row-backed batches. Operators that only
+    touch one key column of a row-backed batch (hash probes, filters)
+    therefore never transpose the rest.
+
+    ``columns[j]`` is a sequence (list or tuple) holding column ``j``'s
+    value for each of the ``n`` rows. Columns and row lists are treated
+    as immutable by every operator — transformations build new sequences
+    — so both may be shared freely between batches.
+    """
+
+    __slots__ = ("_columns", "_rows", "n", "width")
+
+    def __init__(self, columns: Sequence[Sequence], n: int):
+        self._columns = list(columns)
+        self._rows = None
+        self.n = n
+        self.width = len(self._columns)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple], width: int) -> "Batch":
+        """Wrap a list of row tuples (``width`` disambiguates the
+        zero-row case). The list is adopted, not copied — callers must
+        not mutate it afterwards."""
+        batch = cls.__new__(cls)
+        batch._columns = None
+        batch._rows = rows if isinstance(rows, list) else list(rows)
+        batch.n = len(batch._rows)
+        batch.width = width
+        return batch
+
+    @property
+    def columns(self) -> List[Sequence]:
+        """All columns (transposing from rows on first access)."""
+        columns = self._columns
+        if columns is None:
+            if self._rows:
+                columns = list(zip(*self._rows))
+            else:
+                columns = [() for _ in range(self.width)]
+            self._columns = columns
+        return columns
+
+    def column(self, j: int) -> Sequence:
+        """Column ``j`` alone — a single-column gather on row-backed
+        batches, an index on column-backed ones."""
+        if self._columns is not None:
+            return self._columns[j]
+        return [row[j] for row in self._rows]
+
+    def rows(self) -> List[tuple]:
+        """The rows as plain tuples (the iterator engine's row
+        representation, byte for byte). Cached; treat as immutable."""
+        rows = self._rows
+        if rows is None:
+            if not self._columns:
+                rows = [()] * self.n
+            else:
+                rows = list(zip(*self._columns))
+            self._rows = rows
+        return rows
+
+    def select(self, flags: Sequence[bool]) -> "Batch":
+        """Keep the rows whose flag is truthy."""
+        if self._columns is None:
+            return Batch.from_rows(
+                list(compress(self._rows, flags)), self.width)
+        kept = flags.count(True) if isinstance(flags, list) else None
+        columns = [list(compress(col, flags)) for col in self._columns]
+        n = kept if kept is not None else (
+            len(columns[0]) if columns else 0)
+        if not columns:
+            n = sum(1 for flag in flags if flag)
+        return Batch(columns, n)
+
+    def take(self, indices: Sequence[int]) -> "Batch":
+        """Gather the rows at ``indices``, in order."""
+        if self._columns is None:
+            rows = self._rows
+            return Batch.from_rows([rows[i] for i in indices], self.width)
+        columns = [[col[i] for i in indices] for col in self._columns]
+        return Batch(columns, len(indices))
+
+    def head(self, count: int) -> "Batch":
+        if self._columns is None:
+            return Batch.from_rows(self._rows[:count], self.width)
+        columns = [col[:count] for col in self._columns]
+        return Batch(columns, min(count, self.n))
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return "Batch(%d cols x %d rows)" % (self.width, self.n)
+
+
+def batches_from_rows(rows: Iterable[tuple], width: int,
+                      batch_rows: int = BATCH_ROWS) -> Iterator[Batch]:
+    """Chunk a row stream into batches (the iterator-engine bridge).
+
+    Pulling through this helper executes the producing subtree in
+    iterator mode, so its ledger charges are trivially identical; it is
+    the fallback for operators without a native batch implementation.
+    """
+    chunk: List[tuple] = []
+    for row in rows:
+        chunk.append(row)
+        if len(chunk) >= batch_rows:
+            yield Batch.from_rows(chunk, width)
+            chunk = []
+    if chunk:
+        yield Batch.from_rows(chunk, width)
+
+
+def batches_from_list(rows: Sequence[tuple], width: int,
+                      batch_rows: int = BATCH_ROWS) -> Iterator[Batch]:
+    """Batches over an already-materialized row list (no bridge pull)."""
+    for start in range(0, len(rows), batch_rows):
+        yield Batch.from_rows(rows[start:start + batch_rows], width)
+
+
+# ------------------------------------------------------------- compiler
+
+ColumnFn = Callable[[Batch], Sequence]
+
+_CMP_PYOP = {"=": "==", "!=": "!=", "<>": "!=",
+             "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_ARITH_PYOP = {"+": "+", "-": "-", "*": "*", "/": "/"}
+_ARITH_PROBES = {"+": _operator.add, "-": _operator.sub,
+                 "*": _operator.mul, "/": _operator.truediv}
+
+# Codegen cache: one compiled comprehension per operator symbol. The
+# generated lambda runs a single C-level list comprehension over the
+# zipped operand columns — this is the "compiled once per batch column"
+# replacement for a per-row Expr.eval tree walk.
+_BINOP_CACHE = {}
+
+
+def _binop_fn(pyop: str):
+    fn = _BINOP_CACHE.get(pyop)
+    if fn is None:
+        fn = eval(  # noqa: S307 - fixed template over a vetted op table
+            "lambda lv, rv: "
+            "[None if a is None or b is None else (a %s b) "
+            "for a, b in zip(lv, rv)]" % pyop
+        )
+        _BINOP_CACHE[pyop] = fn
+    return fn
+
+
+def compile_expr(expr: Expr) -> ColumnFn:
+    """Compile a resolved expression tree into a column-level closure.
+
+    The closure takes a :class:`Batch` and returns a sequence of ``n``
+    values — the expression evaluated for every row — with semantics
+    identical to calling ``expr.eval(row)`` per row (SQL three-valued
+    logic, the iterator engine's error messages, late-bound parameters
+    and filter-set memberships).
+    """
+    if isinstance(expr, ColumnRef):
+        if expr.position is None:
+            raise ExecutionError(
+                "unresolved column reference %r" % expr.name)
+        position = expr.position
+        return lambda batch: batch.column(position)
+
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda batch: [value] * batch.n
+
+    if isinstance(expr, Parameter):
+        # read through the node per batch so execute-time (re)binding of
+        # the shared parameter cell is observed, like Parameter.eval
+        return lambda batch: [expr.value] * batch.n
+
+    if isinstance(expr, Comparison):
+        return _compile_comparison(expr)
+
+    if isinstance(expr, Arithmetic):
+        return _compile_arithmetic(expr)
+
+    if isinstance(expr, BooleanExpr):
+        return _compile_boolean(expr)
+
+    if isinstance(expr, InList):
+        return _compile_in_list(expr)
+
+    if isinstance(expr, RuntimeMembership):
+        return _compile_membership(expr)
+
+    raise ExecutionError(
+        "cannot compile expression %r for batch evaluation"
+        % type(expr).__name__
+    )
+
+
+def compile_filter(expr: Expr) -> Callable[[Batch], List[bool]]:
+    """Compile a predicate into a selection-flag closure.
+
+    Rows are kept only when the predicate is exactly ``True`` (never for
+    NULL), matching the iterator engine's ``eval(row) is True`` checks.
+    """
+    value_fn = compile_expr(expr)
+    return lambda batch: [v is True for v in value_fn(batch)]
+
+
+def _compile_comparison(expr: Comparison) -> ColumnFn:
+    left_fn = compile_expr(expr.left)
+    right_fn = compile_expr(expr.right)
+    op = expr.op
+    fn = _binop_fn(_CMP_PYOP[op])
+
+    def run(batch: Batch) -> list:
+        lv = left_fn(batch)
+        rv = right_fn(batch)
+        try:
+            return fn(lv, rv)
+        except TypeError:
+            for a, b in zip(lv, rv):
+                if a is None or b is None:
+                    continue
+                try:
+                    a < b if op not in ("=", "!=", "<>") else a == b
+                except TypeError:
+                    raise ExecutionError(
+                        "cannot compare %r with %r" % (a, b))
+            raise
+
+    return run
+
+
+def _compile_arithmetic(expr: Arithmetic) -> ColumnFn:
+    left_fn = compile_expr(expr.left)
+    right_fn = compile_expr(expr.right)
+    op = expr.op
+    fn = _binop_fn(_ARITH_PYOP[op])
+
+    def run(batch: Batch) -> list:
+        lv = left_fn(batch)
+        rv = right_fn(batch)
+        if op == "/":
+            for a, b in zip(lv, rv):
+                if a is not None and b == 0:
+                    raise ExecutionError("division by zero")
+        try:
+            return fn(lv, rv)
+        except TypeError:
+            probe = _ARITH_PROBES[op]
+            for a, b in zip(lv, rv):
+                if a is None or b is None:
+                    continue
+                try:
+                    probe(a, b)
+                except TypeError:
+                    raise ExecutionError(
+                        "cannot apply %r to %r and %r" % (op, a, b))
+            raise
+
+    return run
+
+
+def _compile_boolean(expr: BooleanExpr) -> ColumnFn:
+    arg_fns = [compile_expr(arg) for arg in expr.args]
+    op = expr.op
+
+    if op == "NOT":
+        inner = arg_fns[0]
+        return lambda batch: [
+            None if v is None else (not v) for v in inner(batch)
+        ]
+
+    # AND / OR short-circuit *per row across arguments* in the iterator
+    # engine (a row decided by an earlier argument never evaluates later
+    # ones — guards like ``b != 0 AND a / b > 1`` rely on this). The
+    # batch version keeps that contract by narrowing to the still-
+    # undecided rows before evaluating the next argument's column.
+    decided_value = False if op == "AND" else True  # value that decides
+
+    def run(batch: Batch) -> list:
+        result: list = [not decided_value] * batch.n
+        saw_null = [False] * batch.n
+        alive = list(range(batch.n))
+        current = batch
+        for fn in arg_fns:
+            if not alive:
+                break
+            values = fn(current)
+            survivors = []
+            for local, v in enumerate(values):
+                row = alive[local]
+                if v is decided_value:
+                    result[row] = decided_value
+                else:
+                    if v is None:
+                        saw_null[row] = True
+                    survivors.append(row)
+            if len(survivors) != len(alive):
+                alive = survivors
+                current = batch.take(alive)
+        for row in alive:
+            if saw_null[row]:
+                result[row] = None
+        return result
+
+    return run
+
+
+def _compile_in_list(expr: InList) -> ColumnFn:
+    operand_fn = compile_expr(expr.operand)
+    values = expr.values
+    negated = expr.negated
+    has_null = any(v is None for v in values)
+    try:
+        lookup = frozenset(values)
+    except TypeError:  # unhashable literal: fall back to the tuple scan
+        lookup = values
+
+    def run(batch: Batch) -> list:
+        out = []
+        append = out.append
+        for v in operand_fn(batch):
+            if v is None:
+                append(None)
+                continue
+            found = v in lookup
+            if not found and has_null:
+                append(None)  # NULL in the list makes a miss unknown
+            else:
+                append((not found) if negated else found)
+        return out
+
+    return run
+
+
+def _compile_membership(expr: RuntimeMembership) -> ColumnFn:
+    arg_fns = [compile_expr(arg) for arg in expr.args]
+
+    def run(batch: Batch) -> list:
+        membership = expr.membership  # bound by bind_memberships()
+        if membership is None:
+            raise ExecutionError(
+                "membership %r was not bound before execution"
+                % expr.param_id
+            )
+        if len(arg_fns) == 1:
+            return [key in membership for key in arg_fns[0](batch)]
+        columns = [fn(batch) for fn in arg_fns]
+        return [key in membership for key in zip(*columns)]
+
+    return run
+
+
+def compile_optional(expr: Optional[Expr]) -> Optional[ColumnFn]:
+    return compile_expr(expr) if expr is not None else None
+
+
+def compile_optional_filter(expr: Optional[Expr]
+                            ) -> Optional[Callable[[Batch], List[bool]]]:
+    return compile_filter(expr) if expr is not None else None

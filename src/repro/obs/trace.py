@@ -67,8 +67,9 @@ class Span:
 
     __slots__ = (
         "name", "kind", "node_type", "est_rows", "est_cost",
-        "actual_rows", "executions", "wall_seconds", "self_seconds",
-        "self_counts", "self_ledger", "ledger", "extras", "children",
+        "actual_rows", "executions", "batches", "wall_seconds",
+        "self_seconds", "self_counts", "self_ledger", "ledger", "extras",
+        "children",
     )
 
     def __init__(self, name: str, kind: str = "operator",
@@ -82,6 +83,7 @@ class Span:
         self.est_cost = est_cost
         self.actual_rows = 0
         self.executions = 0
+        self.batches = 0  # batch advancements (vector engine only)
         self.wall_seconds = 0.0
         self.self_seconds = 0.0
         # raw per-field accumulation while executing; folded into
@@ -130,6 +132,8 @@ class Span:
                 "self_ledger": self.self_ledger.as_dict(),
                 "ledger": self.ledger.as_dict(),
             })
+            if self.batches:
+                data["batches"] = self.batches
         if self.extras:
             data["extras"] = dict(self.extras)
         if self.children:

@@ -1,0 +1,140 @@
+"""Execution options: one value object instead of a kwarg sprawl.
+
+Three PRs of feature growth left ``db.sql(...)`` accepting ``trace=``,
+``timeout=``, ``use_cache=``, and ``memory_budget_bytes=`` as loose
+keywords, and the vectorized engine would have added a fifth. The
+:class:`Options` dataclass is the stable replacement: every per-call
+execution knob in one immutable value that can be passed per call
+(``db.sql(q, options=...)``), installed as database defaults
+(``db.configure(...)``), or scoped to a block (``with db.session(...)``).
+
+Each field defaults to ``None``, meaning *inherit* — from the database
+defaults, and ultimately from :data:`BUILTIN`. ``Options.merged`` layers
+one options value over another, so resolution is simply::
+
+    BUILTIN <- db.defaults <- per-call options (<- legacy kwargs)
+
+The old keywords keep working through a deprecation shim in
+``Database.sql`` that emits a :class:`DeprecationWarning` once per call
+site (see :func:`warn_legacy_kwargs`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+#: valid execution engines (mirrors executor.lowering.ENGINES, kept
+#: literal here so importing Options never pulls in the executor)
+ENGINES = ("iterator", "vector")
+
+
+@dataclass(frozen=True)
+class Options:
+    """Per-execution knobs for one statement (or a database's defaults).
+
+    ``None`` anywhere means "inherit from the next layer down"; use
+    :meth:`merged` to layer values and :meth:`resolved` to collapse onto
+    the built-in defaults.
+
+    - ``trace``: record a span tree onto ``QueryResult.trace``.
+    - ``timeout``: per-statement deadline in seconds
+      (:class:`~repro.errors.QueryTimeout` when exceeded).
+    - ``use_cache``: serve parameterless queries from the versioned
+      plan cache.
+    - ``memory_budget_bytes``: cap on operator working memory
+      (:class:`~repro.errors.ResourceExhausted` when exceeded).
+    - ``engine``: ``"iterator"`` (tuple-at-a-time Volcano) or
+      ``"vector"`` (columnar batches of ~1024 rows); identical rows and
+      identical cost-ledger totals, different wall-clock speed.
+    """
+
+    trace: Optional[bool] = None
+    timeout: Optional[float] = None
+    use_cache: Optional[bool] = None
+    memory_budget_bytes: Optional[float] = None
+    engine: Optional[str] = None
+
+    def __post_init__(self):
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                "unknown engine %r (expected one of %s)"
+                % (self.engine, ", ".join(ENGINES))
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(
+                "timeout must be positive, got %r" % (self.timeout,)
+            )
+        if (self.memory_budget_bytes is not None
+                and self.memory_budget_bytes <= 0):
+            raise ValueError(
+                "memory_budget_bytes must be positive, got %r"
+                % (self.memory_budget_bytes,)
+            )
+
+    def merged(self, over: Optional["Options"]) -> "Options":
+        """This options value with ``over``'s non-None fields taking
+        precedence (``over`` wins)."""
+        if over is None:
+            return self
+        updates = {
+            field.name: value
+            for field in dataclasses.fields(over)
+            if (value := getattr(over, field.name)) is not None
+        }
+        return self.replace(**updates) if updates else self
+
+    def replace(self, **updates) -> "Options":
+        """A copy with ``updates`` applied (field names validated)."""
+        return dataclasses.replace(self, **updates)
+
+    def resolved(self) -> "Options":
+        """Collapse onto the built-in defaults: no field is None except
+        ``timeout`` / ``memory_budget_bytes`` (whose default is
+        genuinely "unlimited")."""
+        return BUILTIN.merged(self)
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+#: the bottom of the resolution chain: what you get with no configure()
+#: and no per-call options
+BUILTIN = Options(trace=False, use_cache=False, engine="iterator")
+
+OPTION_FIELDS = tuple(f.name for f in dataclasses.fields(Options))
+
+# (filename, lineno, keyword) triples that have already warned — the
+# deprecation shim fires once per call site, not once per call
+_warned_sites = set()
+
+
+def warn_legacy_kwargs(names, stacklevel: int = 3) -> None:
+    """Emit the legacy-kwarg DeprecationWarning once per call site.
+
+    ``stacklevel`` addresses the frame of the *user's* call (3 = the
+    caller of the public method invoking this helper), both for the
+    warning's reported location and for the once-per-site dedup key.
+    """
+    try:
+        frame = sys._getframe(stacklevel - 1)
+        site = (frame.f_code.co_filename, frame.f_lineno)
+    except ValueError:  # stack shallower than expected; warn anyway
+        site = None
+    names = tuple(sorted(names))
+    key = (site, names)
+    if site is not None and key in _warned_sites:
+        return
+    _warned_sites.add(key)
+    warnings.warn(
+        "passing %s as keyword argument(s) is deprecated; pass "
+        "repro.Options (e.g. db.sql(q, options=Options(%s))) or set "
+        "defaults with db.configure(...)"
+        % (", ".join("%s=" % n for n in names),
+           ", ".join("%s=..." % n for n in names)),
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

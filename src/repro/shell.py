@@ -8,7 +8,10 @@ start with a backslash:
     \\e SELECT ...  EXPLAIN the query
     \\ea SELECT ... EXPLAIN ANALYZE the query
     \\config        show the optimizer configuration
+    \\set           show the active execution option set (engine, trace,
+                    timeout, ...) — the database's repro.Options defaults
     \\set KEY VAL   change an optimizer switch (e.g. \\set enable_filter_join off)
+    \\engine NAME   switch the execution engine (vector | iterator)
     \\cache         show plan-cache counters (hits/misses/invalidations)
     \\cache clear   empty the plan cache and reset its counters
     \\cache size N  resize the plan cache (0 disables it)
@@ -19,6 +22,11 @@ start with a backslash:
     \\trace on|off  trace every statement; traced queries print phase
                     times and their worst operator q-error
     \\q             quit
+
+The execution state lives in one place — the database's default
+:class:`repro.Options` — and ``\\set`` (no arguments) shows it;
+``\\timeout``, ``\\trace``, and ``\\engine`` are aliases that update
+single fields of that option set.
 
 Syntax errors point at the offending token with a caret line, and a
 ``Ctrl-C`` mid-statement abandons the buffered input without killing
@@ -39,6 +47,7 @@ from typing import Iterable, Optional, TextIO
 from .database import Database, QueryResult
 from .errors import ReproError, SqlSyntaxError
 from .harness.report import TextTable
+from .options import ENGINES, OPTION_FIELDS, Options
 
 PROMPT = "repro> "
 CONTINUATION = "  ...> "
@@ -105,7 +114,16 @@ class Shell:
         self.db = db or Database()
         self.out = out
         self.done = False
-        self.timeout: Optional[float] = None
+
+    # The shell's execution state IS the database's default option set;
+    # \timeout / \trace / \engine are views onto single fields of it.
+    @property
+    def timeout(self) -> Optional[float]:
+        return self.db.defaults.timeout
+
+    @timeout.setter
+    def timeout(self, value: Optional[float]) -> None:
+        self.db.defaults = self.db.defaults.replace(timeout=value)
 
     def write(self, text: str) -> None:
         self.out.write(text + "\n")
@@ -144,6 +162,9 @@ class Shell:
         if command == "\\set":
             self._set_config(argument)
             return
+        if command == "\\engine":
+            self._engine_command(argument)
+            return
         if command == "\\cache":
             self._cache_command(argument)
             return
@@ -167,8 +188,27 @@ class Shell:
             self._trace_command(argument)
             return
         self.write("unknown command %r (try \\d, \\e, \\ea, \\config, "
-                   "\\set, \\cache, \\timeout, \\faults, \\metrics, "
-                   "\\drift, \\trace, \\q)" % command)
+                   "\\set, \\engine, \\cache, \\timeout, \\faults, "
+                   "\\metrics, \\drift, \\trace, \\q)" % command)
+
+    def _show_options(self) -> None:
+        """The active execution option set: the database defaults with
+        the built-in fallbacks resolved in."""
+        resolved = self.db.defaults.resolved()
+        self.write("active options:")
+        for name in OPTION_FIELDS:
+            self.write("  %-22s %r" % (name, getattr(resolved, name)))
+
+    def _engine_command(self, argument: str) -> None:
+        if not argument:
+            self.write("engine = %s" % self.db.defaults.resolved().engine)
+            return
+        name = argument.lower()
+        if name not in ENGINES:
+            self.write("usage: \\engine [%s]" % " | ".join(ENGINES))
+            return
+        self.db.configure(engine=name)
+        self.write("engine = %s" % name)
 
     def _trace_command(self, argument: str) -> None:
         if not argument:
@@ -322,6 +362,9 @@ class Shell:
 
     def _set_config(self, argument: str) -> None:
         parts = argument.split()
+        if not parts:
+            self._show_options()
+            return
         if len(parts) != 2:
             self.write("usage: \\set KEY VALUE")
             return
@@ -354,8 +397,8 @@ class Shell:
 
     def execute(self, text: str) -> None:
         try:
-            for result in self.db.execute_script(text, use_cache=True,
-                                                 timeout=self.timeout):
+            for result in self.db.execute_script(
+                    text, options=Options(use_cache=True)):
                 self.write(format_result(result))
         except SqlSyntaxError as exc:
             self.write("error: %s" % exc)

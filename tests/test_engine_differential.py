@@ -1,0 +1,204 @@
+"""Engine differential suite: vector vs iterator execution.
+
+The vectorized batch engine is a second lowering target over the same
+operator tree, and its contract is strict: for every query in the golden
+corpus it must return **byte-identical rows** and charge an **identical
+cost ledger** (same pages, CPU, messages, invocations — to the last
+fraction), under every optimizer regime, including UDF, distributed,
+fault-injected, traced, and memory-budgeted paths. Plans are chosen
+before the engine is, so golden plans cannot move either.
+
+The corpus is imported from ``test_plan_golden`` — the same 20 queries x
+3 regimes that snapshot the planner — so any query added there is
+automatically covered here.
+"""
+
+import pytest
+
+from repro import Database, DataType, Options, QueryTimeout, ResourceExhausted
+from repro.distributed import DistributedDatabase, distributed_config
+from repro.distributed.network import FaultPlan, RetryPolicy
+
+from tests.test_plan_golden import (
+    REGIMES,
+    WORKLOADS,
+    _distributed_db,
+    _regime_config,
+)
+
+ENGINES = ("iterator", "vector")
+
+_DB_CACHE = {}
+
+
+def _db(workload):
+    # one database per workload for the whole module: queries are pure
+    # SELECTs, so runs under both engines see identical state
+    if workload not in _DB_CACHE:
+        _DB_CACHE[workload] = WORKLOADS[workload][0]()
+    return _DB_CACHE[workload]
+
+
+def _run(db, sql, config, engine, **fields):
+    return db.sql(sql, config=config,
+                  options=Options(engine=engine, **fields))
+
+
+@pytest.mark.parametrize("regime", sorted(REGIMES))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_rows_and_ledger_identical(workload, regime):
+    """The core differential: byte-identical rows, identical ledger,
+    identical plan, for every (workload, regime, query) triple."""
+    db = _db(workload)
+    config = _regime_config(db, REGIMES[regime])
+    for key, sql in WORKLOADS[workload][1]:
+        base = _run(db, sql, config, "iterator")
+        vec = _run(db, sql, config, "vector")
+        label = "%s/%s/%s" % (workload, regime, key)
+        assert vec.rows == base.rows, label
+        assert vec.ledger.as_dict() == base.ledger.as_dict(), (
+            label, _ledger_diff(base, vec))
+        # engine choice happens after planning: plans must be identical
+        assert vec.plan.explain() == base.plan.explain(), label
+
+
+def _ledger_diff(base, vec):
+    a, b = base.ledger.as_dict(), vec.ledger.as_dict()
+    return {k: (a[k], b.get(k)) for k in a if a[k] != b.get(k)}
+
+
+def test_traced_runs_match_untraced_ledger():
+    """Tracing must not perturb either engine's charges, the span trees
+    must reconcile, and vector spans carry real batch counters."""
+    db = _db("star")
+    config = _regime_config(db, REGIMES["default"])
+    _key, sql = WORKLOADS["star"][1][4]  # sales_by_region aggregate
+    plain = {e: _run(db, sql, config, e) for e in ENGINES}
+    traced = {e: _run(db, sql, config, e, trace=True) for e in ENGINES}
+    for engine in ENGINES:
+        assert traced[engine].rows == plain[engine].rows
+        assert (traced[engine].ledger.as_dict()
+                == plain[engine].ledger.as_dict())
+        traced[engine].trace.reconcile(traced[engine].ledger)
+    # both engines attribute per-operator work to the same span tree
+    it_spans = traced["iterator"].trace.operator_root.to_dict()
+    vec_spans = traced["vector"].trace.operator_root.to_dict()
+    assert _span_shape(it_spans) == _span_shape(vec_spans)
+    assert _total_batches(vec_spans) > 0
+    assert _total_batches(it_spans) == 0
+
+
+def _span_shape(span):
+    return (span["name"], span["actual_rows"],
+            [_span_shape(child) for child in span.get("children", [])])
+
+
+def _total_batches(span):
+    return (span.get("batches", 0)
+            + sum(_total_batches(c) for c in span.get("children", [])))
+
+
+def _fresh_faulty_db():
+    db = _distributed_db()
+    db.set_fault_plan(
+        FaultPlan(drop_rate=0.3, truncate_rate=0.1),
+        seed=42,
+        retry_policy=RetryPolicy(max_attempts=8, base_delay=0.01),
+    )
+    return db
+
+
+def test_fault_injected_runs_identical():
+    """Retries under an identical fault schedule charge identically:
+    shipping drains fully before transfer, so the injector's RNG sees
+    the same message sequence from both engines."""
+    _key, sql = WORKLOADS["distributed"][1][0]
+    results = {}
+    for engine in ENGINES:
+        db = _fresh_faulty_db()  # fresh injector RNG per engine
+        config = _regime_config(db, {})
+        results[engine] = (_run(db, sql, config, engine),
+                           db.network.stats.as_dict())
+    base, base_stats = results["iterator"]
+    vec, vec_stats = results["vector"]
+    assert vec.rows == base.rows
+    assert vec.ledger.as_dict() == base.ledger.as_dict()
+    assert vec_stats == base_stats  # same retries, same drops
+
+
+def test_memory_budget_parity():
+    """A budget that kills the hash build kills it under both engines;
+    a sufficient one yields identical ledgers."""
+    db = _db("star")
+    config = _regime_config(db, REGIMES["low_memory_hash_only"])
+    _key, sql = WORKLOADS["star"][1][3]  # three_way join
+    for engine in ENGINES:
+        with pytest.raises(ResourceExhausted):
+            _run(db, sql, config, engine, memory_budget_bytes=1024)
+    ok = {e: _run(db, sql, config, e, memory_budget_bytes=64 * 1024 * 1024)
+          for e in ENGINES}
+    assert ok["vector"].rows == ok["iterator"].rows
+    assert (ok["vector"].ledger.as_dict()
+            == ok["iterator"].ledger.as_dict())
+
+
+def test_deadline_parity():
+    """Both engines honor the cooperative deadline (the vector engine
+    counts bulk CPU steps toward the same check cadence)."""
+    db = _db("star")
+    config = _regime_config(db, {})
+    sql = ("SELECT C.region, SUM(S.amount) AS revenue "
+           "FROM Sales S, Customer C WHERE S.cust_id = C.cust_id "
+           "GROUP BY C.region")
+    for engine in ENGINES:
+        with pytest.raises(QueryTimeout):
+            _run(db, sql, config, engine, timeout=1e-9)
+
+
+def test_udf_invocation_counts_identical():
+    """FunctionJoin invocation charges (the paper's AvailCost_F side
+    effects) are engine-independent."""
+    db = _db("udf")
+    config = _regime_config(db, {})
+    for _key, sql in WORKLOADS["udf"][1]:
+        base = _run(db, sql, config, "iterator")
+        vec = _run(db, sql, config, "vector")
+        assert vec.rows == base.rows
+        assert (vec.ledger.as_dict()["fn_invocations"]
+                == base.ledger.as_dict()["fn_invocations"])
+
+
+def test_prepared_statement_vector_engine():
+    """The prepared/plan-cache path respects Options.engine too."""
+    db = _db("empdept")
+    stmt = db.prepare("SELECT E.eid, E.sal FROM Emp E WHERE E.sal > ?")
+    base = stmt.execute([50000])
+    vec = stmt.execute([50000], options=Options(engine="vector"))
+    assert vec.rows == base.rows
+    assert vec.ledger.as_dict() == base.ledger.as_dict()
+    assert vec.cached_plan
+
+
+def test_degraded_failover_parity():
+    """Site-loss degradation (mark down, re-optimize, retry) produces
+    the same answer and the same degradation events under both engines."""
+    _key, sql = WORKLOADS["distributed"][1][2]  # remote_agg
+    results = {}
+    for engine in ENGINES:
+        db = _distributed_db()
+        db.add_site("siteC")
+        db.catalog.add_replica("Cust", "siteC")
+        db.set_fault_plan(
+            FaultPlan(down_sites=frozenset({"siteB"})), seed=0,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.001),
+        )
+        config = _regime_config(db, {})
+        result = db.sql(sql, config=config, options=Options(engine=engine))
+        results[engine] = (result,
+                           [(e.site, e.fallback_sites)
+                            for e in db.degradation_events])
+    base, base_events = results["iterator"]
+    vec, vec_events = results["vector"]
+    assert vec.rows == base.rows
+    assert vec.ledger.as_dict() == base.ledger.as_dict()
+    assert vec_events == base_events and base_events
