@@ -46,9 +46,12 @@ from .ledger import CostLedger, CostParams
 from .obs import (
     DriftRecorder,
     DriftReport,
+    EventLog,
     MetricsRegistry,
+    OptimizerTrace,
     QueryTrace,
     Span,
+    WhyNotReport,
     global_metrics,
 )
 from .optimizer.config import OptimizerConfig
@@ -105,10 +108,12 @@ __all__ = [
     "Database",
     "DriftRecorder",
     "DriftReport",
+    "EventLog",
     "ExecutionError",
     "ENGINES",
     "MetricsRegistry",
     "OptimizerConfig",
+    "OptimizerTrace",
     "Options",
     "ParameterError",
     "PlanCache",
@@ -124,6 +129,7 @@ __all__ = [
     "SiteUnavailable",
     "SqlSyntaxError",
     "StatsError",
+    "WhyNotReport",
     "__version__",
     "connect",
     "global_metrics",

@@ -1,7 +1,82 @@
-"""``python -m repro`` starts the interactive SQL shell."""
+"""``python -m repro`` starts the interactive SQL shell.
+
+``python -m repro dump-search`` instead exports one query's optimizer
+search trace (the full DP lattice with pruning verdicts) as JSON or
+Graphviz DOT — the same data behind ``db.explain(sql, mode="search")``::
+
+    python -m repro dump-search                          # empdept, JSON
+    python -m repro dump-search --format dot -o s.dot    # Graphviz
+    python -m repro dump-search --workload star "SELECT ..."
+"""
 
 import sys
 
-from .shell import main
+#: default query for the star workload (empdept defaults to the
+#: paper's motivating query)
+_STAR_DEFAULT_QUERY = (
+    "SELECT C.region, V.total_spend FROM Customer C, CustSpend V "
+    "WHERE C.cust_id = V.cust_id AND C.segment = 1"
+)
 
-sys.exit(main())
+
+def _dump_search(argv) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro dump-search",
+        description="Export a query's optimizer search trace "
+                    "(DP lattice, pruning verdicts, parametric anchors).",
+    )
+    parser.add_argument("--workload", choices=("empdept", "star"),
+                        default="empdept",
+                        help="built-in dataset to plan against")
+    parser.add_argument("--format", choices=("json", "dot"),
+                        default="json", dest="fmt",
+                        help="JSON search graph or Graphviz DOT")
+    parser.add_argument("-o", "--output", default="-",
+                        help="output path ('-' for stdout)")
+    parser.add_argument("sql", nargs="?", default=None,
+                        help="query to trace (defaults to the "
+                             "workload's motivating query)")
+    args = parser.parse_args(argv)
+
+    from .database import Database
+    from .obs.opttrace import OptimizerTrace
+
+    db = Database()
+    if args.workload == "empdept":
+        from .workloads import MOTIVATING_QUERY, build_empdept
+
+        build_empdept(db)
+        sql = args.sql or MOTIVATING_QUERY
+    else:
+        from .workloads import build_star
+
+        build_star(db)
+        sql = args.sql or _STAR_DEFAULT_QUERY
+
+    search = OptimizerTrace()
+    db.plan(sql, search=search)
+    text = (search.to_json_str() if args.fmt == "json"
+            else search.to_dot())
+    if args.output == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        sys.stderr.write("wrote %s search trace to %s\n"
+                         % (args.fmt, args.output))
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "dump-search":
+        return _dump_search(argv[1:])
+    from .shell import main as shell_main
+
+    return shell_main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,9 @@ from .executor.runtime import RuntimeContext
 from .expr.nodes import PARAMETER_TYPES
 from .ledger import CostLedger
 from .obs.drift import DriftRecorder, DriftReport
+from .obs.log import EventLog
 from .obs.metrics import MetricsRegistry, global_metrics
+from .obs.opttrace import OptimizerTrace, WhyNotReport
 from .obs.render import render_explain_analyze
 from .obs.trace import QueryTrace, TraceBuilder
 from .options import OPTION_FIELDS, Options, warn_legacy_kwargs
@@ -89,6 +91,12 @@ class QueryResult:
     cached_plan: bool = False
     # the span tree for this execution (only when traced)
     trace: Optional[QueryTrace] = None
+    # the optimizer's DP search trace (only when the search_trace
+    # option is on); see OptimizerTrace.render() / .why_not()
+    search: Optional[OptimizerTrace] = None
+    # event-log correlation id ("q1", "q2", ...) assigned while the
+    # database's event log is enabled
+    query_id: Optional[str] = None
 
     @property
     def columns(self) -> List[str]:
@@ -131,6 +139,9 @@ class Database:
         self.metrics_registry = MetricsRegistry("db",
                                                 parent=global_metrics())
         self.drift = DriftRecorder()
+        # structured query-lifecycle log (off until .enable() is called)
+        self.event_log = EventLog()
+        self._current_query_id: Optional[str] = None
         # cross-statement cache of optimized plans; size 0 disables it
         self.plan_cache = PlanCache(plan_cache_size,
                                     listener=self._plan_cache_event)
@@ -281,29 +292,95 @@ class Database:
     # -------------------------------------------------------------- planning
 
     def plan(self, sql_or_block: Union[str, QueryBlock],
-             config: Optional[OptimizerConfig] = None
+             config: Optional[OptimizerConfig] = None,
+             search: Optional[OptimizerTrace] = None
              ) -> Tuple[PlanNode, Planner]:
         """Optimize a query; returns the plan and the planner (for its
-        metrics and costers)."""
+        metrics and costers). Pass an :class:`OptimizerTrace` as
+        ``search`` to record the full DP search; the trace is finalized
+        against the winning plan before returning."""
         block = (
             self.bind(sql_or_block) if isinstance(sql_or_block, str)
             else sql_or_block
         )
-        planner = Planner(self.catalog, config or self.config)
+        planner = Planner(self.catalog, config or self.config,
+                          trace=search)
         plan = planner.plan(block)
+        if search is not None:
+            search.finalize(plan)
         self.last_planner = planner
+        self._record_planner_metrics(planner)
         return plan, planner
 
+    def _record_planner_metrics(self, planner: Planner) -> None:
+        """Fold one optimization run's counters into the registry so
+        the search shows up in db.metrics() / the shell's ``\\metrics``."""
+        registry = self.metrics_registry
+        m = planner.metrics
+        registry.inc("planner_plans_considered_total", m.plans_considered)
+        registry.inc("planner_memo_entries_total", m.dp_entries)
+        registry.inc("planner_nested_optimizations_total",
+                     m.nested_optimizations)
+        for method, count in m.candidates_by_method.items():
+            registry.inc("planner_candidates_total", count, label=method)
+        for method, count in m.pruned_by_method.items():
+            registry.inc("planner_candidates_pruned_total", count,
+                         label=method)
+        saved = sum(
+            max(0, coster.estimate_calls - coster.nested_optimizations)
+            for coster in planner._costers.values()
+        )
+        if saved:
+            registry.inc("planner_parametric_plans_saved_total", saved)
+
     def explain(self, sql_text: str,
-                config: Optional[OptimizerConfig] = None) -> str:
-        plan, _planner = self.plan(sql_text, config)
-        return plan.explain()
+                config: Optional[OptimizerConfig] = None,
+                mode: str = "plan",
+                why_not: Optional[str] = None) -> str:
+        """The chosen plan as text.
+
+        ``mode="search"`` appends the optimizer's DP search trace: the
+        memo lattice level by level with every candidate's cost delta
+        and pruning verdict, the parametric-coster anchors, and the
+        join methods that never produced a candidate. ``why_not`` names
+        a join method (e.g. ``"filter_join"``) and appends a report on
+        why the chosen plan does not use it.
+        """
+        if mode not in ("plan", "search"):
+            raise ReproError(
+                'explain() mode must be "plan" or "search", got %r'
+                % (mode,)
+            )
+        if mode == "plan" and why_not is None:
+            plan, _planner = self.plan(sql_text, config)
+            return plan.explain()
+        search = OptimizerTrace()
+        plan, _planner = self.plan(sql_text, config, search=search)
+        sections = [plan.explain()]
+        if mode == "search":
+            sections.append(search.render())
+        if why_not is not None:
+            sections.append(search.why_not(why_not).render())
+        return "\n\n".join(sections)
+
+    def why_not(self, sql_text: str, method: str,
+                config: Optional[OptimizerConfig] = None) -> WhyNotReport:
+        """Why the chosen plan does not use ``method`` ("filter_join",
+        "bloom", "hash", ...): the nearest rejected candidate, the
+        rival that beat it, and the exact cost-ledger terms that lost
+        it. Returns a :class:`WhyNotReport`; print ``.render()``."""
+        search = OptimizerTrace()
+        self.plan(sql_text, config, search=search)
+        return search.why_not(method)
 
     def explain_analyze(self, sql_text: str,
-                        config: Optional[OptimizerConfig] = None) -> str:
+                        config: Optional[OptimizerConfig] = None,
+                        search: bool = False) -> str:
         """EXPLAIN plus execution: the plan annotated with per-operator
         actual row counts (from the query's span tree), followed by the
-        measured cost ledger and the measured/est cost q-error."""
+        measured cost ledger and the measured/est cost q-error.
+        ``search=True`` also attaches an optimizer search trace, adding
+        a candidates-vs-memo summary line to the report."""
         config = config or self.config
         parse_started = time.perf_counter()
         statement = parse(sql_text)
@@ -313,8 +390,9 @@ class Database:
                 "EXPLAIN ANALYZE requires a query, got %s"
                 % type(statement).__name__
             )
+        opts = Options(trace=True, search_trace=True if search else None)
         result = self._execute_statement(statement, sql_text, config,
-                                         options=Options(trace=True),
+                                         options=opts,
                                          parse_seconds=parse_seconds)
         return render_explain_analyze(result, config.cost_params)
 
@@ -525,12 +603,55 @@ class Database:
         opts = self.defaults.merged(options).resolved()
         kind = _STATEMENT_KINDS.get(type(statement).__name__, "other")
         self.metrics_registry.inc("queries_total", label=kind)
+        log = self.event_log
+        qid = log.new_query_id() if log.enabled else None
+        self._current_query_id = qid
+        if qid is not None:
+            log.emit("query_start", query_id=qid, kind=kind,
+                     statement=" ".join(original_text.split())[:200])
+            log.emit("parse", query_id=qid,
+                     seconds=round(parse_seconds, 6))
+        try:
+            result = self._dispatch_statement(statement, original_text,
+                                              config, opts,
+                                              parse_seconds, qid)
+        except Exception as exc:
+            if qid is not None:
+                log.emit("error", query_id=qid,
+                         error=type(exc).__name__,
+                         message=str(exc)[:200])
+                log.emit("query_end", query_id=qid, status="error")
+            raise
+        result.query_id = qid
+        if qid is not None:
+            log.emit("query_end", query_id=qid, status="ok",
+                     rows=len(result.rows))
+        return result
+
+    def _emit_execute(self, qid: Optional[str],
+                      result: QueryResult) -> None:
+        if qid is not None:
+            self.event_log.emit(
+                "execute", query_id=qid, rows=len(result.rows),
+                seconds=round(result.elapsed_seconds, 6),
+                measured_cost=round(result.ledger.total(), 3),
+            )
+
+    def _dispatch_statement(self, statement, original_text: str,
+                            config: Optional[OptimizerConfig],
+                            opts: Options, parse_seconds: float,
+                            qid: Optional[str]) -> QueryResult:
+        log = self.event_log
         if isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
             builder = None
             if opts.trace:
                 builder = TraceBuilder(original_text)
                 builder.add_phase("parse", parse_seconds)
-            if opts.use_cache:
+            # a search trace documents *this* optimization run, so the
+            # plan cache is bypassed while it is on
+            search = OptimizerTrace() if opts.search_trace else None
+            if opts.use_cache and search is None:
+                lookup_started = time.perf_counter()
                 if builder is None:
                     entry, hit = self._plan_entry(original_text,
                                                   statement, config)
@@ -541,6 +662,18 @@ class Database:
                                                       statement, config)
                         span.extras["plan_cache"] = (
                             "hit" if hit else "miss")
+                if qid is not None:
+                    if not hit:
+                        # a miss planned from scratch inside the lookup
+                        log.emit(
+                            "optimize", query_id=qid,
+                            seconds=round(
+                                time.perf_counter() - lookup_started, 6),
+                            plans_considered=entry.metrics.plans_considered,
+                            memo_entries=entry.metrics.dp_entries,
+                        )
+                    log.emit("plan_cache", query_id=qid,
+                             outcome="hit" if hit else "miss")
                 if entry.parameters:
                     raise ParameterError(
                         "statement has %d unbound parameter(s); use "
@@ -553,18 +686,33 @@ class Database:
                                        opts.memory_budget_bytes,
                                        trace=builder, engine=opts.engine)
                 result.cached_plan = hit
+                self._emit_execute(qid, result)
                 return result
+            optimize_started = time.perf_counter()
             if builder is None:
                 block = self._bind_statement(statement)
-                plan, planner = self.plan(block, config)
+                plan, planner = self.plan(block, config, search=search)
             else:
                 with builder.phase("bind"):
                     block = self._bind_statement(statement)
                 with builder.phase("optimize"):
-                    plan, planner = self.plan(block, config)
-            return self.run_plan(plan, planner.metrics, config,
-                                 opts.timeout, opts.memory_budget_bytes,
-                                 trace=builder, engine=opts.engine)
+                    plan, planner = self.plan(block, config,
+                                              search=search)
+            if qid is not None:
+                log.emit(
+                    "optimize", query_id=qid,
+                    seconds=round(
+                        time.perf_counter() - optimize_started, 6),
+                    plans_considered=planner.metrics.plans_considered,
+                    memo_entries=planner.metrics.dp_entries,
+                )
+            result = self.run_plan(plan, planner.metrics, config,
+                                   opts.timeout,
+                                   opts.memory_budget_bytes,
+                                   trace=builder, engine=opts.engine)
+            result.search = search
+            self._emit_execute(qid, result)
+            return result
         if isinstance(statement, ast.ExplainStmt):
             block = self._bind_statement(statement.select)
             plan, planner = self.plan(block, config)

@@ -174,29 +174,45 @@ class DistributedDatabase(Database):
         so a schedule that kills everything still terminates with a
         typed error."""
         fallbacks = 0
+        log = self.event_log
         while True:
+            retries_before = self.network.stats.retries if log.enabled else 0
             try:
-                return super()._execute_statement(
+                result = super()._execute_statement(
                     statement, original_text, config, options,
                     parse_seconds,
                 )
+                if log.enabled:
+                    delta = self.network.stats.retries - retries_before
+                    if delta:
+                        log.emit("retry", query_id=result.query_id,
+                                 retries=delta)
+                return result
             except SiteUnavailable as exc:
                 site = exc.site
                 if (site is None or self.catalog.site_is_down(site)
                         or fallbacks >= max(1, len(self._site_names))):
                     raise
                 self.mark_site_down(site)
+                survivors = [
+                    s for s in self.sites
+                    if not self.catalog.site_is_down(s)
+                ]
                 self.degradation_events.append(DegradationEvent(
                     site=site,
                     statement=original_text,
                     attempts=exc.attempts,
-                    fallback_sites=[
-                        s for s in self.sites
-                        if not self.catalog.site_is_down(s)
-                    ],
+                    fallback_sites=survivors,
                 ))
                 self.metrics_registry.inc("degradation_events_total",
                                           label=site)
+                if log.enabled:
+                    # the failed attempt's query id; the re-optimized
+                    # retry below gets a fresh one
+                    log.emit("degradation",
+                             query_id=self._current_query_id,
+                             site=site, attempts=exc.attempts,
+                             fallback_sites=survivors)
                 fallbacks += 1
 
     # ---------------------------------------------------------- observability

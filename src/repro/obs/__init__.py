@@ -1,5 +1,6 @@
-"""Query observability: structured tracing, process metrics, and
-estimate-drift recording.
+"""Query observability: structured tracing, process metrics,
+estimate-drift recording, the query event log, and the optimizer
+search trace.
 
 - :mod:`~repro.obs.trace` — per-operator span trees with exact
   cost-ledger attribution, attached to ``QueryResult.trace`` and
@@ -9,12 +10,18 @@ estimate-drift recording.
   shell's ``\\metrics``;
 - :mod:`~repro.obs.drift` — a ring buffer of per-operator q-errors
   behind ``db.drift_report()``;
-- :mod:`~repro.obs.render` — the shared EXPLAIN ANALYZE renderer.
+- :mod:`~repro.obs.render` — the shared EXPLAIN ANALYZE renderer;
+- :mod:`~repro.obs.log` — JSON-lines query-lifecycle events behind
+  ``db.event_log`` and the shell's ``\\log``;
+- :mod:`~repro.obs.opttrace` — the optimizer's DP search as data:
+  every memo entry, pruning verdict, and parametric anchor, behind
+  ``db.explain(sql, mode="search")`` / ``db.why_not(...)``.
 
 See ``docs/observability.md`` for the span schema and metrics catalog.
 """
 
 from .drift import DriftRecorder, DriftReport, DriftSample
+from .log import EventLog
 from .metrics import (
     Counter,
     Gauge,
@@ -23,21 +30,26 @@ from .metrics import (
     QERROR_BUCKETS,
     global_metrics,
 )
+from .opttrace import CandidateRecord, OptimizerTrace, WhyNotReport
 from .render import cost_ratio_text, render_explain_analyze
 from .trace import QueryTrace, Span, TraceBuilder, q_error
 
 __all__ = [
+    "CandidateRecord",
     "Counter",
     "DriftRecorder",
     "DriftReport",
     "DriftSample",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "OptimizerTrace",
     "QERROR_BUCKETS",
     "QueryTrace",
     "Span",
     "TraceBuilder",
+    "WhyNotReport",
     "cost_ratio_text",
     "global_metrics",
     "q_error",

@@ -85,17 +85,28 @@ class DriftReport:
     def worst(self) -> Optional[DriftGroup]:
         return self.groups[0] if self.groups else None
 
+    @property
+    def empty(self) -> bool:
+        """True when the window holds no samples (no traced queries)."""
+        return self.recorded == 0
+
     def as_dict(self) -> dict:
         return {
             "window": self.window,
             "recorded": self.recorded,
+            "empty": self.empty,
             "groups": [g.as_dict() for g in self.groups],
         }
 
     def render(self, limit: int = 10) -> str:
         if not self.groups:
-            return ("(no drift samples recorded — run traced queries "
-                    "first: db.sql(..., trace=True))")
+            return "\n".join([
+                "estimate drift: no traced queries in the window "
+                "(0 of %d slots filled)." % self.window,
+                "Run queries with tracing on to collect samples:",
+                "  db.sql(q, options=Options(trace=True))  "
+                "or  db.configure(trace=True)",
+            ])
         lines = [
             "estimate drift over the last %d operator executions "
             "(window %d):" % (self.recorded, self.window),

@@ -456,12 +456,23 @@ class QueryTrace:
         rendered as one contiguous slice of its inclusive duration,
         children laid out left to right inside their parent. Durations
         are faithful; start offsets are not.
+
+        Each event's ``args`` carries a ``span_id`` unique across the
+        whole export (phases included) and the ``parent_id`` of its
+        enclosing span (absent on the root), so tooling can rebuild the
+        tree without relying on the synthesized time layout.
         """
         events: List[dict] = []
+        ids = iter(range(1, 1 << 30))
 
-        def emit(span: Span, start_us: float, parent_avail: float) -> None:
+        def emit(span: Span, start_us: float, parent_avail: float,
+                 parent_id: Optional[int] = None) -> None:
             duration = min(span.wall_seconds * 1e6, parent_avail)
-            args = {"kind": span.kind, "executions": span.executions}
+            span_id = next(ids)
+            args = {"kind": span.kind, "executions": span.executions,
+                    "span_id": span_id}
+            if parent_id is not None:
+                args["parent_id"] = parent_id
             if span.kind == "operator":
                 args.update({
                     "node_type": span.node_type,
@@ -487,7 +498,7 @@ class QueryTrace:
             })
             offset = start_us
             for child in span.children:
-                emit(child, offset, duration)
+                emit(child, offset, duration, span_id)
                 offset += min(child.wall_seconds * 1e6, duration)
 
         emit(self.root, 0.0, self.root.wall_seconds * 1e6 or 1.0)

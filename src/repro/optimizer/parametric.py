@@ -62,6 +62,10 @@ class ParametricInnerCoster:
         self.fpr_fn = fpr_fn or (lambda keys: 0.0)
         self.classes: List[EquivalenceClass] = []
         self.nested_optimizations = 0
+        # costing calls answered by the oracle; once the classes exist,
+        # each call after the first ``num_classes`` anchor plans is a
+        # nested optimization *saved* relative to exact costing
+        self.estimate_calls = 0
         self._fit: Optional[Tuple[float, float]] = None  # (slope, intercept)
 
     # ---------------------------------------------------------------- anchors
@@ -107,6 +111,7 @@ class ParametricInnerCoster:
     def estimate(self, filter_rows: float) -> Tuple[float, float]:
         """(cost, output rows) of the restricted inner for a filter set of
         ``filter_rows`` distinct values. O(1) after the classes exist."""
+        self.estimate_calls += 1
         filter_rows = max(0.0, filter_rows)
         if not self.enabled:
             cls = self._plan_anchor(max(1.0, filter_rows))

@@ -22,7 +22,7 @@ production-set choices, which experiment C2 uses to measure the blow-up.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..algebra.block import QueryBlock
@@ -72,6 +72,7 @@ from .plans import (
     ShipNode,
     SortNode,
     UnionNode,
+    method_label,
 )
 from .properties import RelProps, StatsEstimator
 
@@ -85,6 +86,10 @@ class PlannerMetrics:
     filter_joins_considered: int = 0
     nested_optimizations: int = 0
     dp_entries: int = 0
+    # Per-join-method breakdowns: how many candidates each method put
+    # into the DP, and how many of those the memo discarded.
+    candidates_by_method: Dict[str, int] = field(default_factory=dict)
+    pruned_by_method: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -106,7 +111,8 @@ class Planner:
     """Plans bound query blocks into physical plans."""
 
     def __init__(self, catalog: Catalog,
-                 config: Optional[OptimizerConfig] = None):
+                 config: Optional[OptimizerConfig] = None,
+                 trace=None):
         self.catalog = catalog
         self.config = config or OptimizerConfig()
         self.config.validate()
@@ -121,6 +127,13 @@ class Planner:
         # The caches above key by id(); keep the keyed objects alive so
         # a dead object's id can never be recycled into a stale hit.
         self._cache_pins: List[object] = []
+        # Optional search-space observer (obs.opttrace.OptimizerTrace).
+        # Attaching swaps a handful of methods for observing wrappers;
+        # when trace is None the planner runs the plain methods, so the
+        # off path costs nothing.
+        self.trace = trace
+        if trace is not None:
+            trace.attach(self)
 
     # ------------------------------------------------------------ public API
 
@@ -301,6 +314,7 @@ class Planner:
 
     def _add_entry(self, table, candidate: PartialPlan) -> None:
         self.metrics.plans_considered += 1
+        self._note_candidate(candidate.plan)
         bucket = table.setdefault(candidate.aliases, {})
         # Entries are comparable only at the same (interesting order,
         # site): a differently-sited plan owes a future shipping cost.
@@ -308,6 +322,10 @@ class Planner:
         incumbent = bucket.get(entry_key)
         if incumbent is None or candidate.cost < incumbent.cost:
             bucket[entry_key] = candidate
+            if incumbent is not None:
+                self._note_pruned(incumbent.plan)
+        else:
+            self._note_pruned(candidate.plan)
         # Prune ordered entries dominated by the same-site unordered best.
         same_site = [p for p in bucket.values()
                      if p.plan.site == candidate.plan.site]
@@ -317,7 +335,18 @@ class Planner:
             if site_key != candidate.plan.site or order_key is None:
                 continue
             if bucket[key].cost > best_any.cost * 4:
+                self._note_pruned(bucket[key].plan)
                 del bucket[key]
+
+    def _note_candidate(self, node: PlanNode) -> None:
+        label = method_label(node)
+        by = self.metrics.candidates_by_method
+        by[label] = by.get(label, 0) + 1
+
+    def _note_pruned(self, node: PlanNode) -> None:
+        label = method_label(node)
+        by = self.metrics.pruned_by_method
+        by[label] = by.get(label, 0) + 1
 
     # ----------------------------------------------------------- access paths
 

@@ -433,6 +433,33 @@ class FilterJoinNode(PlanNode):
         return "%s(%s) final=%s" % (kind, pairs, self.final_method.value)
 
 
+#: JoinMethod -> the short method name used by search traces and the
+#: per-method planner counters (``db.why_not`` accepts these)
+_JOIN_METHOD_LABELS = {
+    JoinMethod.NLJ: "nlj",
+    JoinMethod.INL: "inl",
+    JoinMethod.HASH: "hash",
+    JoinMethod.MERGE: "merge",
+}
+
+
+def method_label(node: PlanNode) -> str:
+    """The join-method name of a candidate plan's top node.
+
+    Non-join roots (access paths, sorts layered for merge joins) are
+    classified as ``"access"`` so per-method counters stay meaningful.
+    """
+    if isinstance(node, JoinNode):
+        return _JOIN_METHOD_LABELS[node.method]
+    if isinstance(node, FilterJoinNode):
+        return "bloom" if node.lossy else "filter_join"
+    if isinstance(node, NestedIterationNode):
+        return "nested_iteration"
+    if isinstance(node, FunctionJoinNode):
+        return "function_%s" % node.mode
+    return "access"
+
+
 class FunctionJoinNode(PlanNode):
     """Join an outer plan with a user-defined (function) relation.
 

@@ -50,6 +50,12 @@ class Options:
     - ``engine``: ``"iterator"`` (tuple-at-a-time Volcano) or
       ``"vector"`` (columnar batches of ~1024 rows); identical rows and
       identical cost-ledger totals, different wall-clock speed.
+    - ``search_trace``: record the optimizer's full DP search (every
+      memo entry, pruning verdict, and parametric anchor) onto
+      ``QueryResult.search`` as an
+      :class:`~repro.obs.opttrace.OptimizerTrace`. Forces a fresh
+      optimization (the plan cache is bypassed for the statement) but
+      never changes which plan wins.
     """
 
     trace: Optional[bool] = None
@@ -57,6 +63,7 @@ class Options:
     use_cache: Optional[bool] = None
     memory_budget_bytes: Optional[float] = None
     engine: Optional[str] = None
+    search_trace: Optional[bool] = None
 
     def __post_init__(self):
         if self.engine is not None and self.engine not in ENGINES:
@@ -103,7 +110,8 @@ class Options:
 
 #: the bottom of the resolution chain: what you get with no configure()
 #: and no per-call options
-BUILTIN = Options(trace=False, use_cache=False, engine="iterator")
+BUILTIN = Options(trace=False, use_cache=False, engine="iterator",
+                  search_trace=False)
 
 OPTION_FIELDS = tuple(f.name for f in dataclasses.fields(Options))
 

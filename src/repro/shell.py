@@ -7,6 +7,14 @@ start with a backslash:
     \\d NAME        describe one relation
     \\e SELECT ...  EXPLAIN the query
     \\ea SELECT ... EXPLAIN ANALYZE the query
+    \\explain [search] SELECT ...
+                   EXPLAIN; with ``search``, also dump the optimizer's
+                   DP search trace (every candidate, cost delta, and
+                   pruning verdict, plus parametric-coster anchors)
+    \\whynot METHOD SELECT ...
+                   why the chosen plan does not use METHOD (e.g.
+                   filter_join, bloom, hash): the nearest rejected
+                   candidate and the ledger terms that lost it
     \\config        show the optimizer configuration
     \\set           show the active execution option set (engine, trace,
                     timeout, ...) — the database's repro.Options defaults
@@ -19,6 +27,10 @@ start with a backslash:
     \\faults ...    configure network fault injection (\\faults help)
     \\metrics       dump the database metrics registry
     \\drift         estimate-drift report (worst-misestimated operators)
+    \\log [on|off|clear]
+                   the structured query event log: toggle recording or
+                   show the most recent events (JSON-lines via the API:
+                   db.event_log.to_jsonl())
     \\trace on|off  trace every statement; traced queries print phase
                     times and their worst operator q-error
     \\q             quit
@@ -155,6 +167,15 @@ class Shell:
         if command == "\\ea":
             self.write(self.db.explain_analyze(argument))
             return
+        if command == "\\explain":
+            self._explain_command(argument)
+            return
+        if command == "\\whynot":
+            self._whynot_command(argument)
+            return
+        if command == "\\log":
+            self._log_command(argument)
+            return
         if command == "\\config":
             for key, value in sorted(vars(self.db.config).items()):
                 self.write("  %-32s %r" % (key, value))
@@ -187,9 +208,52 @@ class Shell:
         if command == "\\trace":
             self._trace_command(argument)
             return
-        self.write("unknown command %r (try \\d, \\e, \\ea, \\config, "
-                   "\\set, \\engine, \\cache, \\timeout, \\faults, "
-                   "\\metrics, \\drift, \\trace, \\q)" % command)
+        self.write("unknown command %r (try \\d, \\e, \\ea, \\explain, "
+                   "\\whynot, \\config, \\set, \\engine, \\cache, "
+                   "\\timeout, \\faults, \\metrics, \\drift, \\log, "
+                   "\\trace, \\q)" % command)
+
+    def _explain_command(self, argument: str) -> None:
+        if not argument:
+            self.write("usage: \\explain [search] SELECT ...")
+            return
+        mode = "plan"
+        first, _, rest = argument.partition(" ")
+        if first.lower() == "search":
+            mode, argument = "search", rest.strip()
+            if not argument:
+                self.write("usage: \\explain search SELECT ...")
+                return
+        self.write(self.db.explain(argument, mode=mode))
+
+    def _whynot_command(self, argument: str) -> None:
+        method, _, sql = argument.partition(" ")
+        sql = sql.strip()
+        if not method or not sql:
+            self.write("usage: \\whynot METHOD SELECT ... "
+                       "(e.g. \\whynot filter_join SELECT ...)")
+            return
+        self.write(self.db.why_not(sql, method).render())
+
+    def _log_command(self, argument: str) -> None:
+        log = self.db.event_log
+        if not argument:
+            self.write(log.render())
+            return
+        word = argument.lower()
+        if word == "clear":
+            log.clear()
+            self.write("event log cleared")
+            return
+        value = _BOOL_WORDS.get(word)
+        if value is None:
+            self.write("usage: \\log [on | off | clear]")
+            return
+        if value:
+            log.enable()
+        else:
+            log.disable()
+        self.write("event log %s" % ("on" if value else "off"))
 
     def _show_options(self) -> None:
         """The active execution option set: the database defaults with

@@ -182,4 +182,22 @@ class TestRecorderMechanics:
     def test_empty_report_renders(self):
         report = DriftRecorder().report()
         assert report.worst is None
-        assert "no drift samples" in report.render()
+        assert "no traced queries" in report.render()
+        assert report.empty
+        assert report.as_dict()["empty"] is True
+
+    def test_group_mean_q_error_with_zero_samples(self):
+        from repro.obs.drift import DriftGroup
+
+        group = DriftGroup("SeqScan(T)", "SeqScanNode")
+        assert group.samples == 0
+        # the zero-sample mean is the neutral q-error, not a ZeroDivision
+        assert group.mean_q_error == 1.0
+        assert group.as_dict()["mean_q_error"] == 1.0
+
+    def test_populated_report_not_empty(self):
+        recorder = DriftRecorder()
+        recorder.record(DriftSample("op", "T", "q", 10, 20))
+        report = recorder.report()
+        assert not report.empty
+        assert "no traced queries" not in report.render()

@@ -49,6 +49,16 @@ def test_heterogeneous_view():
     assert "cost-based optimizer" in output
 
 
+def test_optimizer_tracing():
+    output = run_example("optimizer_tracing.py")
+    assert "EXPLAIN SEARCH" in output
+    assert "why-not filter_join: it WAS chosen." in output
+    assert "enable_filter_join=False" in output
+    assert "repro-search-trace/v1" in output
+    assert '"event": "optimize"' in output
+    assert "candidates by method" in output
+
+
 def test_tracing():
     output = run_example("tracing.py")
     assert "every operator becomes a span" in output

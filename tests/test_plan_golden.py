@@ -19,7 +19,7 @@ import random
 
 import pytest
 
-from repro import Database, DataType, OptimizerConfig
+from repro import Database, DataType, OptimizerConfig, OptimizerTrace
 from repro.distributed import DistributedDatabase, distributed_config
 from repro.workloads import (
     EmpDeptConfig,
@@ -181,10 +181,13 @@ def _regime_config(db, overrides):
     return config
 
 
-def snapshot_text(db, queries, config) -> str:
+def snapshot_text(db, queries, config, search=False) -> str:
     chunks = []
     for key, sql in queries:
-        plan, _planner = db.plan(sql, config)
+        trace = OptimizerTrace() if search else None
+        plan, _planner = db.plan(sql, config, search=trace)
+        if trace is not None:
+            assert trace.records, "search trace recorded nothing"
         chunks.append("-- %s: %s\n%s\n" % (
             key, " ".join(sql.split()), plan.explain(),
         ))
@@ -218,6 +221,26 @@ def test_golden_plans(workload, regime, update_golden):
         "plan snapshot for %s/%s changed; if intentional, refresh with "
         "`pytest tests/test_plan_golden.py --update-golden` and review "
         "the diff" % (workload, regime)
+    )
+
+
+@pytest.mark.parametrize("regime", sorted(REGIMES))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_golden_plans_identical_under_search_tracing(workload, regime):
+    """Search tracing is observation only: with an OptimizerTrace
+    attached, every golden plan must stay byte-identical."""
+    db = _workload_db(workload)
+    config = _regime_config(db, REGIMES[regime])
+    golden_path = GOLDEN_DIR / ("%s__%s.txt" % (workload, regime))
+    assert golden_path.exists(), (
+        "missing golden file %s — run with --update-golden to create it"
+        % golden_path
+    )
+    traced = snapshot_text(db, WORKLOADS[workload][1], config,
+                           search=True)
+    assert traced == golden_path.read_text(), (
+        "search tracing perturbed the chosen plan for %s/%s"
+        % (workload, regime)
     )
 
 

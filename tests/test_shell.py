@@ -276,7 +276,7 @@ class TestObservabilityCommands:
     def test_drift_empty_then_populated(self):
         output = run_shell(SETUP + "\\drift\n\\trace on\n"
                            "SELECT a FROM T;\n\\drift\n")
-        assert "no drift samples" in output
+        assert "no traced queries" in output
         assert "estimate drift over the last" in output
 
     def test_explain_analyze_non_query_reports_inline(self):
