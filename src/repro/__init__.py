@@ -33,9 +33,11 @@ from .errors import (
     BindError,
     CatalogError,
     ExecutionError,
+    FixpointLimitExceeded,
     ParameterError,
     PlanError,
     QueryTimeout,
+    RecursiveViewError,
     ReproError,
     ResourceExhausted,
     SiteUnavailable,
@@ -111,6 +113,7 @@ __all__ = [
     "EventLog",
     "ExecutionError",
     "ENGINES",
+    "FixpointLimitExceeded",
     "MetricsRegistry",
     "OptimizerConfig",
     "OptimizerTrace",
@@ -122,6 +125,7 @@ __all__ = [
     "QueryResult",
     "QueryTimeout",
     "QueryTrace",
+    "RecursiveViewError",
     "ReproError",
     "ResourceExhausted",
     "Schema",

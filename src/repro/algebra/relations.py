@@ -6,9 +6,11 @@ expression, a remote table in a distributed database, or a user-defined
 function. Each FROM-list entry is a :class:`RelationRef` whose ``kind``
 tells the optimizer which join methods apply:
 
-- ``stored``   — a local (or remote, if ``site`` is set) base table
-- ``view``     — a virtual relation defined by a :class:`QueryBlock`
-- ``function`` — a user-defined relation (see :mod:`repro.udf`)
+- ``stored``    — a local (or remote, if ``site`` is set) base table
+- ``view``      — a virtual relation defined by a :class:`QueryBlock`
+- ``function``  — a user-defined relation (see :mod:`repro.udf`)
+- ``recursive`` — a virtual relation defined by a fixpoint (``WITH
+  RECURSIVE`` / ``CREATE RECURSIVE VIEW``)
 
 Every ref exposes an alias-qualified output schema; all predicates in the
 enclosing block are written over those qualified names.
@@ -115,6 +117,45 @@ class FilterSetRelation(RelationRef):
 
     def display_name(self) -> str:
         return "<filter:%s>" % self.param_id
+
+
+class RecursiveRelation(RelationRef):
+    """A recursive virtual relation: the least fixpoint of base branches
+    UNION [ALL] one linear recursive branch.
+
+    The binder has already rewritten the recursive branch's
+    self-reference into a :class:`FilterSetRelation` carrying
+    ``delta_param``, so the branch doubles as the semi-naive *template*:
+    each fixpoint pass binds the previous iteration's delta to
+    ``delta_param`` and re-evaluates the template. The optimizer plans
+    the template per candidate (full fixpoint vs. magic-restricted) by
+    substituting an assumed delta cardinality.
+
+    ``distinct`` is True for UNION semantics (set fixpoint, guaranteed
+    to terminate) and False for UNION ALL (bag semantics, guarded by
+    ``max_fixpoint_iterations`` on cyclic data).
+    """
+
+    kind = "recursive"
+
+    def __init__(self, alias: str, view_name: str, base_blocks,
+                 recursive_block, delta_param: str, schema: Schema,
+                 distinct: bool = True):
+        super().__init__(alias)
+        self.view_name = view_name
+        self.base_blocks = list(base_blocks)
+        self.recursive_block = recursive_block
+        self.delta_param = delta_param
+        self._schema = schema
+        self.distinct = distinct
+        self.site = None  # the fixpoint always runs at the coordinator
+
+    @property
+    def base_schema(self) -> Schema:
+        return self._schema
+
+    def display_name(self) -> str:
+        return "<recursive:%s>" % self.view_name
 
 
 class VirtualRelation(RelationRef):

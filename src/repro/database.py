@@ -65,6 +65,7 @@ _TYPE_MAP = {
 _STATEMENT_KINDS = {
     "SelectStmt": "select",
     "UnionStmt": "union",
+    "WithStmt": "select",
     "ExplainStmt": "explain",
     "CreateTableStmt": "create_table",
     "CreateTableAsStmt": "create_table_as",
@@ -247,12 +248,19 @@ class Database:
         return self.catalog.create_table(name, schema)
 
     def create_view(self, name: str, sql_text: str,
-                    column_aliases: Optional[Sequence[str]] = None):
-        """Register a view; its body is bound lazily at query time."""
+                    column_aliases: Optional[Sequence[str]] = None,
+                    recursive: bool = False):
+        """Register a view; its body is bound lazily at query time.
+
+        ``recursive=True`` declares a recursive view (``CREATE RECURSIVE
+        VIEW``): its body may reference the view's own name and is
+        evaluated by semi-naive fixpoint (see docs/recursion.md).
+        """
         statement = parse(sql_text)  # validate eagerly
         if not isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
             raise ReproError("a view must be defined by a query")
-        return self.catalog.create_view(name, sql_text, column_aliases)
+        return self.catalog.create_view(name, sql_text, column_aliases,
+                                        recursive=recursive)
 
     def create_index(self, table: str, column: str,
                      kind: str = "hash") -> None:
@@ -282,6 +290,8 @@ class Database:
 
     def _bind_statement(self, statement):
         binder = self.binder()
+        if isinstance(statement, ast.WithStmt):
+            return binder.bind_with(statement)
         if isinstance(statement, ast.UnionStmt):
             return binder.bind_union(statement)
         if isinstance(statement, ast.SelectStmt):
@@ -385,7 +395,8 @@ class Database:
         parse_started = time.perf_counter()
         statement = parse(sql_text)
         parse_seconds = time.perf_counter() - parse_started
-        if not isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
+        if not isinstance(statement, (ast.SelectStmt, ast.UnionStmt,
+                                      ast.WithStmt)):
             raise ReproError(
                 "EXPLAIN ANALYZE requires a query, got %s"
                 % type(statement).__name__
@@ -436,7 +447,9 @@ class Database:
         if entry is not None:
             return entry, True
         binder = self.binder()
-        if isinstance(statement, ast.UnionStmt):
+        if isinstance(statement, ast.WithStmt):
+            block = binder.bind_with(statement)
+        elif isinstance(statement, ast.UnionStmt):
             block = binder.bind_union(statement)
         else:
             block = binder.bind(statement)
@@ -459,7 +472,8 @@ class Database:
                  timeout: Optional[float] = None,
                  memory_budget_bytes: Optional[float] = None,
                  trace: Optional[TraceBuilder] = None,
-                 engine: Optional[str] = None
+                 engine: Optional[str] = None,
+                 max_fixpoint_iterations: Optional[int] = None
                  ) -> QueryResult:
         """Execute a physical plan and collect rows + measured costs.
 
@@ -482,6 +496,9 @@ class Database:
                   else config.memory_budget_bytes)
         if engine is None:
             engine = self.defaults.resolved().engine
+        if max_fixpoint_iterations is None:
+            max_fixpoint_iterations = \
+                self.defaults.resolved().max_fixpoint_iterations
         ctx = RuntimeContext(
             params=config.cost_params,
             memory_pages=config.memory_pages,
@@ -489,6 +506,7 @@ class Database:
             network=self.network,
             deadline_seconds=deadline,
             memory_budget_bytes=budget,
+            max_fixpoint_iterations=max_fixpoint_iterations,
         )
         started = time.perf_counter()
         if trace is None:
@@ -642,7 +660,8 @@ class Database:
                             opts: Options, parse_seconds: float,
                             qid: Optional[str]) -> QueryResult:
         log = self.event_log
-        if isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
+        if isinstance(statement, (ast.SelectStmt, ast.UnionStmt,
+                                  ast.WithStmt)):
             builder = None
             if opts.trace:
                 builder = TraceBuilder(original_text)
@@ -681,10 +700,12 @@ class Database:
                         % len(entry.parameters)
                     )
                 entry.executions += 1
-                result = self.run_plan(entry.plan, entry.metrics, config,
-                                       opts.timeout,
-                                       opts.memory_budget_bytes,
-                                       trace=builder, engine=opts.engine)
+                result = self.run_plan(
+                    entry.plan, entry.metrics, config,
+                    opts.timeout, opts.memory_budget_bytes,
+                    trace=builder, engine=opts.engine,
+                    max_fixpoint_iterations=opts.max_fixpoint_iterations,
+                )
                 result.cached_plan = hit
                 self._emit_execute(qid, result)
                 return result
@@ -706,10 +727,12 @@ class Database:
                     plans_considered=planner.metrics.plans_considered,
                     memo_entries=planner.metrics.dp_entries,
                 )
-            result = self.run_plan(plan, planner.metrics, config,
-                                   opts.timeout,
-                                   opts.memory_budget_bytes,
-                                   trace=builder, engine=opts.engine)
+            result = self.run_plan(
+                plan, planner.metrics, config,
+                opts.timeout, opts.memory_budget_bytes,
+                trace=builder, engine=opts.engine,
+                max_fixpoint_iterations=opts.max_fixpoint_iterations,
+            )
             result.search = search
             self._emit_execute(qid, result)
             return result
@@ -746,6 +769,7 @@ class Database:
             self.catalog.create_view(
                 statement.name, statement.select_text,
                 statement.column_aliases,
+                recursive=statement.recursive,
             )
             return _ddl_result("create view")
         if isinstance(statement, ast.CreateIndexStmt):
@@ -790,7 +814,7 @@ class PreparedStatement:
         self.param_count = param_count
         self.config = config
         self.is_query = isinstance(
-            statement, (ast.SelectStmt, ast.UnionStmt)
+            statement, (ast.SelectStmt, ast.UnionStmt, ast.WithStmt)
         )
         if param_count and not self.is_query and not isinstance(
             statement, ast.InsertStmt
@@ -841,10 +865,13 @@ class PreparedStatement:
             for node, value in zip(entry.parameters, params):
                 node.bind(value)
             entry.executions += 1
-            result = self.db.run_plan(entry.plan, entry.metrics,
-                                      self.config, opts.timeout,
-                                      opts.memory_budget_bytes,
-                                      engine=opts.engine)
+            result = self.db.run_plan(
+                entry.plan, entry.metrics,
+                self.config, opts.timeout,
+                opts.memory_budget_bytes,
+                engine=opts.engine,
+                max_fixpoint_iterations=opts.max_fixpoint_iterations,
+            )
             result.cached_plan = hit
             return result
         statement = self._substituted(params) if params else self.statement

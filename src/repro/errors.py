@@ -39,6 +39,23 @@ class PlanError(ReproError):
     applicable, or an internal invariant was violated)."""
 
 
+class RecursiveViewError(PlanError):
+    """A view or common table expression references itself in a way the
+    engine cannot evaluate: an undeclared self-reference (use ``WITH
+    RECURSIVE`` / ``CREATE RECURSIVE VIEW``), non-linear recursion, or a
+    recursive definition outside the supported shape (base branches
+    UNION one linear recursive branch). Also raised when the Figure-2
+    magic rewriter is pointed at a recursive view — its rewrite happens
+    inside the planner's costed fixpoint candidates instead.
+
+    ``view_name`` carries the offending view/CTE name.
+    """
+
+    def __init__(self, message: str, view_name: str = ""):
+        super().__init__(message)
+        self.view_name = view_name
+
+
 class ExecutionError(ReproError):
     """A runtime failure while executing a physical plan."""
 
@@ -79,6 +96,21 @@ class ResourceExhausted(ExecutionError):
         super().__init__(message)
         self.requested_bytes = requested_bytes
         self.budget_bytes = budget_bytes
+
+
+class FixpointLimitExceeded(ExecutionError):
+    """A recursive query's semi-naive fixpoint did not converge within
+    the configured ``max_fixpoint_iterations`` (see
+    :class:`~repro.options.Options`) — almost always cyclic data under
+    ``UNION ALL`` semantics, where each pass keeps producing rows.
+
+    ``iterations`` is how many passes ran; ``limit`` the configured cap.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, limit: int = 0):
+        super().__init__(message)
+        self.iterations = iterations
+        self.limit = limit
 
 
 class ParameterError(ExecutionError):

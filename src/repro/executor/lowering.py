@@ -17,6 +17,7 @@ from ..optimizer.plans import (
     FilterJoinNode,
     FilterNode,
     FilterSetScanNode,
+    FixpointNode,
     FunctionJoinNode,
     IndexScanNode,
     JoinMethod,
@@ -40,6 +41,7 @@ from .operators import (
     FilterJoinOp,
     FilterOp,
     FilterSetScanOp,
+    FixpointOp,
     FunctionJoinOp,
     HashJoinOp,
     IndexNLJoinOp,
@@ -107,7 +109,7 @@ class SpanOperator(Operator):
         self.trace = trace
         self.span = trace.span_for_node(plan_node, inner)
         # keep the structural attributes visible for tree walkers
-        for attr in ("child", "outer", "template"):
+        for attr in ("child", "outer", "template", "base"):
             if hasattr(inner, attr):
                 setattr(self, attr, getattr(inner, attr))
 
@@ -278,6 +280,11 @@ class _Lowering:
     def _lower_UnionNode(self, node: UnionNode) -> Operator:
         return UnionOp(self.ctx, self.lower(node.left),
                        self.lower(node.right), node.schema, node.distinct)
+
+    def _lower_FixpointNode(self, node: FixpointNode) -> Operator:
+        return FixpointOp(self.ctx, self.lower(node.base),
+                          self.lower(node.template), node.delta_param,
+                          node.schema, node.distinct)
 
     # ------------------------------------------------------------- join nodes
 

@@ -26,7 +26,7 @@ import math
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..bloom.filter import BloomFilter
-from ..errors import ExecutionError
+from ..errors import ExecutionError, FixpointLimitExceeded
 from ..expr.aggregates import Accumulator, AggregateSpec
 from ..expr.nodes import Expr, RuntimeMembership
 from ..stats.estimator import yao_blocks
@@ -673,6 +673,101 @@ class UnionOp(Operator):
                         yield batch
                     elif keep:
                         yield batch.take(keep)
+        finally:
+            self.ctx.mem_release(held)
+
+
+class FixpointOp(Operator):
+    """Semi-naive fixpoint of a recursive relation.
+
+    The base child seeds the result and the first delta; each pass binds
+    the delta to ``delta_param`` (the template's FilterSetScanOp leaf)
+    and re-runs the template, so the recursive branch only ever joins
+    against rows discovered in the previous pass. With ``distinct``
+    (UNION) only genuinely new rows enter the next delta, which
+    guarantees termination; without it (UNION ALL) every produced row
+    does, and ``ctx.max_fixpoint_iterations`` guards cyclic data.
+
+    Both engines share one evaluation routine (the template is drained
+    whole each pass either way), so iterator and vector runs write
+    identical charge totals to the ledger.
+    """
+
+    def __init__(self, ctx: RuntimeContext, base: Operator,
+                 template: Operator, delta_param: str, schema: Schema,
+                 distinct: bool):
+        super().__init__(ctx, schema)
+        self.base = base
+        self.template = template
+        self.delta_param = delta_param
+        self.distinct = distinct
+
+    def _evaluate(self, drain) -> Tuple[List[Row], float]:
+        """Run the fixpoint; returns (result rows, bytes still held)."""
+        width = self.schema.row_width()
+        limit = self.ctx.max_fixpoint_iterations
+        held = 0.0
+        try:
+            seen = set() if self.distinct else None
+            out: List[Row] = []
+            delta: List[Row] = []
+            for row in drain(self.base):
+                self.ctx.charge_cpu(1)
+                if seen is not None:
+                    if row in seen:
+                        continue
+                    seen.add(row)
+                out.append(row)
+                delta.append(row)
+                if not (len(out) & _MEM_CHUNK_MASK):
+                    self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
+                    held += _MEM_CHUNK_ROWS * width
+            iterations = 0
+            while delta:
+                if limit is not None and iterations >= limit:
+                    raise FixpointLimitExceeded(
+                        "fixpoint did not converge within %d iterations "
+                        "(the last delta still holds %d rows); raise "
+                        "Options.max_fixpoint_iterations or use UNION "
+                        "instead of UNION ALL" % (limit, len(delta)),
+                        iterations=iterations, limit=limit,
+                    )
+                iterations += 1
+                temp_pages = self.ctx.charge_materialize(len(delta), width)
+                temp = TempTable(delta, self.schema,
+                                 spilled=not self.ctx.fits(temp_pages))
+                self.ctx.bind_filter_set(self.delta_param, temp)
+                new: List[Row] = []
+                for row in drain(self.template):
+                    self.ctx.charge_cpu(1)
+                    if seen is not None:
+                        if row in seen:
+                            continue
+                        seen.add(row)
+                    out.append(row)
+                    new.append(row)
+                    if not (len(out) & _MEM_CHUNK_MASK):
+                        self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
+                        held += _MEM_CHUNK_ROWS * width
+                delta = new
+        except BaseException:
+            self.ctx.mem_release(held)
+            raise
+        return out, held
+
+    def rows(self) -> Iterator[Row]:
+        out, held = self._evaluate(lambda op: op.rows())
+        try:
+            for row in out:
+                yield row
+        finally:
+            self.ctx.mem_release(held)
+
+    def batches(self) -> Iterator[Batch]:
+        out, held = self._evaluate(lambda op: op.drain())
+        try:
+            for batch in batches_from_list(out, len(self.schema)):
+                yield batch
         finally:
             self.ctx.mem_release(held)
 

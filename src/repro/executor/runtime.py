@@ -60,7 +60,8 @@ class RuntimeContext:
                  message_payload_bytes: int = 8192,
                  network=None,
                  deadline_seconds: Optional[float] = None,
-                 memory_budget_bytes: Optional[float] = None):
+                 memory_budget_bytes: Optional[float] = None,
+                 max_fixpoint_iterations: int = 1000):
         self.ledger = ledger if ledger is not None else CostLedger()
         self.params = params or CostParams()
         # when set (a TraceBuilder), lowering wraps every operator in a
@@ -81,6 +82,8 @@ class RuntimeContext:
         self.memory_budget_bytes = memory_budget_bytes
         self.mem_held_bytes = 0.0
         self.mem_peak_bytes = 0.0
+        # cap on semi-naive fixpoint passes (FixpointLimitExceeded)
+        self.max_fixpoint_iterations = max_fixpoint_iterations
         if deadline_seconds is not None:
             # shadow the class method so the per-row hot path pays for
             # deadline checks only when a deadline exists

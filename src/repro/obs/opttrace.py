@@ -39,13 +39,23 @@ ORDER_PRUNED = "order-pruned"
 ORDER_SURVIVOR = "interesting-order-survivor"
 
 #: User-facing spellings accepted by :meth:`OptimizerTrace.why_not`.
+#: "magic"-family spellings are context-sensitive (see
+#: :data:`_MAGIC_SPELLINGS`): on a recursive query they name the
+#: magic-restricted fixpoint candidate; otherwise the Filter Join,
+#: which is this paper's magic-sets implementation for flat queries.
 METHOD_ALIASES = {
     "filter_join": "filter_join",
     "filterjoin": "filter_join",
     "magic": "filter_join",
     "magic_set": "filter_join",
+    "magic_sets": "filter_join",
     "semi_join": "filter_join",
     "semijoin": "filter_join",
+    "fixpoint": "fixpoint",
+    "full_fixpoint": "fixpoint",
+    "recursive": "fixpoint",
+    "recursive_magic": "magic",
+    "magic_fixpoint": "magic",
     "bloom": "bloom",
     "lossy": "bloom",
     "bloom_filter": "bloom",
@@ -68,6 +78,10 @@ METHOD_ALIASES = {
     "function_memo": "function_memo",
     "function_filter": "function_filter",
 }
+
+#: Spellings that flip from Filter Join to the recursive magic fixpoint
+#: when the traced query actually planned a recursive relation.
+_MAGIC_SPELLINGS = ("magic", "magic_set", "magic_sets")
 
 
 @dataclass
@@ -313,6 +327,15 @@ class OptimizerTrace:
             self._record_skips(partial, rel, out)
             return out
 
+        orig_recursive_access = planner._recursive_access_plans
+
+        def recursive_access_plans(rel, block, locals_, props):
+            out = orig_recursive_access(rel, block, locals_, props)
+            self._record_recursive_skips(rel, out)
+            return out
+
+        planner._recursive_access_plans = recursive_access_plans
+
         def one_filter_join(block, partial, production, rel, new_props,
                             equi_names, residual, chosen, lossy):
             out = orig_one_filter_join(block, partial, production, rel,
@@ -413,6 +436,39 @@ class OptimizerTrace:
             if key != entry_key and key not in after:
                 demote(partial, ORDER_PRUNED)
 
+    def _record_recursive_skips(self, rel, produced) -> None:
+        """Why one side of the magic/fixpoint costed pair is absent.
+
+        Fires at access-path generation (not join wrapping) so that
+        single-relation recursive queries are covered too.
+        """
+        planner = self._planner
+        if planner._restriction_depth > 0:
+            return
+        cfg = planner.config
+        made = {method_label(c.plan) for c in produced}
+        subset = (rel.alias,)
+
+        def skip(method, reason):
+            key = (self._current_block(), subset, rel.alias, method)
+            if key in self._skip_seen:
+                return
+            self._skip_seen.add(key)
+            self.skips.append(SkipRecord(
+                block=self._current_block(), aliases=subset,
+                outer=(), inner=rel.alias, method=method, reason=reason,
+            ))
+
+        if "magic" not in made:
+            if cfg.forced_recursive == "full":
+                skip("magic", "excluded by forced_recursive='full'")
+            else:
+                skip("magic",
+                     "no pushable literal binding on a magic-safe "
+                     "column of %s" % rel.alias)
+        if "fixpoint" not in made and cfg.forced_recursive == "magic":
+            skip("fixpoint", "excluded by forced_recursive='magic'")
+
     def _record_skips(self, partial, rel, produced) -> None:
         planner = self._planner
         if planner._restriction_depth > 0:
@@ -449,7 +505,7 @@ class OptimizerTrace:
             else:
                 skip(method, structural)
 
-        if rel.kind in ("stored", "view", "filterset"):
+        if rel.kind in ("stored", "view", "filterset", "recursive"):
             classic_ok = ("full", "hash", "merge", "nlj")
             absent("hash", "enable_hash_join", classic_ok,
                    "no equi-join predicate with the outer")
@@ -529,6 +585,10 @@ class OptimizerTrace:
         """Why the named join method is not (or is) in the final plan."""
         key = method.strip().lower().replace(" ", "_").replace("-", "_")
         canon = METHOD_ALIASES.get(key)
+        if key in _MAGIC_SPELLINGS and (
+                any(r.method in ("magic", "fixpoint") for r in self.records)
+                or any(s.method == "magic" for s in self.skips)):
+            canon = "magic"
         if canon is None:
             raise PlanError(
                 "unknown join method %r; try one of: %s"

@@ -36,6 +36,10 @@ class OptimizerConfig:
     # Force the UDF join mode (experiments): None, "repeated", "memo",
     # or "filter".
     forced_function_join: str = None
+    # Force the recursive-relation strategy (experiments): None (cost-based
+    # choice between the full fixpoint and the magic-restricted fixpoint),
+    # "full", or "magic" (falls back to full when no binding is pushable).
+    forced_recursive: str = None
 
     # --- the paper's search-space limitations -----------------------------
     # Limitation 1: production sets must be prefixes of the outer subplan.
@@ -105,4 +109,8 @@ class OptimizerConfig:
             raise ValueError(
                 "forced_function_join must be None, 'repeated', 'memo', "
                 "or 'filter'"
+            )
+        if self.forced_recursive not in (None, "full", "magic"):
+            raise ValueError(
+                "forced_recursive must be None, 'full', or 'magic'"
             )

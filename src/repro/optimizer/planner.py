@@ -43,6 +43,7 @@ from ..expr.nodes import ColumnRef, Comparison, Expr, Literal, conjoin
 from ..ledger import CostLedger
 from ..rewrite.magic import (
     bindable_columns,
+    recursive_magic_bindings,
     restricted_stored_block,
     restricted_stored_block_lossy,
     restricted_view_block,
@@ -58,6 +59,7 @@ from .plans import (
     FilterJoinNode,
     FilterNode,
     FilterSetScanNode,
+    FixpointNode,
     FunctionJoinNode,
     IndexScanNode,
     JoinMethod,
@@ -123,6 +125,11 @@ class Planner:
         self._restriction_depth = 0
         self._costers: Dict[Tuple, ParametricInnerCoster] = {}
         self._view_plans: Dict[int, PartialPlan] = {}
+        # Recursive relations: cached base-seed plans (per relation) and
+        # cached fixpoint candidate pairs (per relation *and* block, since
+        # the consuming block's predicates decide the magic restriction).
+        self._fixpoint_bases: Dict[int, Tuple[PlanNode, CostLedger, float]] = {}
+        self._recursive_plans: Dict[Tuple[int, int], List[PartialPlan]] = {}
         self._props_cache: Dict[Tuple[int, FrozenSet[str]], RelProps] = {}
         # The caches above key by id(); keep the keyed objects alive so
         # a dead object's id can never be recycled into a stale hit.
@@ -405,9 +412,129 @@ class Planner:
             node = FilterSetScanNode(rel)
             self._finish(node, props.rows, components)
             plans.append(self._partial(rel, node, props, components))
+        elif rel.kind == "recursive":
+            plans.extend(self._recursive_access_plans(rel, block, locals_,
+                                                      props))
         else:
             raise PlanError("cannot access relation kind %r" % rel.kind)
         return plans
+
+    # ------------------------------------------------- recursive fixpoints
+
+    def _recursive_access_plans(self, rel, block, locals_,
+                                props) -> List[PartialPlan]:
+        """The costed pair for a recursive relation: the full fixpoint
+        and, when query bindings are pushable into the seed, the
+        magic-restricted fixpoint. Both land in the same DP bucket, so
+        the System-R comparison decides whether magic sets pay off."""
+        key = (id(rel), id(block))
+        cached = self._recursive_plans.get(key)
+        if cached is not None:
+            return cached
+        forced = (self.config.forced_recursive
+                  if self._restriction_depth == 0 else None)
+        pushable, remaining = recursive_magic_bindings(rel, locals_)
+        full = self._fixpoint_candidate(rel, block, props,
+                                        pushable=None, remaining=locals_)
+        magic = None
+        if pushable:
+            magic = self._fixpoint_candidate(rel, block, props,
+                                             pushable=pushable,
+                                             remaining=remaining)
+        if forced == "magic" and magic is not None:
+            plans = [magic]
+        elif forced == "full" or magic is None:
+            plans = [full]
+        else:
+            plans = [full, magic]
+        self._recursive_plans[key] = plans
+        self._cache_pins.append(block)
+        self._cache_pins.append(rel)
+        return plans
+
+    def _fixpoint_base(self, rel) -> Tuple[PlanNode, CostLedger, float]:
+        """Plan the non-recursive base branches (UNION ALL seed), cached.
+
+        Deduplication against UNION semantics happens inside the
+        fixpoint operator, so the branches chain with bag unions here.
+        """
+        cached = self._fixpoint_bases.get(id(rel))
+        if cached is not None:
+            return cached
+        plans = [self.plan_block(b) for b in rel.base_blocks]
+        self.metrics.nested_optimizations += len(plans)
+        node = plans[0]
+        components = node.est_components.snapshot()
+        rows = node.est_rows
+        schema = node.schema
+        for part in plans[1:]:
+            components.merge(part.est_components)
+            rows += part.est_rows
+            node = UnionNode(node, part, schema, distinct=False)
+            self._finish(node, rows, components)
+        cached = (node, components, rows)
+        self._fixpoint_bases[id(rel)] = cached
+        self._cache_pins.append(rel)
+        return cached
+
+    def _fixpoint_candidate(self, rel, block, props, pushable,
+                            remaining) -> PartialPlan:
+        """One semi-naive fixpoint candidate over ``rel``.
+
+        ``pushable`` (magic variant) holds the query bindings seeded
+        into the base; ``remaining`` the local predicates still applied
+        above the fixpoint. Cost = seed + per-iteration template cost
+        scaled by the estimated iteration count + delta bookkeeping.
+        """
+        base_node, base_components, base_rows = self._fixpoint_base(rel)
+        components = base_components.snapshot()
+        width = rel.base_schema.row_width()
+        sel = 1.0
+        if pushable:
+            full_props = self.estimator.relation_props(rel)
+            base_names = base_node.schema.names()
+            for binding in pushable:
+                sel *= self.estimator.selectivity(binding.predicate,
+                                                  full_props)
+            sel = max(min(sel, 1.0), 1e-6)
+            components.merge(self.cost_model.filter_rows(base_rows))
+            base_node = FilterNode(
+                base_node,
+                conjoin([b.pushed(base_names) for b in pushable]),
+            )
+            base_rows = base_rows * sel
+            self._finish(base_node, base_rows, components)
+        b0, _growth, total, iterations = self.estimator.fixpoint_estimate(
+            rel, base_rows=base_rows, domain_fraction=sel,
+        )
+        delta_avg = max(total / max(iterations, 1.0), 1.0)
+        template_block = self.estimator.recursive_template_block(
+            rel, delta_avg)
+        self._restriction_depth += 1
+        try:
+            template = self.plan_block(template_block)
+        finally:
+            self._restriction_depth -= 1
+        self.metrics.nested_optimizations += 1
+        components.merge(_scale_ledger(template.est_components, iterations))
+        # Per-pass delta materialization plus the per-row fixpoint loop
+        # work (dedup probes, delta bookkeeping).
+        components.merge(_scale_ledger(
+            self.cost_model.materialize(delta_avg, width), iterations))
+        loop = CostLedger()
+        loop.charge_cpu(b0 + total)
+        components.merge(loop)
+        node = FixpointNode(base_node, template, rel.delta_param,
+                            rel.output_schema, rel.distinct,
+                            magic=bool(pushable),
+                            est_iterations=iterations)
+        node.site = None  # seed and template both end at the coordinator
+        self._finish(node, total, components)
+        if remaining:
+            components.merge(self.cost_model.filter_rows(total))
+            node = FilterNode(node, conjoin(list(remaining)))
+            self._finish(node, props.rows, components)
+        return self._partial(rel, node, props, components)
 
     def _index_access_plans(self, rel: StoredRelation, block: QueryBlock,
                             locals_: List[Expr], base: RelProps,
@@ -519,7 +646,7 @@ class Planner:
             else None
         )
         candidates: List[PartialPlan] = []
-        if (rel.kind in ("stored", "view", "filterset")
+        if (rel.kind in ("stored", "view", "filterset", "recursive")
                 and forced in (None, "full")
                 and forced_stored in (None, "hash", "merge", "nlj")):
             candidates.extend(self._standard_joins(

@@ -433,6 +433,45 @@ class FilterJoinNode(PlanNode):
         return "%s(%s) final=%s" % (kind, pairs, self.final_method.value)
 
 
+class FixpointNode(PlanNode):
+    """Semi-naive fixpoint evaluation of a recursive relation.
+
+    ``base`` computes iteration 0's rows (which double as the first
+    delta); ``template`` is the recursive branch's plan, containing a
+    :class:`FilterSetScanNode` leaf on ``delta_param`` that the executor
+    rebinds to the previous iteration's delta before each pass. With
+    ``distinct`` (UNION semantics) rows are deduplicated and the delta
+    keeps only genuinely new rows, guaranteeing termination; without it
+    (UNION ALL) every produced row joins both the output and the next
+    delta, bounded by ``max_fixpoint_iterations``.
+
+    ``magic`` marks the candidate whose base was restricted by bindings
+    pushed down from the consuming query (the recursive magic-sets
+    rewrite); the planner costs it against the full-fixpoint rival.
+    """
+
+    def __init__(self, base: PlanNode, template: PlanNode,
+                 delta_param: str, schema: Schema, distinct: bool,
+                 magic: bool = False, est_iterations: float = 0.0):
+        super().__init__(schema)
+        self.base = base
+        self.template = template
+        self.delta_param = delta_param
+        self.distinct = distinct
+        self.magic = magic
+        self.est_iterations = est_iterations
+
+    def children(self) -> List[PlanNode]:
+        return [self.base, self.template]
+
+    def label(self) -> str:
+        kind = "MagicFixpoint" if self.magic else "Fixpoint"
+        return "%s(%s%s, iters~%.0f)" % (
+            kind, self.delta_param,
+            "" if self.distinct else ", all", self.est_iterations,
+        )
+
+
 #: JoinMethod -> the short method name used by search traces and the
 #: per-method planner counters (``db.why_not`` accepts these)
 _JOIN_METHOD_LABELS = {
@@ -448,13 +487,20 @@ def method_label(node: PlanNode) -> str:
 
     Non-join roots (access paths, sorts layered for merge joins) are
     classified as ``"access"`` so per-method counters stay meaningful.
+    A residual filter layered on top of an access path is transparent:
+    the fixpoint candidates keep their magic/fixpoint identity even when
+    the query's remaining local predicates sit above them.
     """
+    while isinstance(node, FilterNode):
+        node = node.child
     if isinstance(node, JoinNode):
         return _JOIN_METHOD_LABELS[node.method]
     if isinstance(node, FilterJoinNode):
         return "bloom" if node.lossy else "filter_join"
     if isinstance(node, NestedIterationNode):
         return "nested_iteration"
+    if isinstance(node, FixpointNode):
+        return "magic" if node.magic else "fixpoint"
     if isinstance(node, FunctionJoinNode):
         return "function_%s" % node.mode
     return "access"

@@ -56,6 +56,10 @@ class Options:
       :class:`~repro.obs.opttrace.OptimizerTrace`. Forces a fresh
       optimization (the plan cache is bypassed for the statement) but
       never changes which plan wins.
+    - ``max_fixpoint_iterations``: cap on semi-naive fixpoint passes for
+      recursive queries
+      (:class:`~repro.errors.FixpointLimitExceeded` when exceeded —
+      the guard against ``UNION ALL`` recursion over cyclic data).
     """
 
     trace: Optional[bool] = None
@@ -64,6 +68,7 @@ class Options:
     memory_budget_bytes: Optional[float] = None
     engine: Optional[str] = None
     search_trace: Optional[bool] = None
+    max_fixpoint_iterations: Optional[int] = None
 
     def __post_init__(self):
         if self.engine is not None and self.engine not in ENGINES:
@@ -80,6 +85,12 @@ class Options:
             raise ValueError(
                 "memory_budget_bytes must be positive, got %r"
                 % (self.memory_budget_bytes,)
+            )
+        if (self.max_fixpoint_iterations is not None
+                and self.max_fixpoint_iterations <= 0):
+            raise ValueError(
+                "max_fixpoint_iterations must be positive, got %r"
+                % (self.max_fixpoint_iterations,)
             )
 
     def merged(self, over: Optional["Options"]) -> "Options":
@@ -111,7 +122,7 @@ class Options:
 #: the bottom of the resolution chain: what you get with no configure()
 #: and no per-call options
 BUILTIN = Options(trace=False, use_cache=False, engine="iterator",
-                  search_trace=False)
+                  search_trace=False, max_fixpoint_iterations=1000)
 
 OPTION_FIELDS = tuple(f.name for f in dataclasses.fields(Options))
 

@@ -26,8 +26,9 @@ from ..algebra.relations import (
     StoredRelation,
     VirtualRelation,
 )
-from ..errors import PlanError
-from ..expr.nodes import ColumnRef, Comparison, Expr, RuntimeMembership
+from ..errors import PlanError, RecursiveViewError
+from ..expr.nodes import ColumnRef, Comparison, Expr, InList, Literal, \
+    RuntimeMembership
 from ..storage.schema import Column, Schema
 
 
@@ -323,6 +324,14 @@ def magic_rewrite(block: QueryBlock, view_alias: str,
     view's bindable equi-join columns feed the filter set (default: all).
     """
     view = block.relation(view_alias)
+    if view.kind == "recursive":
+        raise RecursiveViewError(
+            "%r is a recursive view: Figure-2 magic rewriting only applies "
+            "to non-recursive views; recursive relations get magic-sets "
+            "restriction through the planner's fixpoint candidates instead"
+            % view_alias,
+            view_name=getattr(view, "view_name", view_alias),
+        )
     if view.kind != "view":
         raise PlanError("%r is not a view in this block" % view_alias)
     other_aliases = [r.alias for r in block.relations if r.alias != view_alias]
@@ -470,3 +479,107 @@ def magic_rewrite(block: QueryBlock, view_alias: str,
         view_alias=view_alias,
         bound_columns=[vcol for _, vcol in chosen],
     )
+
+
+# ------------------------------------------------- recursive magic sets
+
+def magic_safe_positions(relation) -> set:
+    """Output positions of a recursive relation whose value passes
+    *unchanged* from the delta through the recursive branch.
+
+    A position is safe when the recursive branch's select item at that
+    position is a direct reference to the delta's column at the same
+    position. For such a column, every recursive output row inherits its
+    value from some delta row, so by induction
+    ``fixpoint(sigma(base)) == sigma(fixpoint(base))`` for any predicate
+    over safe columns — the magic-sets condition for pushing query
+    bindings into the fixpoint seed.
+    """
+    block = relation.recursive_block
+    delta_alias = None
+    delta_names: List[str] = []
+    for rel in block.relations:
+        if getattr(rel, "param_id", None) == relation.delta_param:
+            delta_alias = rel.alias
+            delta_names = rel.base_schema.names()
+    if delta_alias is None or not block.select_items:
+        return set()
+    safe = set()
+    for pos, item in enumerate(block.select_items):
+        expr = item.expr
+        if not isinstance(expr, ColumnRef) or "." not in expr.name:
+            continue
+        alias, col = expr.name.split(".", 1)
+        if alias != delta_alias:
+            continue
+        try:
+            if delta_names.index(col) == pos:
+                safe.add(pos)
+        except ValueError:
+            pass
+    return safe
+
+
+@dataclass
+class RecursiveBinding:
+    """One query binding pushable into a recursive relation's seed."""
+
+    position: int          # output column position it restricts
+    predicate: Expr        # the original (qualified) predicate
+
+    def pushed(self, base_names: Sequence[str]) -> Expr:
+        """The same restriction, renamed onto a base plan's output."""
+        target = ColumnRef(base_names[self.position])
+        pred = self.predicate
+        if isinstance(pred, Comparison):
+            if isinstance(pred.left, Literal):
+                pred = pred.flipped()
+            return Comparison(pred.op, target, pred.right)
+        if isinstance(pred, InList):
+            return InList(target, pred.values, negated=False)
+        raise PlanError("predicate %r is not pushable" % pred.display())
+
+
+def recursive_magic_bindings(relation, predicates):
+    """Split a consuming block's local predicates over ``relation`` into
+    ``(pushable, remaining)``.
+
+    Pushable predicates are literal comparisons (or non-negated IN lists)
+    over magic-safe output columns; they may seed the fixpoint. Everything
+    else stays above the fixpoint. Restriction commutes with the fixpoint
+    only on safe columns, so this is deliberately conservative.
+    """
+    safe = magic_safe_positions(relation)
+    if not safe:
+        return [], list(predicates)
+    pos_by_name = {
+        "%s.%s" % (relation.alias, name): pos
+        for pos, name in enumerate(relation.base_schema.names())
+    }
+    pushable: List[RecursiveBinding] = []
+    remaining: List[Expr] = []
+    for pred in predicates:
+        pos = _pushable_position(pred, pos_by_name, safe)
+        if pos is None:
+            remaining.append(pred)
+        else:
+            pushable.append(RecursiveBinding(pos, pred))
+    return pushable, remaining
+
+
+def _pushable_position(pred, pos_by_name, safe):
+    if isinstance(pred, Comparison):
+        left, right = pred.left, pred.right
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            left, right = right, left
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            pos = pos_by_name.get(left.name)
+            if pos is not None and pos in safe:
+                return pos
+        return None
+    if isinstance(pred, InList) and not pred.negated \
+            and isinstance(pred.operand, ColumnRef):
+        pos = pos_by_name.get(pred.operand.name)
+        if pos is not None and pos in safe:
+            return pos
+    return None

@@ -13,8 +13,9 @@ start with a backslash:
                    pruning verdict, plus parametric-coster anchors)
     \\whynot METHOD SELECT ...
                    why the chosen plan does not use METHOD (e.g.
-                   filter_join, bloom, hash): the nearest rejected
-                   candidate and the ledger terms that lost it
+                   filter_join, bloom, hash, magic, fixpoint): the
+                   nearest rejected candidate and the ledger terms
+                   that lost it
     \\config        show the optimizer configuration
     \\set           show the active execution option set (engine, trace,
                     timeout, ...) — the database's repro.Options defaults

@@ -176,11 +176,31 @@ class CreateTableAsStmt:
 
 
 @dataclass
+class CteDef:
+    """One ``name [(cols)] AS ( query )`` entry of a WITH clause."""
+
+    name: str
+    column_aliases: Optional[List[str]]
+    query: "Statement"  # SelectStmt or UnionStmt
+
+
+@dataclass
+class WithStmt:
+    """``WITH [RECURSIVE] cte [, cte ...] body`` — the body is a SELECT
+    or UNION that may reference the named CTEs in its FROM lists."""
+
+    recursive: bool
+    ctes: List[CteDef]
+    body: "Statement"  # SelectStmt or UnionStmt
+
+
+@dataclass
 class CreateViewStmt:
     name: str
     column_aliases: Optional[List[str]]
     select: SelectStmt
     select_text: str  # original SQL text of the view body, for the catalog
+    recursive: bool = False
 
 
 @dataclass
@@ -208,6 +228,6 @@ class ExplainStmt:
 
 
 Statement = Union[
-    SelectStmt, UnionStmt, CreateTableStmt, CreateTableAsStmt,
+    SelectStmt, UnionStmt, WithStmt, CreateTableStmt, CreateTableAsStmt,
     CreateViewStmt, CreateIndexStmt, InsertStmt, DropStmt, ExplainStmt,
 ]

@@ -16,8 +16,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..algebra.block import QueryBlock, SelectItem, UnionQuery
-from ..algebra.relations import RelationRef, StoredRelation, VirtualRelation
-from ..errors import BindError
+from ..algebra.relations import (
+    FilterSetRelation,
+    RecursiveRelation,
+    RelationRef,
+    StoredRelation,
+    VirtualRelation,
+)
+from ..errors import BindError, RecursiveViewError
 from ..expr.aggregates import AGGREGATE_FUNCTIONS, AggregateSpec
 from ..expr.nodes import (
     Arithmetic,
@@ -30,6 +36,7 @@ from ..expr.nodes import (
     Parameter,
 )
 from ..storage.catalog import Catalog
+from ..storage.schema import Schema
 from . import ast
 from .parser import parse, parse_select
 
@@ -49,6 +56,18 @@ class Binder:
         # `?` placeholders bound so far, by 0-based index; the prepared-
         # statement machinery binds values onto these exact nodes
         self.parameters: Dict[int, Parameter] = {}
+        # WITH-clause state, scoped to one statement (a Binder instance
+        # is created per statement, so delta parameter ids are
+        # deterministic for a given SQL text)
+        self._cte_defs: Dict[str, ast.CteDef] = {}
+        self._cte_recursive: Dict[str, bool] = {}
+        self._cte_expanding: set = set()
+        # name (lowercase) -> (delta schema, param id) while binding the
+        # recursive branch of that relation: a self-reference binds to a
+        # FilterSetRelation carrying the previous iteration's delta
+        self._active_delta: Dict[str, Tuple[Schema, str]] = {}
+        self._view_expanding: set = set()
+        self._delta_counter = 0
 
     def parameter_list(self) -> List[Parameter]:
         """All Parameter nodes created while binding, in index order."""
@@ -160,6 +179,31 @@ class Binder:
         union.validate()
         return union
 
+    def bind_with(self, stmt: ast.WithStmt, depth: int = 0):
+        """Bind a ``WITH [RECURSIVE]`` statement.
+
+        The CTE definitions are registered (statement-scoped, shadowing
+        catalog relations of the same name) and the body is bound
+        normally; references to a CTE name expand it in
+        :meth:`_bind_from_item`. Returns a QueryBlock or UnionQuery.
+        """
+        registered = []
+        for cte in stmt.ctes:
+            key = cte.name.lower()
+            if key in self._cte_defs:
+                raise BindError("duplicate CTE name %r" % cte.name)
+            self._cte_defs[key] = cte
+            self._cte_recursive[key] = stmt.recursive
+            registered.append(key)
+        try:
+            if isinstance(stmt.body, ast.UnionStmt):
+                return self.bind_union(stmt.body, depth)
+            return self.bind(stmt.body, depth)
+        finally:
+            for key in registered:
+                self._cte_defs.pop(key, None)
+                self._cte_recursive.pop(key, None)
+
     def _rewrite_in_subqueries(self, where: Optional[ast.AstExpr],
                                original_scope: "_Scope",
                                relations: List[RelationRef],
@@ -242,26 +286,216 @@ class Binder:
         assert isinstance(item, ast.AstTableRef)
         alias = item.alias or item.name
         key = item.name.lower()
+        if key in self._active_delta:
+            # self-reference inside a recursive branch: bind to the
+            # delta relation of the enclosing fixpoint
+            schema, param_id = self._active_delta[key]
+            return FilterSetRelation(alias, schema, param_id)
+        if key in self._cte_defs:
+            return self._bind_cte(key, alias, depth)
         if self.catalog.has_table(item.name):
             table = self.catalog.table(item.name)
             site = _table_site(self.catalog, item.name)
             return StoredRelation(alias, table, site=site)
         if self.catalog.has_view(item.name):
             view = self.catalog.view(item.name)
-            parsed = parse(view.sql_text)
-            if isinstance(parsed, ast.UnionStmt):
-                block = self.bind_union(parsed, depth + 1)
-            elif isinstance(parsed, ast.SelectStmt):
-                block = self.bind(parsed, depth + 1)
-            else:
-                raise BindError(
-                    "view %s must be defined by a query" % view.name
+            if key in self._view_expanding:
+                raise RecursiveViewError(
+                    "view %r references itself; declare it with "
+                    "CREATE RECURSIVE VIEW" % view.name,
+                    view_name=view.name,
                 )
+            parsed = parse(view.sql_text)
+            if view.recursive:
+                return self._bind_recursive(
+                    view.name, view.column_aliases, parsed, alias, depth)
+            self._view_expanding.add(key)
+            try:
+                if isinstance(parsed, ast.UnionStmt):
+                    block = self.bind_union(parsed, depth + 1)
+                elif isinstance(parsed, ast.SelectStmt):
+                    block = self.bind(parsed, depth + 1)
+                else:
+                    raise BindError(
+                        "view %s must be defined by a query" % view.name
+                    )
+            finally:
+                self._view_expanding.discard(key)
             return VirtualRelation(alias, view.name, block,
                                    column_aliases=view.column_aliases)
         if key in self.functions:
             return self.functions[key](alias)
         raise BindError("unknown relation %r" % item.name)
+
+    # ----------------------------------------------- CTEs and recursion
+
+    def _bind_cte(self, key: str, alias: str, depth: int) -> RelationRef:
+        cte = self._cte_defs[key]
+        if key in self._cte_expanding:
+            raise RecursiveViewError(
+                "CTE %r references itself through another relation; "
+                "mutual recursion is not supported" % cte.name,
+                view_name=cte.name,
+            )
+        if _query_self_refs(cte.query, key):
+            if not self._cte_recursive[key]:
+                raise RecursiveViewError(
+                    "CTE %r references itself; use WITH RECURSIVE"
+                    % cte.name,
+                    view_name=cte.name,
+                )
+            return self._bind_recursive(
+                cte.name, cte.column_aliases, cte.query, alias, depth)
+        self._cte_expanding.add(key)
+        try:
+            if isinstance(cte.query, ast.UnionStmt):
+                block = self.bind_union(cte.query, depth + 1)
+            else:
+                block = self.bind(cte.query, depth + 1)
+        finally:
+            self._cte_expanding.discard(key)
+        return VirtualRelation(alias, cte.name, block,
+                               column_aliases=cte.column_aliases)
+
+    def _bind_recursive(self, name: str, column_aliases, stmt, alias: str,
+                        depth: int) -> RelationRef:
+        """Bind a recursive definition (CTE under WITH RECURSIVE, or a
+        CREATE RECURSIVE VIEW body) into a :class:`RecursiveRelation`.
+
+        The supported shape is *linear* recursion: one or more base
+        branches UNION [ALL] exactly one recursive branch containing
+        exactly one direct self-reference. The self-reference is bound
+        as a delta FilterSetRelation, making the recursive branch the
+        semi-naive template.
+        """
+        key = name.lower()
+        if isinstance(stmt, ast.SelectStmt):
+            direct, nested = _select_self_refs(stmt, key)
+            if direct or nested:
+                raise RecursiveViewError(
+                    "recursive relation %r must be a UNION of base "
+                    "branches and one recursive branch" % name,
+                    view_name=name,
+                )
+            block = self.bind(stmt, depth + 1)
+            return VirtualRelation(alias, name, block,
+                                   column_aliases=column_aliases)
+        if not isinstance(stmt, ast.UnionStmt):
+            raise RecursiveViewError(
+                "recursive relation %r must be defined by a query" % name,
+                view_name=name,
+            )
+        base_parts: List[ast.SelectStmt] = []
+        rec_parts: List[ast.SelectStmt] = []
+        for part in stmt.parts:
+            direct, nested = _select_self_refs(part, key)
+            if nested:
+                raise RecursiveViewError(
+                    "recursive relation %r references itself inside a "
+                    "subquery, which is not supported" % name,
+                    view_name=name,
+                )
+            if direct == 0:
+                base_parts.append(part)
+            elif direct == 1:
+                rec_parts.append(part)
+            else:
+                raise RecursiveViewError(
+                    "non-linear recursion in %r: a branch references it "
+                    "%d times (exactly one self-reference is supported)"
+                    % (name, direct),
+                    view_name=name,
+                )
+        if not rec_parts:
+            # declared RECURSIVE but never self-references: plain view
+            union = self.bind_union(stmt, depth + 1)
+            return VirtualRelation(alias, name, union,
+                                   column_aliases=column_aliases)
+        if len(rec_parts) > 1:
+            raise RecursiveViewError(
+                "non-linear recursion in %r: %d branches reference it "
+                "(exactly one recursive branch is supported)"
+                % (name, len(rec_parts)),
+                view_name=name,
+            )
+        if not base_parts:
+            raise RecursiveViewError(
+                "recursive relation %r has no non-recursive base branch"
+                % name,
+                view_name=name,
+            )
+        if stmt.order_by or stmt.limit is not None:
+            raise RecursiveViewError(
+                "ORDER BY / LIMIT are not supported on the recursive "
+                "definition of %r; apply them in the consuming query"
+                % name,
+                view_name=name,
+            )
+        rec_part = rec_parts[0]
+        if rec_part.group_by or _mentions_aggregate(rec_part):
+            raise RecursiveViewError(
+                "aggregates are not allowed in the recursive branch of %r"
+                % name,
+                view_name=name,
+            )
+        distinct = not all(stmt.all_flags)
+        self._cte_expanding.add(key)
+        try:
+            base_blocks = [self.bind(part, depth + 1)
+                           for part in base_parts]
+            delta_schema = self._apply_column_aliases(
+                self._union_schema(base_blocks, name), column_aliases, name)
+            param_id = "delta%d" % self._delta_counter
+            self._delta_counter += 1
+            self._active_delta[key] = (delta_schema, param_id)
+            try:
+                recursive_block = self.bind(rec_part, depth + 1)
+            finally:
+                del self._active_delta[key]
+        finally:
+            self._cte_expanding.discard(key)
+        rec_schema = recursive_block.output_schema()
+        if len(rec_schema) != len(delta_schema):
+            raise RecursiveViewError(
+                "recursive branch of %r produces %d columns but its "
+                "base produces %d" % (name, len(rec_schema),
+                                      len(delta_schema)),
+                view_name=name,
+            )
+        schema = self._apply_column_aliases(
+            self._union_schema(base_blocks + [recursive_block], name),
+            column_aliases, name)
+        return RecursiveRelation(alias, name, base_blocks, recursive_block,
+                                 param_id, schema, distinct=distinct)
+
+    def _union_schema(self, blocks, name: str) -> Schema:
+        """Union-compatible output schema of ``blocks`` (INT/FLOAT
+        promotion), raising a typed error naming the recursive view."""
+        if len(blocks) == 1:
+            return blocks[0].output_schema()
+        probe = UnionQuery(list(blocks), [True] * (len(blocks) - 1), [], None)
+        try:
+            return probe.output_schema()
+        except BindError as exc:
+            raise RecursiveViewError(
+                "branches of recursive relation %r are not "
+                "union-compatible: %s" % (name, exc),
+                view_name=name,
+            )
+
+    @staticmethod
+    def _apply_column_aliases(schema: Schema, aliases, name: str) -> Schema:
+        if aliases is None:
+            return schema
+        if len(aliases) != len(schema):
+            raise RecursiveViewError(
+                "%s declares %d columns but its query produces %d"
+                % (name, len(aliases), len(schema)),
+                view_name=name,
+            )
+        return Schema(
+            col.renamed(a) for col, a in zip(schema.columns, aliases)
+        )
 
     # -------------------------------------------------------- SELECT list
 
@@ -475,6 +709,48 @@ class _AggregateCollector:
         if isinstance(argument, ColumnRef):
             return "%s_%s" % (function, argument.name.split(".")[-1])
         return "%s_expr" % function
+
+
+def _select_self_refs(select: ast.SelectStmt, key: str) -> Tuple[int, int]:
+    """Count references to relation ``key`` in one SELECT: ``(direct,
+    nested)`` where direct refs sit in this statement's FROM list and
+    nested refs hide inside subqueries (FROM or IN)."""
+    direct = 0
+    nested = 0
+    for item in select.from_items:
+        if isinstance(item, ast.AstTableRef):
+            if item.name.lower() == key:
+                direct += 1
+        else:
+            d, n = _select_self_refs(item.select, key)
+            nested += d + n
+    nested += _expr_self_refs(select.where, key)
+    nested += _expr_self_refs(select.having, key)
+    return direct, nested
+
+
+def _expr_self_refs(node, key: str) -> int:
+    if node is None:
+        return 0
+    if isinstance(node, ast.AstInSubquery):
+        d, n = _select_self_refs(node.select, key)
+        return d + n + _expr_self_refs(node.operand, key)
+    if isinstance(node, ast.AstBoolean):
+        return sum(_expr_self_refs(a, key) for a in node.args)
+    if isinstance(node, (ast.AstComparison, ast.AstArithmetic)):
+        return (_expr_self_refs(node.left, key)
+                + _expr_self_refs(node.right, key))
+    return 0
+
+
+def _query_self_refs(query, key: str) -> int:
+    """Total self-references (direct + nested) in a SELECT or UNION."""
+    parts = query.parts if isinstance(query, ast.UnionStmt) else [query]
+    total = 0
+    for part in parts:
+        direct, nested = _select_self_refs(part, key)
+        total += direct + nested
+    return total
 
 
 def _flatten_conjuncts(expr: Expr) -> List[Expr]:

@@ -18,7 +18,7 @@ KEYWORDS = {
     "UNION", "ALL", "AS", "CREATE", "TABLE",
     "VIEW", "INSERT", "INTO", "VALUES", "INT", "INTEGER", "FLOAT", "REAL",
     "VARCHAR", "TEXT", "BOOLEAN", "BOOL", "TRUE", "FALSE", "NULL", "ON",
-    "INDEX", "DROP", "EXPLAIN", "LIMIT",
+    "INDEX", "DROP", "EXPLAIN", "LIMIT", "WITH", "RECURSIVE",
 }
 
 SYMBOLS = (

@@ -2,8 +2,10 @@
 
 Grammar (informal):
 
-    statement     := select | create_table | create_view | create_index
-                   | insert | drop | explain
+    statement     := select | with | create_table | create_view
+                   | create_index | insert | drop | explain
+    with          := WITH [RECURSIVE] cte (',' cte)* select
+    cte           := ident ['(' ident (',' ident)* ')'] AS '(' select ')'
     select        := SELECT [DISTINCT] select_list FROM from_list
                      [WHERE expr] [GROUP BY columns] [HAVING expr]
                      [ORDER BY order_items] [LIMIT n]
@@ -131,8 +133,12 @@ class Parser:
         token = self.peek()
         if token.is_keyword("SELECT"):
             return self.parse_query()
+        if token.is_keyword("WITH"):
+            return self._with_statement()
         if token.is_keyword("EXPLAIN"):
             self.advance()
+            if self.peek().is_keyword("WITH"):
+                return ast.ExplainStmt(self._with_statement())
             return ast.ExplainStmt(self.parse_query())
         if token.is_keyword("CREATE"):
             return self._create()
@@ -167,6 +173,7 @@ class Parser:
                     break
             self.expect_symbol(")")
             return ast.CreateTableStmt(name, columns)
+        recursive = self.accept_keyword("RECURSIVE")
         if self.accept_keyword("VIEW"):
             name = self.expect_ident()
             column_aliases: Optional[List[str]] = None
@@ -185,7 +192,10 @@ class Parser:
                 self.expect_symbol(")")
                 # strip the close paren from the captured text if present
                 select_text = self.text[start:self.tokens[self.pos - 1].position].strip()
-            return ast.CreateViewStmt(name, column_aliases, select, select_text)
+            return ast.CreateViewStmt(name, column_aliases, select,
+                                      select_text, recursive=recursive)
+        if recursive:
+            raise self.error("expected VIEW after CREATE RECURSIVE")
         if self.accept_keyword("INDEX"):
             # CREATE INDEX ON table (column) — kind defaults to hash
             self.expect_keyword("ON")
@@ -200,6 +210,30 @@ class Parser:
                 kind = self.advance().text.lower()
             return ast.CreateIndexStmt(table, column, kind)
         raise self.error("expected TABLE, VIEW, or INDEX after CREATE")
+
+    def _with_statement(self) -> ast.WithStmt:
+        """WITH [RECURSIVE] name [(cols)] AS ( query ) [, ...] body."""
+        self.expect_keyword("WITH")
+        recursive = self.accept_keyword("RECURSIVE")
+        ctes = [self._cte_def()]
+        while self.accept_symbol(","):
+            ctes.append(self._cte_def())
+        body = self.parse_query()
+        return ast.WithStmt(recursive, ctes, body)
+
+    def _cte_def(self) -> ast.CteDef:
+        name = self.expect_ident()
+        column_aliases: Optional[List[str]] = None
+        if self.accept_symbol("("):
+            column_aliases = [self.expect_ident()]
+            while self.accept_symbol(","):
+                column_aliases.append(self.expect_ident())
+            self.expect_symbol(")")
+        self.expect_keyword("AS")
+        self.expect_symbol("(")
+        query = self.parse_query()
+        self.expect_symbol(")")
+        return ast.CteDef(name, column_aliases, query)
 
     def _insert(self) -> ast.InsertStmt:
         self.expect_keyword("INSERT")

@@ -88,11 +88,17 @@ class TableStats:
 
 @dataclass
 class ViewDefinition:
-    """A named view: SQL text plus optional output column aliases."""
+    """A named view: SQL text plus optional output column aliases.
+
+    ``recursive`` marks a ``CREATE RECURSIVE VIEW``: its body may
+    reference the view's own name and is bound to a fixpoint relation
+    instead of an ordinary virtual relation.
+    """
 
     name: str
     sql_text: str
     column_aliases: Optional[List[str]] = None
+    recursive: bool = False
 
 
 def compute_table_stats(table: Table, num_buckets: int = 20,
@@ -198,13 +204,15 @@ class Catalog:
     # ----------------------------------------------------------------- views
 
     def create_view(self, name: str, sql_text: str,
-                    column_aliases: Optional[Sequence[str]] = None) -> ViewDefinition:
+                    column_aliases: Optional[Sequence[str]] = None,
+                    recursive: bool = False) -> ViewDefinition:
         key = name.lower()
         if key in self._tables or key in self._views:
             raise CatalogError("relation %r already exists" % name)
         view = ViewDefinition(
             name, sql_text,
             list(column_aliases) if column_aliases else None,
+            recursive=recursive,
         )
         self._views[key] = view
         self.bump_version()

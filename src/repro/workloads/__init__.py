@@ -9,17 +9,31 @@ from .empdept import (
     build_empdept,
     fresh_empdept,
 )
+from .graphs import (
+    TC_QUERY,
+    GraphConfig,
+    build_graph,
+    fresh_graph,
+    graph_edges,
+    tc_query,
+)
 from .star import StarConfig, build_star, fresh_star
 
 __all__ = [
     "BIG_BUDGET_THRESHOLD",
     "DEP_AVG_SAL_VIEW",
     "EmpDeptConfig",
+    "GraphConfig",
     "MOTIVATING_QUERY",
     "StarConfig",
+    "TC_QUERY",
     "YOUNG_AGE_THRESHOLD",
     "build_empdept",
+    "build_graph",
     "build_star",
     "fresh_empdept",
+    "fresh_graph",
     "fresh_star",
+    "graph_edges",
+    "tc_query",
 ]

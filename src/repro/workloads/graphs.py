@@ -1,0 +1,125 @@
+"""Deterministic graph workloads for recursive-query experiments.
+
+One ``Edge(src, dst)`` table per shape. The shapes cover the regimes
+that decide whether magic-sets restriction of a fixpoint pays off:
+
+- ``chain``: a single path 1 -> 2 -> ... -> n. Reachability from one
+  node still walks most of the chain, so magic saves little per pass
+  while the iteration count stays high.
+- ``tree``: a complete k-ary tree. Reachability from one node touches
+  only its subtree — the magic sweet spot.
+- ``dag``: layered random DAG with forward edges only (acyclic, dense).
+- ``cycle``: one directed ring, optionally with self-loops; terminates
+  under UNION semantics, diverges under UNION ALL (the
+  ``FixpointLimitExceeded`` regime).
+- ``star``: a hub fanning out to satellites that fan back into a second
+  hub; bounded reachability from a satellite is tiny versus the full
+  closure (the benchmark's >=3x case).
+- ``random``: seeded Erdos-Renyi-ish digraph, cycles allowed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..database import Database
+from ..storage.schema import DataType
+
+#: the canonical transitive-closure query shape used by tests/benchmarks
+TC_QUERY = """
+WITH RECURSIVE tc(x, y) AS (
+  SELECT src, dst FROM Edge
+  UNION
+  SELECT t.x, e.dst FROM tc t, Edge e WHERE t.y = e.src
+)
+SELECT x, y FROM tc%s ORDER BY x, y
+"""
+
+
+def tc_query(where: str = "") -> str:
+    """The transitive-closure query, optionally restricted (e.g.
+    ``tc_query("WHERE x = 1")`` for bounded reachability)."""
+    return TC_QUERY % ((" " + where) if where else "")
+
+
+@dataclass
+class GraphConfig:
+    shape: str = "chain"      # chain|tree|dag|cycle|star|random
+    num_nodes: int = 24
+    branching: int = 2        # tree arity / dag layer width / star arms
+    edge_prob: float = 0.15   # random-shape edge probability
+    self_loops: int = 0       # extra v->v edges (cycle/random shapes)
+    seed: int = 7
+
+
+def graph_edges(config: GraphConfig) -> List[Tuple[int, int]]:
+    """The edge list for a config, deterministic in the seed."""
+    rng = random.Random(config.seed)
+    n = max(config.num_nodes, 1)
+    shape = config.shape
+    edges: List[Tuple[int, int]] = []
+    if shape == "chain":
+        edges = [(i, i + 1) for i in range(1, n)]
+    elif shape == "tree":
+        k = max(config.branching, 2)
+        edges = [((child - 2) // k + 1, child) for child in range(2, n + 1)]
+    elif shape == "dag":
+        width = max(config.branching, 2)
+        for v in range(2, n + 1):
+            lo = max(1, v - width * 2)
+            parents = rng.sample(range(lo, v), min(width, v - lo))
+            edges.extend((p, v) for p in sorted(parents))
+    elif shape == "cycle":
+        edges = [(i, i + 1) for i in range(1, n)] + [(n, 1)]
+    elif shape == "star":
+        arms = max(config.branching, 2)
+        hub, sink = 1, n
+        satellites = list(range(2, n))
+        for i, v in enumerate(satellites):
+            if i % arms == 0:
+                edges.append((hub, v))
+            edges.append((v, sink))
+    elif shape == "random":
+        for u in range(1, n + 1):
+            for v in range(1, n + 1):
+                if u != v and rng.random() < config.edge_prob:
+                    edges.append((u, v))
+    else:
+        raise ValueError("unknown graph shape %r" % shape)
+    loops = min(config.self_loops, n)
+    if loops:
+        nodes = rng.sample(range(1, n + 1), loops)
+        edges.extend((v, v) for v in sorted(nodes))
+    # dedup, stable order
+    seen, out = set(), []
+    for e in edges:
+        if e not in seen:
+            seen.add(e)
+            out.append(e)
+    return out
+
+
+def build_graph(db: Database, config: Optional[GraphConfig] = None,
+                site: Optional[str] = None) -> Database:
+    """Create and populate ``Edge`` in ``db``; returns the db."""
+    config = config or GraphConfig()
+    columns = [("src", DataType.INT), ("dst", DataType.INT)]
+    if site is not None:
+        db.create_table("Edge", columns, site=site)
+    else:
+        db.create_table("Edge", columns)
+    edges = graph_edges(config)
+    if edges:
+        db.insert("Edge", edges)
+    db.analyze()
+    return db
+
+
+def fresh_graph(config: Optional[GraphConfig] = None,
+                **db_kwargs) -> Database:
+    """A new single-site database holding one graph."""
+    from .. import connect
+
+    return build_graph(connect(**db_kwargs), config)

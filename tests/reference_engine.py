@@ -4,30 +4,135 @@ Evaluates a :class:`QueryBlock` by full cross product + filtering, with
 no optimizer and no physical operators, sharing only the expression
 interpreter with the engine under test. Differential tests compare the
 real engine's answers against this oracle.
+
+Recursive relations are evaluated by *naive* fixpoint: every round
+rebinds the full accumulated result as the self-reference and
+re-derives everything from scratch, stopping when a round adds nothing
+new. That is deliberately different machinery from the engine's
+semi-naive delta evaluation — both compute the least fixpoint of the
+same monotone rule, so disagreement means a bug on one side.
+
+``env`` maps a filter-set/delta ``param_id`` to the rows bound to it;
+it threads through nested relation references so the recursive branch's
+self-reference (a filterset relation in the bound form) reads the
+oracle's current approximation.
 """
 
 from __future__ import annotations
 
 from itertools import product
-from typing import List
+from typing import Dict, List, Optional
 
-from repro.algebra.block import QueryBlock
+from repro.algebra.block import QueryBlock, UnionQuery
 from repro.expr.aggregates import Accumulator
 
+#: naive-fixpoint round cap; oracle inputs are built to converge long
+#: before this, so hitting it means non-termination (a test bug)
+MAX_NAIVE_ITERATIONS = 10_000
 
-def relation_rows_naive(relation) -> List[tuple]:
+
+def relation_rows_naive(relation, env: Optional[Dict] = None) -> List[tuple]:
+    env = env or {}
     if relation.kind == "stored":
         return list(relation.table.rows)
     if relation.kind == "view":
-        return evaluate_block_naive(relation.block)
+        return evaluate_query_naive(relation.block, env)
+    if relation.kind == "filterset":
+        try:
+            return list(env[relation.param_id])
+        except KeyError:
+            raise NotImplementedError(
+                "filter set %r is not bound in the naive environment"
+                % relation.param_id
+            )
+    if relation.kind == "recursive":
+        return evaluate_recursive_naive(relation, env)
     raise NotImplementedError(
         "naive evaluation of %r relations" % relation.kind
     )
 
 
-def evaluate_block_naive(block: QueryBlock) -> List[tuple]:
+def evaluate_query_naive(query, env: Optional[Dict] = None) -> List[tuple]:
+    """Evaluate a bound query (block or UNION chain) naively."""
+    env = env or {}
+    if isinstance(query, UnionQuery):
+        rows = list(evaluate_block_naive(query.parts[0], env))
+        for all_flag, part in zip(query.all_flags, query.parts[1:]):
+            rows.extend(evaluate_block_naive(part, env))
+            if not all_flag:
+                seen, dedup = set(), []
+                for row in rows:
+                    if row not in seen:
+                        seen.add(row)
+                        dedup.append(row)
+                rows = dedup
+        if query.order_by:
+            schema = query.output_schema()
+            for ref, ascending in reversed(query.order_by):
+                position = schema.index_of(ref.name)
+                rows.sort(
+                    key=lambda r: (r[position] is not None, r[position]),
+                    reverse=not ascending,
+                )
+        if query.limit is not None:
+            rows = rows[:query.limit]
+        return rows
+    return evaluate_block_naive(query, env)
+
+
+def evaluate_recursive_naive(relation, env: Optional[Dict] = None,
+                             max_iterations: int = MAX_NAIVE_ITERATIONS
+                             ) -> List[tuple]:
+    """Naive fixpoint of a bound :class:`RecursiveRelation`.
+
+    UNION semantics: rebind the *entire* accumulated set each round
+    until nothing new appears. UNION ALL semantics follow the SQL
+    definition directly — the output is the base rows plus the chain of
+    per-round derivations, each round feeding only on the previous
+    round's rows (guaranteed finite only on acyclic data).
+    """
+    env = dict(env or {})
+    base: List[tuple] = []
+    for block in relation.base_blocks:
+        base.extend(evaluate_block_naive(block, env))
+
+    if relation.distinct:
+        seen, out = set(), []
+        for row in base:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        for _ in range(max_iterations):
+            env[relation.delta_param] = list(out)
+            produced = evaluate_block_naive(relation.recursive_block, env)
+            grew = False
+            for row in produced:
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+                    grew = True
+            if not grew:
+                return out
+    else:
+        out = list(base)
+        delta = list(base)
+        for _ in range(max_iterations):
+            if not delta:
+                return out
+            env[relation.delta_param] = delta
+            delta = evaluate_block_naive(relation.recursive_block, env)
+            out.extend(delta)
+    raise RuntimeError(
+        "naive fixpoint of %r did not converge within %d rounds"
+        % (relation.alias, max_iterations)
+    )
+
+
+def evaluate_block_naive(block: QueryBlock,
+                         env: Optional[Dict] = None) -> List[tuple]:
+    env = env or {}
     combined = block.combined_schema()
-    inputs = [relation_rows_naive(rel) for rel in block.relations]
+    inputs = [relation_rows_naive(rel, env) for rel in block.relations]
     predicates = [p.resolve(combined) for p in block.predicates]
 
     joined = []

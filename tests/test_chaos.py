@@ -194,3 +194,90 @@ def test_site_down_schedule_with_cached_plan(db, baseline):
     assert sorted(result.rows) == baseline
     assert db.degradation_events
     restore(db)
+
+
+# ------------------------------------- recursive fixpoint under chaos
+
+from repro import FixpointLimitExceeded  # noqa: E402
+from repro.workloads import GraphConfig, build_graph, tc_query  # noqa: E402
+
+RECURSIVE_QUERY = tc_query("WHERE x = 1")
+N_RECURSIVE = max(10, N_SCHEDULES // 4)
+
+
+def build_recursive_db():
+    db = DistributedDatabase(distributed_config(2.0, 0.005))
+    build_graph(db, GraphConfig("tree", num_nodes=30, branching=3),
+                site="west")
+    return db
+
+
+@pytest.fixture(scope="module")
+def rec_db():
+    return build_recursive_db()
+
+
+@pytest.fixture(scope="module")
+def rec_baseline(rec_db):
+    return sorted(rec_db.sql(RECURSIVE_QUERY).rows)
+
+
+REC_OUTCOMES = {"exact_under_faults": 0, "timeout": 0, "degraded_exact": 0}
+
+
+@pytest.mark.parametrize("seed", range(N_RECURSIVE))
+def test_chaos_recursive_schedule(rec_db, rec_baseline, seed):
+    """The chaos property extended to fixpoints: a distributed
+    transitive-closure query under any fault schedule returns exactly
+    the fault-free closure or raises a typed error — never a wrong or
+    partial closure, even when a site dies between iterations."""
+    plan, timeout, use_cache = schedule_for_seed(seed + 5_000)
+    restore(rec_db)
+    rec_db.set_fault_plan(plan, seed=seed)
+    try:
+        result = rec_db.sql(RECURSIVE_QUERY, timeout=timeout,
+                            use_cache=use_cache)
+    except QueryTimeout:
+        REC_OUTCOMES["timeout"] += 1
+    except (SiteUnavailable, FixpointLimitExceeded):
+        pass
+    except ReproError as exc:  # pragma: no cover - would be a bug
+        pytest.fail("unexpected typed error %r under seed %d" % (exc, seed))
+    else:
+        assert sorted(result.rows) == rec_baseline, \
+            "wrong closure under fault schedule seed %d" % seed
+        if rec_db.degradation_events:
+            REC_OUTCOMES["degraded_exact"] += 1
+        elif plan.active:
+            REC_OUTCOMES["exact_under_faults"] += 1
+    finally:
+        restore(rec_db)
+
+
+def test_recursive_regimes_exercised():
+    if N_SCHEDULES < 200:
+        pytest.skip("regime coverage is only asserted on the full sweep")
+    assert REC_OUTCOMES["exact_under_faults"] > 0, REC_OUTCOMES
+    assert REC_OUTCOMES["timeout"] > 0, REC_OUTCOMES
+
+
+def test_deadline_interrupts_fixpoint_iterations(rec_db):
+    """A latency storm against a short deadline must abort the fixpoint
+    *between row batches inside an iteration*, not only at iteration
+    boundaries — the deadline check rides the per-row CPU charge."""
+    restore(rec_db)
+    rec_db.set_fault_plan(FaultPlan(latency_rate=1.0, latency_seconds=30.0),
+                          seed=0)
+    with pytest.raises(QueryTimeout) as exc_info:
+        rec_db.sql(RECURSIVE_QUERY, timeout=0.2)
+    assert exc_info.value.elapsed >= 0.2
+    restore(rec_db)
+
+
+def test_site_down_recursive_degrades_to_exact_rows(rec_db, rec_baseline):
+    restore(rec_db)
+    rec_db.set_fault_plan(FaultPlan(down_sites=frozenset({"west"})), seed=0)
+    result = rec_db.sql(RECURSIVE_QUERY)
+    assert sorted(result.rows) == rec_baseline
+    assert [e.site for e in rec_db.degradation_events] == ["west"]
+    restore(rec_db)

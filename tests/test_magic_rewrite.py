@@ -195,3 +195,32 @@ class TestFilterAliasCollision:
             assert sorted(result.rows) == sorted(baseline.rows)
         finally:
             empdept_db.catalog.drop_view("WeirdAlias")
+
+
+class TestRecursiveViewRejection:
+    def test_figure2_rewrite_of_recursive_view_is_typed_error(self):
+        """Figure-2 magic rewriting is defined over non-recursive views;
+        applying it to a recursive view must raise the typed
+        RecursiveViewError (not a generic PlanError), pointing at the
+        planner's fixpoint candidates instead."""
+        import repro
+        from repro import DataType, RecursiveViewError
+
+        db = repro.connect()
+        db.create_table("Edge", [("src", DataType.INT), ("dst", DataType.INT)])
+        db.insert("Edge", [(1, 2), (2, 3)])
+        db.analyze()
+        db.create_view(
+            "tc",
+            "SELECT src, dst FROM Edge"
+            " UNION SELECT t.x, e.dst FROM tc t, Edge e WHERE t.y = e.src",
+            column_aliases=("x", "y"),
+            recursive=True,
+        )
+        block = db.bind("SELECT E.src, T.y FROM Edge E, tc T"
+                        " WHERE E.dst = T.x AND E.src = 1")
+        with pytest.raises(RecursiveViewError) as exc:
+            magic_rewrite(block, "T")
+        assert isinstance(exc.value, PlanError)  # stays inside the taxonomy
+        assert exc.value.view_name == "tc"
+        assert "fixpoint" in str(exc.value)

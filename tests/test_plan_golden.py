@@ -23,10 +23,13 @@ from repro import Database, DataType, OptimizerConfig, OptimizerTrace
 from repro.distributed import DistributedDatabase, distributed_config
 from repro.workloads import (
     EmpDeptConfig,
+    GraphConfig,
     MOTIVATING_QUERY,
     StarConfig,
+    build_graph,
     fresh_empdept,
     fresh_star,
+    graph_edges,
 )
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
@@ -101,6 +104,36 @@ UDF_QUERIES = [
      "SELECT DISTINCT F.xx FROM Pts P, square F WHERE P.x = F.x"),
 ]
 
+def _tc(table, where=""):
+    return (
+        "WITH RECURSIVE tc(x, y) AS ("
+        "SELECT src, dst FROM %s "
+        "UNION "
+        "SELECT t.x, e.dst FROM tc t, %s e WHERE t.y = e.src) "
+        "SELECT x, y FROM tc%s ORDER BY x, y"
+        % (table, table, (" " + where) if where else "")
+    )
+
+
+# The recursive battery pins both sides of the DP's magic/fixpoint
+# costed pair: bounded reachability on the sparse tree chooses the
+# magic-restricted fixpoint, while on the dense near-complete graph
+# (closure barely exceeds the base) the DP rejects magic because its
+# extra iterations outweigh the restricted frontier.
+RECURSIVE_QUERIES = [
+    ("tc_full", _tc("Edge")),
+    ("tc_bounded", _tc("Edge", "WHERE x = 1")),
+    ("tc_bounded_in", _tc("Edge", "WHERE x IN (2, 3)")),
+    ("tc_dense_bounded", _tc("DenseEdge", "WHERE x = 1")),
+    ("tc_join_base",
+     "WITH RECURSIVE tc(x, y) AS ("
+     "SELECT src, dst FROM Edge "
+     "UNION "
+     "SELECT t.x, e.dst FROM tc t, Edge e WHERE t.y = e.src) "
+     "SELECT T.x, E.dst FROM tc T, Edge E "
+     "WHERE T.y = E.src AND T.x = 1 ORDER BY E.dst"),
+]
+
 DISTRIBUTED_QUERIES = [
     ("remote_join",
      "SELECT O.oid, C.name FROM Orders O, Cust C "
@@ -159,11 +192,23 @@ def _distributed_db():
     return db
 
 
+def _recursive_db():
+    db = Database()
+    build_graph(db, GraphConfig("tree", num_nodes=60, branching=3))
+    db.create_table("DenseEdge", [("src", DataType.INT),
+                                  ("dst", DataType.INT)])
+    db.insert("DenseEdge", graph_edges(
+        GraphConfig("random", num_nodes=110, edge_prob=0.8, seed=5)))
+    db.analyze()
+    return db
+
+
 WORKLOADS = {
     "empdept": (_empdept_db, EMPDEPT_QUERIES),
     "star": (_star_db, STAR_QUERIES),
     "udf": (_udf_db, UDF_QUERIES),
     "distributed": (_distributed_db, DISTRIBUTED_QUERIES),
+    "recursive": (_recursive_db, RECURSIVE_QUERIES),
 }
 
 _DB_CACHE = {}
@@ -242,6 +287,22 @@ def test_golden_plans_identical_under_search_tracing(workload, regime):
         "search tracing perturbed the chosen plan for %s/%s"
         % (workload, regime)
     )
+
+
+def test_recursive_golden_pins_both_magic_decisions():
+    """The default-regime recursive snapshot must witness the DP
+    choosing the magic-restricted fixpoint on one query and rejecting
+    it (full fixpoint under a residual filter) on another."""
+    text = (GOLDEN_DIR / "recursive__default.txt").read_text()
+    sections = {}
+    for chunk in text.split("-- "):
+        if chunk.strip():
+            key = chunk.split(":", 1)[0]
+            sections[key] = chunk
+    assert "MagicFixpoint" in sections["tc_bounded"]
+    assert "MagicFixpoint" not in sections["tc_dense_bounded"]
+    assert "Fixpoint" in sections["tc_dense_bounded"]
+    assert "MagicFixpoint" not in sections["tc_full"]
 
 
 def test_snapshots_are_stable_within_process():
