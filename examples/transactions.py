@@ -1,0 +1,103 @@
+"""Transactions & durability: atomicity, savepoints, WAL, recovery.
+
+Walks the whole transactional surface: statement atomicity on a failed
+bulk insert, an explicit BEGIN...ROLLBACK that undoes rows, indexes,
+and statistics together, savepoints for partial rollback, PostgreSQL
+abort-until-ROLLBACK semantics, and finally durability — commit a few
+transactions into a write-ahead log, "crash" by abandoning the
+database, and recover a byte-identical committed state from the
+surviving bytes.
+
+Run:  python examples/transactions.py
+"""
+
+import repro
+from repro import DataType, ReproError, TransactionAborted
+
+SCHEMA = """
+CREATE TABLE Accounts (aid INT, owner TEXT, balance INT);
+"""
+
+
+def main() -> None:
+    db = repro.connect()
+    db.execute_script(SCHEMA)
+    db.insert("Accounts", [(1, "ada", 900), (2, "bob", 450)])
+    db.create_index("Accounts", "aid")
+    db.analyze()
+
+    print("== Statement atomicity")
+    try:
+        # row 3 has the wrong arity: the whole statement must vanish
+        db.insert("Accounts", [(3, "cyd", 700), ("broken",)])
+    except ReproError as exc:
+        print("bulk insert failed: %s" % type(exc).__name__)
+    count = db.sql("SELECT COUNT(*) FROM Accounts").rows[0][0]
+    print("rows after failed insert: %d (unchanged)" % count)
+
+    print()
+    print("== BEGIN / ROLLBACK undoes data, DDL, and statistics")
+    db.sql("BEGIN")
+    db.insert("Accounts", [(3, "cyd", 700)])
+    db.sql("CREATE TABLE Audit (aid INT, delta INT)")
+    db.analyze()
+    print("inside txn: %s" % db.txn.status()["txn"])
+    db.sql("ROLLBACK")
+    count = db.sql("SELECT COUNT(*) FROM Accounts").rows[0][0]
+    print("rows after rollback: %d; Audit exists: %s"
+          % (count, db.catalog.has_table("Audit")))
+
+    print()
+    print("== Savepoints: partial rollback")
+    db.sql("BEGIN")
+    db.insert("Accounts", [(3, "cyd", 700)])
+    db.sql("SAVEPOINT funded")
+    db.insert("Accounts", [(4, "eve", -50)])
+    db.sql("ROLLBACK TO SAVEPOINT funded")   # eve is gone, cyd stays
+    db.sql("COMMIT")
+    rows = db.sql("SELECT aid, owner FROM Accounts ORDER BY aid").rows
+    print("owners after partial rollback: %s"
+          % ", ".join(owner for _, owner in rows))
+
+    print()
+    print("== Errors abort the transaction until ROLLBACK")
+    db.sql("BEGIN")
+    try:
+        db.sql("SELECT nope FROM missing")
+    except ReproError:
+        pass
+    try:
+        db.sql("SELECT COUNT(*) FROM Accounts")
+    except TransactionAborted as exc:
+        print("refused while aborted: %s" % exc)
+    db.sql("ROLLBACK")
+
+    print()
+    print("== Durability: WAL, crash, recovery")
+    wal = repro.WriteAheadLog(repro.MemoryStorage())
+    durable = repro.connect(durability="commit")
+    durable.attach_wal(wal)
+    durable.create_table("Ledger", [("aid", DataType.INT),
+                                    ("delta", DataType.INT)])
+    durable.sql("BEGIN")
+    durable.insert("Ledger", [(1, -100), (2, +100)])
+    durable.sql("COMMIT")
+    durable.sql("BEGIN")
+    durable.insert("Ledger", [(1, -999)])
+    durable.sql("ROLLBACK")                  # never reaches the WAL
+    durable.insert("Ledger", [(2, +25)])     # autocommit, logged
+    print("wal: %d records, %d fsyncs"
+          % (wal.stats()["records_written"], wal.stats()["syncs"]))
+
+    # power loss: abandon the database, keep only the disk image
+    surviving = wal.storage.crash()
+    recovered, report = repro.recover(surviving)
+    print("recovered %d committed txns (%d uncommitted records "
+          "discarded)" % (report.total_commits, report.discarded_records))
+    rows = recovered.sql(
+        "SELECT aid, delta FROM Ledger ORDER BY delta").rows
+    print("ledger after recovery: %s" % rows)
+
+
+if __name__ == "__main__":
+    main()

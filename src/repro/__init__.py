@@ -43,6 +43,9 @@ from .errors import (
     SiteUnavailable,
     SqlSyntaxError,
     StatsError,
+    TransactionAborted,
+    TransactionError,
+    WalError,
 )
 from .ledger import CostLedger, CostParams
 from .obs import (
@@ -59,6 +62,7 @@ from .obs import (
 from .optimizer.config import OptimizerConfig
 from .plancache import PlanCache
 from .storage.schema import Column, DataType, Schema
+from .txn import MemoryStorage, WriteAheadLog, recover
 
 __version__ = "1.0.0"
 
@@ -114,6 +118,7 @@ __all__ = [
     "ExecutionError",
     "ENGINES",
     "FixpointLimitExceeded",
+    "MemoryStorage",
     "MetricsRegistry",
     "OptimizerConfig",
     "OptimizerTrace",
@@ -133,8 +138,13 @@ __all__ = [
     "SiteUnavailable",
     "SqlSyntaxError",
     "StatsError",
+    "TransactionAborted",
+    "TransactionError",
+    "WalError",
     "WhyNotReport",
+    "WriteAheadLog",
     "__version__",
     "connect",
     "global_metrics",
+    "recover",
 ]

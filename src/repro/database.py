@@ -52,6 +52,7 @@ from .sql.binder import Binder
 from .sql.parser import Parser, parse
 from .storage.catalog import Catalog
 from .storage.schema import Column, DataType, Schema
+from .txn.manager import TransactionManager
 from .udf.relation import FunctionRegistry
 
 _TYPE_MAP = {
@@ -73,6 +74,11 @@ _STATEMENT_KINDS = {
     "CreateIndexStmt": "create_index",
     "InsertStmt": "insert",
     "DropStmt": "drop",
+    "BeginStmt": "begin",
+    "CommitStmt": "commit",
+    "RollbackStmt": "rollback",
+    "SavepointStmt": "savepoint",
+    "ReleaseStmt": "release",
 }
 
 
@@ -149,6 +155,9 @@ class Database:
         # resilience: an optional SimulatedNetwork every shipment routes
         # through (deadlines now live on self.defaults.timeout)
         self.network = None
+        # transactions: statement/transaction atomicity and the WAL
+        # (durability is off until configure(durability=...) enables it)
+        self.txn = TransactionManager(self)
 
     # ----------------------------------------------------------- options
 
@@ -222,6 +231,9 @@ class Database:
         data = self.metrics_registry.as_dict()
         if self.network is not None:
             data["network"] = self.network.stats.as_dict()
+        wal = self.txn._wal  # peek: metrics must not open a WAL lazily
+        if wal is not None:
+            data["wal"] = wal.stats()
         return data
 
     def drift_report(self) -> DriftReport:
@@ -242,10 +254,16 @@ class Database:
     # ----------------------------------------------------------------- DDL
 
     def create_table(self, name: str,
-                     columns: Sequence[Tuple[str, DataType]]):
-        """Create a table from (name, DataType) pairs."""
-        schema = Schema(Column(col, dtype) for col, dtype in columns)
-        return self.catalog.create_table(name, schema)
+                     columns: Union[Schema, Sequence[Tuple[str, DataType]]]):
+        """Create a table from (name, DataType) pairs or a Schema."""
+        schema = (columns if isinstance(columns, Schema)
+                  else Schema(Column(col, dtype) for col, dtype in columns))
+        with self.txn.atomic():
+            return self.txn.do_create_table(name, schema)
+
+    def drop_table(self, name: str) -> None:
+        with self.txn.atomic():
+            self.txn.do_drop_table(name)
 
     def create_view(self, name: str, sql_text: str,
                     column_aliases: Optional[Sequence[str]] = None,
@@ -259,24 +277,42 @@ class Database:
         statement = parse(sql_text)  # validate eagerly
         if not isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
             raise ReproError("a view must be defined by a query")
-        return self.catalog.create_view(name, sql_text, column_aliases,
-                                        recursive=recursive)
+        with self.txn.atomic():
+            return self.txn.do_create_view(name, sql_text, column_aliases,
+                                           recursive=recursive)
+
+    def drop_view(self, name: str) -> None:
+        with self.txn.atomic():
+            self.txn.do_drop_view(name)
 
     def create_index(self, table: str, column: str,
                      kind: str = "hash") -> None:
-        self.catalog.table(table).create_index(column, kind)
-        self.catalog.bump_version()
+        with self.txn.atomic():
+            self.txn.do_create_index(table, column, kind)
 
     def insert(self, table: str, rows) -> int:
-        count = self.catalog.table(table).insert_many(rows)
-        # data changes shift row counts/stats under cached plans; bump so
-        # they are re-optimized rather than run with stale estimates
-        self.catalog.bump_version()
-        return count
+        # data changes shift row counts/stats under cached plans; the
+        # operation bumps the catalog version so they are re-optimized
+        # rather than run with stale estimates
+        with self.txn.atomic():
+            return self.txn.do_insert(table, rows)
 
     def analyze(self, table: Optional[str] = None) -> None:
         """(Re)collect optimizer statistics."""
-        self.catalog.analyze(table)
+        with self.txn.atomic():
+            self.txn.do_analyze(table)
+
+    # ----------------------------------------------------------- durability
+
+    def checkpoint(self) -> dict:
+        """Snapshot the full logical state into the WAL and truncate it
+        (durability must be on; refused inside a transaction)."""
+        return self.txn.checkpoint()
+
+    def attach_wal(self, wal) -> None:
+        """Install a specific :class:`~repro.txn.wal.WriteAheadLog`
+        (tests, crash harnesses, resuming after recovery)."""
+        self.txn.attach_wal(wal)
 
     # --------------------------------------------------------------- binding
 
@@ -290,6 +326,7 @@ class Database:
 
     def _bind_statement(self, statement):
         binder = self.binder()
+        Binder.check_bindable(statement)
         if isinstance(statement, ast.WithStmt):
             return binder.bind_with(statement)
         if isinstance(statement, ast.UnionStmt):
@@ -634,11 +671,17 @@ class Database:
                                               config, opts,
                                               parse_seconds, qid)
         except Exception as exc:
+            self.txn.note_error(exc)
             if qid is not None:
                 log.emit("error", query_id=qid,
                          error=type(exc).__name__,
                          message=str(exc)[:200])
                 log.emit("query_end", query_id=qid, status="error")
+            raise
+        except BaseException as exc:
+            # Ctrl-C and friends: atomic() already undid the statement;
+            # the open explicit transaction still becomes aborted
+            self.txn.note_error(exc)
             raise
         result.query_id = qid
         if qid is not None:
@@ -660,6 +703,11 @@ class Database:
                             opts: Options, parse_seconds: float,
                             qid: Optional[str]) -> QueryResult:
         log = self.event_log
+        if isinstance(statement, ast.TXN_STATEMENTS):
+            return self._txn_statement(statement)
+        # an aborted explicit transaction refuses everything except
+        # COMMIT/ROLLBACK (handled above) until it is rolled back
+        self.txn.check_usable()
         if isinstance(statement, (ast.SelectStmt, ast.UnionStmt,
                                   ast.WithStmt)):
             builder = None
@@ -755,18 +803,21 @@ class Database:
             self.create_table(statement.name, columns)
             return _ddl_result("create table")
         if isinstance(statement, ast.CreateTableAsStmt):
+            # run the query first (outside the mutation scope: a failing
+            # query leaves nothing behind), then create+fill atomically
             block = self._bind_statement(statement.query)
             plan, planner = self.plan(block, config)
             result = self.run_plan(plan, planner.metrics, config)
-            table = self.catalog.create_table(statement.name,
-                                              result.schema)
-            table.insert_many(result.rows)
+            with self.txn.atomic():
+                self.txn.do_create_table(statement.name, result.schema)
+                if result.rows:
+                    self.txn.do_insert(statement.name, result.rows)
             out = _ddl_result("create table as")
             out.rows = [(len(result.rows),)]
             out.schema = Schema([Column("inserted", DataType.INT)])
             return out
         if isinstance(statement, ast.CreateViewStmt):
-            self.catalog.create_view(
+            self.create_view(
                 statement.name, statement.select_text,
                 statement.column_aliases,
                 recursive=statement.recursive,
@@ -784,11 +835,33 @@ class Database:
             return result
         if isinstance(statement, ast.DropStmt):
             if statement.kind == "table":
-                self.catalog.drop_table(statement.name)
+                self.drop_table(statement.name)
             else:
-                self.catalog.drop_view(statement.name)
+                self.drop_view(statement.name)
             return _ddl_result("drop")
         raise ReproError("unsupported statement %r" % type(statement).__name__)
+
+    def _txn_statement(self, statement) -> QueryResult:
+        """BEGIN/COMMIT/ROLLBACK/SAVEPOINT/RELEASE. The result's
+        ``statement_kind`` reports what actually happened — COMMIT of an
+        aborted transaction rolls back and says so."""
+        txn = self.txn
+        if isinstance(statement, ast.BeginStmt):
+            txn.check_usable()
+            txn.begin()
+            return _ddl_result("begin")
+        if isinstance(statement, ast.CommitStmt):
+            return _ddl_result(txn.commit())
+        if isinstance(statement, ast.RollbackStmt):
+            txn.rollback(statement.savepoint)
+            return _ddl_result("rollback")
+        if isinstance(statement, ast.SavepointStmt):
+            txn.check_usable()
+            txn.savepoint(statement.name)
+            return _ddl_result("savepoint")
+        txn.check_usable()
+        txn.release(statement.name)
+        return _ddl_result("release")
 
 
 class PreparedStatement:

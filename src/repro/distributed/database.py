@@ -193,6 +193,11 @@ class DistributedDatabase(Database):
                 if (site is None or self.catalog.site_is_down(site)
                         or fallbacks >= max(1, len(self._site_names))):
                     raise
+                # the failed attempt was undone statement-atomically and
+                # marked the open transaction aborted; this fallback is
+                # an internal retry, not a user-visible statement
+                # failure, so the transaction stays usable
+                self.txn.clear_aborted()
                 self.mark_site_down(site)
                 survivors = [
                     s for s in self.sites

@@ -120,3 +120,29 @@ class ParameterError(ExecutionError):
 
 class StatsError(ReproError):
     """Invalid statistics input (empty histograms, negative counts...)."""
+
+
+class TransactionError(ReproError):
+    """Misuse of the transaction API: BEGIN inside a transaction,
+    COMMIT/ROLLBACK with none active, an unknown savepoint name, or a
+    checkpoint attempted while a transaction holds uncommitted state."""
+
+
+class TransactionAborted(TransactionError):
+    """The current transaction hit an error and is aborted: every
+    statement other than ROLLBACK (or ROLLBACK TO a savepoint) is
+    refused until the transaction is rolled back.
+
+    ``cause`` names the original error type that aborted the
+    transaction, when known.
+    """
+
+    def __init__(self, message: str, cause: str = ""):
+        super().__init__(message)
+        self.cause = cause
+
+
+class WalError(ReproError):
+    """The write-ahead log is unreadable: bad magic, an impossible
+    record length, or corruption *before* the final record (a torn
+    tail, by contrast, is tolerated and silently discarded)."""

@@ -28,6 +28,13 @@ QUERY_EVENT_ORDER = (
     "retry", "degradation", "error", "query_end",
 )
 
+#: transaction-lifecycle events (emitted by the transaction manager and
+#: recovery). They carry a stable transaction id (``txn="t3"``) instead
+#: of a query id, so they never interleave into a query's event chain.
+TXN_EVENT_NAMES = (
+    "txn_begin", "txn_commit", "txn_rollback", "checkpoint", "recovery",
+)
+
 
 class EventLog:
     """A bounded ring buffer of structured query-lifecycle events.

@@ -31,6 +31,12 @@ from typing import Optional
 #: literal here so importing Options never pulls in the executor)
 ENGINES = ("iterator", "vector")
 
+#: valid durability levels for the write-ahead log (see
+#: docs/transactions.md): "off" = no WAL at all, "lazy" = append commit
+#: records without forcing them to stable storage, "commit" = fsync at
+#: every commit record
+DURABILITY_LEVELS = ("off", "lazy", "commit")
+
 
 @dataclass(frozen=True)
 class Options:
@@ -60,6 +66,14 @@ class Options:
       recursive queries
       (:class:`~repro.errors.FixpointLimitExceeded` when exceeded —
       the guard against ``UNION ALL`` recursion over cyclic data).
+    - ``durability``: write-ahead-log level — ``"off"`` (no WAL; the
+      built-in default), ``"lazy"`` (commits append to the WAL but are
+      not forced to stable storage), or ``"commit"`` (every commit is
+      fsynced before COMMIT returns). See docs/transactions.md.
+    - ``wal_path``: filesystem path for the WAL when durability is on;
+      ``None`` keeps the log in memory (useful for tests and crash
+      simulation). Only meaningful as a database default — the WAL is
+      opened once, on the first logged commit.
     """
 
     trace: Optional[bool] = None
@@ -69,6 +83,8 @@ class Options:
     engine: Optional[str] = None
     search_trace: Optional[bool] = None
     max_fixpoint_iterations: Optional[int] = None
+    durability: Optional[str] = None
+    wal_path: Optional[str] = None
 
     def __post_init__(self):
         if self.engine is not None and self.engine not in ENGINES:
@@ -92,6 +108,12 @@ class Options:
                 "max_fixpoint_iterations must be positive, got %r"
                 % (self.max_fixpoint_iterations,)
             )
+        if (self.durability is not None
+                and self.durability not in DURABILITY_LEVELS):
+            raise ValueError(
+                "unknown durability %r (expected one of %s)"
+                % (self.durability, ", ".join(DURABILITY_LEVELS))
+            )
 
     def merged(self, over: Optional["Options"]) -> "Options":
         """This options value with ``over``'s non-None fields taking
@@ -112,7 +134,8 @@ class Options:
     def resolved(self) -> "Options":
         """Collapse onto the built-in defaults: no field is None except
         ``timeout`` / ``memory_budget_bytes`` (whose default is
-        genuinely "unlimited")."""
+        genuinely "unlimited") and ``wal_path`` (whose default is an
+        in-memory log)."""
         return BUILTIN.merged(self)
 
     def as_dict(self) -> dict:
@@ -122,7 +145,8 @@ class Options:
 #: the bottom of the resolution chain: what you get with no configure()
 #: and no per-call options
 BUILTIN = Options(trace=False, use_cache=False, engine="iterator",
-                  search_trace=False, max_fixpoint_iterations=1000)
+                  search_trace=False, max_fixpoint_iterations=1000,
+                  durability="off")
 
 OPTION_FIELDS = tuple(f.name for f in dataclasses.fields(Options))
 

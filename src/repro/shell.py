@@ -32,6 +32,13 @@ start with a backslash:
                    the structured query event log: toggle recording or
                    show the most recent events (JSON-lines via the API:
                    db.event_log.to_jsonl())
+    \\txn           transaction status: open transaction, aborted flag,
+                    savepoints, durability level, WAL counters
+    \\txn abort-on-error on|off
+                   "on" (default, PostgreSQL semantics): an error inside
+                   BEGIN...COMMIT aborts the transaction until ROLLBACK;
+                   "off": the failed statement is undone but the
+                   transaction stays usable (psql ON_ERROR_ROLLBACK)
     \\trace on|off  trace every statement; traced queries print phase
                     times and their worst operator q-error
     \\q             quit
@@ -69,10 +76,19 @@ _BOOL_WORDS = {"on": True, "true": True, "1": True,
                "off": False, "false": False, "0": False}
 
 
+#: transaction-control results echo what actually happened — COMMIT of
+#: an aborted transaction performs a rollback and says ROLLBACK
+_TXN_KIND_WORDS = {"begin": "BEGIN", "commit": "COMMIT",
+                   "rollback": "ROLLBACK", "savepoint": "SAVEPOINT",
+                   "release": "RELEASE"}
+
+
 def format_result(result: QueryResult, max_rows: int = 50) -> str:
     """Render a query result as an aligned table with a cost footer."""
     if result.statement_kind == "explain":
         return "\n".join(row[0] for row in result.rows)
+    if result.statement_kind in _TXN_KIND_WORDS:
+        return _TXN_KIND_WORDS[result.statement_kind]
     if result.statement_kind != "select":
         if result.statement_kind == "insert" and result.rows:
             return "INSERT: %d row(s)" % result.rows[0][0]
@@ -209,10 +225,44 @@ class Shell:
         if command == "\\trace":
             self._trace_command(argument)
             return
+        if command == "\\txn":
+            self._txn_command(argument)
+            return
         self.write("unknown command %r (try \\d, \\e, \\ea, \\explain, "
                    "\\whynot, \\config, \\set, \\engine, \\cache, "
                    "\\timeout, \\faults, \\metrics, \\drift, \\log, "
-                   "\\trace, \\q)" % command)
+                   "\\trace, \\txn, \\q)" % command)
+
+    def _txn_command(self, argument: str) -> None:
+        txn = self.db.txn
+        parts = argument.split()
+        if parts:
+            if (len(parts) == 2 and parts[0] == "abort-on-error"
+                    and parts[1].lower() in _BOOL_WORDS):
+                on = _BOOL_WORDS[parts[1].lower()]
+                txn.on_error = "abort" if on else "continue"
+                self.write("abort-on-error %s" % ("on" if on else "off"))
+            else:
+                self.write("usage: \\txn [abort-on-error on|off]")
+            return
+        status = txn.status()
+        if not status["active"]:
+            self.write("no transaction in progress (autocommit)")
+        elif status["aborted"]:
+            self.write("transaction %s ABORTED — ROLLBACK to recover"
+                       % status["txn"])
+        else:
+            self.write("in transaction %s (%d statement(s))"
+                       % (status["txn"], status["statements"]))
+        if status["savepoints"]:
+            self.write("  savepoints: %s"
+                       % ", ".join(status["savepoints"]))
+        self.write("  on_error   = %s" % status["on_error"])
+        self.write("  durability = %s" % status["durability"])
+        if "wal" in status:
+            self.write("  wal        = %s" % (
+                "  ".join("%s=%s" % (key, value)
+                          for key, value in status["wal"].items())))
 
     def _explain_command(self, argument: str) -> None:
         if not argument:
@@ -493,9 +543,17 @@ class Shell:
                         buffer = []
             except KeyboardInterrupt:
                 # abandon the buffered statement, keep the shell alive;
-                # statements are atomic, so the database is consistent
+                # statements are atomic, so the database is consistent.
+                # Inside BEGIN...COMMIT the interrupt aborted the
+                # transaction (like any statement error) — say so.
                 buffer = []
-                self.write("^C — statement abandoned")
+                status = self.db.txn.status()
+                if status["aborted"]:
+                    self.write("^C — statement abandoned; transaction "
+                               "%s aborted (ROLLBACK to recover)"
+                               % status["txn"])
+                else:
+                    self.write("^C — statement abandoned")
             if interactive:
                 self.out.write(CONTINUATION if buffer else PROMPT)
                 self.out.flush()

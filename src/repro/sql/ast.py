@@ -227,7 +227,51 @@ class ExplainStmt:
     select: SelectStmt
 
 
+# ------------------------------------------------------ transaction control
+
+@dataclass
+class BeginStmt:
+    """``BEGIN [TRANSACTION]`` — open an explicit transaction."""
+
+
+@dataclass
+class CommitStmt:
+    """``COMMIT [TRANSACTION]`` — make the open transaction durable.
+    On an aborted transaction this performs a rollback instead
+    (PostgreSQL semantics); the result's statement kind says which."""
+
+
+@dataclass
+class RollbackStmt:
+    """``ROLLBACK [TRANSACTION] [TO [SAVEPOINT] name]`` — undo the open
+    transaction, or rewind to a savepoint when ``savepoint`` is set."""
+
+    savepoint: Optional[str] = None
+
+
+@dataclass
+class SavepointStmt:
+    """``SAVEPOINT name`` — mark a rollback point inside the open
+    transaction."""
+
+    name: str
+
+
+@dataclass
+class ReleaseStmt:
+    """``RELEASE [SAVEPOINT] name`` — forget a savepoint (its changes
+    stay part of the transaction)."""
+
+    name: str
+
+
+#: transaction-control statements never reach the binder or planner
+TXN_STATEMENTS = (BeginStmt, CommitStmt, RollbackStmt, SavepointStmt,
+                  ReleaseStmt)
+
+
 Statement = Union[
     SelectStmt, UnionStmt, WithStmt, CreateTableStmt, CreateTableAsStmt,
     CreateViewStmt, CreateIndexStmt, InsertStmt, DropStmt, ExplainStmt,
+    BeginStmt, CommitStmt, RollbackStmt, SavepointStmt, ReleaseStmt,
 ]

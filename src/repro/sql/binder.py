@@ -69,6 +69,22 @@ class Binder:
         self._view_expanding: set = set()
         self._delta_counter = 0
 
+    @staticmethod
+    def check_bindable(statement) -> None:
+        """Reject statements that have no bound form.
+
+        Transaction control (BEGIN/COMMIT/ROLLBACK/SAVEPOINT/RELEASE)
+        is executed directly by the transaction manager and never
+        reaches name resolution; asking for its query plan is a caller
+        error with a precise message rather than a generic one.
+        """
+        if isinstance(statement, ast.TXN_STATEMENTS):
+            raise BindError(
+                "%s is a transaction-control statement; it has no query "
+                "plan (execute it with db.sql/execute_script)"
+                % type(statement).__name__
+            )
+
     def parameter_list(self) -> List[Parameter]:
         """All Parameter nodes created while binding, in index order."""
         return [self.parameters[i] for i in sorted(self.parameters)]

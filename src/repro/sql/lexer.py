@@ -19,6 +19,8 @@ KEYWORDS = {
     "VIEW", "INSERT", "INTO", "VALUES", "INT", "INTEGER", "FLOAT", "REAL",
     "VARCHAR", "TEXT", "BOOLEAN", "BOOL", "TRUE", "FALSE", "NULL", "ON",
     "INDEX", "DROP", "EXPLAIN", "LIMIT", "WITH", "RECURSIVE",
+    "BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT", "RELEASE",
+    "TRANSACTION", "TO",
 }
 
 SYMBOLS = (

@@ -3,7 +3,10 @@
 Grammar (informal):
 
     statement     := select | with | create_table | create_view
-                   | create_index | insert | drop | explain
+                   | create_index | insert | drop | explain | txn
+    txn           := BEGIN [TRANSACTION] | COMMIT [TRANSACTION]
+                   | ROLLBACK [TRANSACTION] [TO [SAVEPOINT] ident]
+                   | SAVEPOINT ident | RELEASE [SAVEPOINT] ident
     with          := WITH [RECURSIVE] cte (',' cte)* select
     cte           := ident ['(' ident (',' ident)* ')'] AS '(' select ')'
     select        := SELECT [DISTINCT] select_list FROM from_list
@@ -146,7 +149,29 @@ class Parser:
             return self._insert()
         if token.is_keyword("DROP"):
             return self._drop()
+        if token.is_keyword("BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT",
+                            "RELEASE"):
+            return self._transaction_statement()
         raise self.error("expected a statement")
+
+    def _transaction_statement(self) -> ast.Statement:
+        if self.accept_keyword("BEGIN"):
+            self.accept_keyword("TRANSACTION")
+            return ast.BeginStmt()
+        if self.accept_keyword("COMMIT"):
+            self.accept_keyword("TRANSACTION")
+            return ast.CommitStmt()
+        if self.accept_keyword("ROLLBACK"):
+            self.accept_keyword("TRANSACTION")
+            if self.accept_keyword("TO"):
+                self.accept_keyword("SAVEPOINT")
+                return ast.RollbackStmt(savepoint=self.expect_ident())
+            return ast.RollbackStmt()
+        if self.accept_keyword("SAVEPOINT"):
+            return ast.SavepointStmt(self.expect_ident())
+        self.expect_keyword("RELEASE")
+        self.accept_keyword("SAVEPOINT")
+        return ast.ReleaseStmt(self.expect_ident())
 
     def _create(self) -> ast.Statement:
         self.expect_keyword("CREATE")

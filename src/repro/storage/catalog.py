@@ -150,6 +150,11 @@ class Catalog:
         self._replicas: Dict[str, List[str]] = {}
         self._down_sites: set = set()
         self._version = 0
+        # called as listener(table_name_or_None, prior_stats_snapshot)
+        # at the start of every analyze(); the transaction manager
+        # hooks this so stats rebuilds — including the planner's lazy
+        # ones — are undoable inside a transaction
+        self.analyze_listener = None
 
     # --------------------------------------------------------------- version
 
@@ -311,6 +316,8 @@ class Catalog:
                 histogram_kind: str = "equi_depth") -> None:
         """(Re)build statistics for one table, or all tables if ``name``
         is omitted."""
+        if self.analyze_listener is not None:
+            self.analyze_listener(name, self.stats_snapshot(name))
         if name is not None:
             table = self.table(name)
             self._stats[name.lower()] = compute_table_stats(
@@ -331,3 +338,77 @@ class Catalog:
 
     def has_stats(self, name: str) -> bool:
         return name.lower() in self._stats
+
+    def stats_snapshot(self, name: Optional[str] = None) -> Dict:
+        """The current stats entries for one table (or all tables).
+
+        ``TableStats`` objects are replaced wholesale by analyze and
+        never mutated in place, so a shallow copy of the mapping is a
+        faithful restore point for :meth:`restore_stats`.
+        """
+        if name is None:
+            return dict(self._stats)
+        key = name.lower()
+        return {key: self._stats[key]} if key in self._stats else {}
+
+    def restore_stats(self, snapshot: Dict,
+                      name: Optional[str] = None) -> None:
+        """Reinstate a :meth:`stats_snapshot`. With ``name``, only that
+        table's entry is replaced (or removed, if the snapshot lacks
+        it); otherwise the whole mapping is restored."""
+        if name is None:
+            self._stats = dict(snapshot)
+            return
+        key = name.lower()
+        if key in snapshot:
+            self._stats[key] = snapshot[key]
+        else:
+            self._stats.pop(key, None)
+
+    # ------------------------------------------- transaction/recovery hooks
+    #
+    # Structural re-installs used by transaction undo and WAL recovery.
+    # Unlike create_table/drop_table these do NOT bump the catalog
+    # version: undo restores *content* while the version counter stays
+    # monotonic (the caller bumps once, so rolled-back version numbers
+    # are never reused and the plan cache can never serve a plan built
+    # inside an aborted transaction).
+
+    def install_table(self, table: Table,
+                      stats: Optional[TableStats] = None,
+                      site: Optional[str] = None) -> None:
+        key = table.name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError("relation %r already exists" % table.name)
+        self._tables[key] = table
+        if stats is not None:
+            self._stats[key] = stats
+        if site is not None:
+            self._sites[key] = site
+
+    def uninstall_table(self, name: str) -> None:
+        key = name.lower()
+        self._tables.pop(key, None)
+        self._stats.pop(key, None)
+        self._sites.pop(key, None)
+
+    def install_view(self, view: ViewDefinition) -> None:
+        key = view.name.lower()
+        if key in self._tables or key in self._views:
+            raise CatalogError("relation %r already exists" % view.name)
+        self._views[key] = view
+
+    def uninstall_view(self, name: str) -> None:
+        self._views.pop(name.lower(), None)
+
+    def stats_entry(self, name: str) -> Optional[TableStats]:
+        return self._stats.get(name.lower())
+
+    def site_entry(self, name: str) -> Optional[str]:
+        """The *registered* primary site (ignoring up/down status)."""
+        return self._sites.get(name.lower())
+
+    def set_version(self, version: int) -> None:
+        """Force the version counter (recovery only — everything else
+        must go through bump_version to preserve monotonicity)."""
+        self._version = version

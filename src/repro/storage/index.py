@@ -33,6 +33,15 @@ class Index:
         """Row positions whose key equals ``key``."""
         raise NotImplementedError
 
+    def remove_from(self, position: int) -> None:
+        """Drop every entry whose row position is >= ``position``.
+
+        Tables are append-only, so undoing an insert batch truncates
+        the row list back to its old length; this is the matching index
+        operation (the removed positions are exactly the tail).
+        """
+        raise NotImplementedError
+
     def bulk_load(self, keys_positions: Iterable[Tuple[Any, int]]) -> None:
         for key, pos in keys_positions:
             self.insert(key, pos)
@@ -60,6 +69,15 @@ class HashIndex(Index):
 
     def probe(self, key: Any) -> Sequence[int]:
         return self._buckets.get(key, ())
+
+    def remove_from(self, position: int) -> None:
+        empty = []
+        for key, positions in self._buckets.items():
+            positions[:] = [p for p in positions if p < position]
+            if not positions:
+                empty.append(key)
+        for key in empty:
+            del self._buckets[key]
 
     def __len__(self) -> int:
         return sum(len(v) for v in self._buckets.values())
@@ -113,6 +131,11 @@ class SortedIndex(Index):
         else:
             hi = bisect.bisect_left(self._keys, high)
         return self._positions[lo:hi]
+
+    def remove_from(self, position: int) -> None:
+        keep = [i for i, p in enumerate(self._positions) if p < position]
+        self._keys = [self._keys[i] for i in keep]
+        self._positions = [self._positions[i] for i in keep]
 
     def in_order(self) -> Iterator[int]:
         """All row positions in ascending key order."""

@@ -61,20 +61,27 @@ class Table:
             index.insert(key, position)
 
     def insert_many(self, rows: Iterable[Sequence]) -> int:
-        """Insert many rows atomically; returns the number inserted.
+        """Insert many rows; returns the number inserted.
 
-        The whole batch is validated before any row is appended, so a
-        bad row mid-batch leaves the table untouched — this is what
-        makes a failed INSERT statement all-or-nothing.
+        A bad row mid-batch raises with earlier rows already appended;
+        statement-level all-or-nothing behavior is the transaction
+        manager's job (it truncates back to the pre-statement length —
+        see :meth:`truncate_to` and ``repro.txn``).
         """
-        coerced_rows = [self.schema.validate_row(row) for row in rows]
-        for coerced in coerced_rows:
-            position = len(self.rows)
-            self.rows.append(coerced)
-            for index in self.indexes.values():
-                key = coerced[self.schema.index_of(index.column_name)]
-                index.insert(key, position)
-        return len(coerced_rows)
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def truncate_to(self, num_rows: int) -> None:
+        """Discard every row at position >= ``num_rows``, maintaining
+        indexes. The undo of an append, since tables are append-only."""
+        if num_rows >= len(self.rows):
+            return
+        del self.rows[num_rows:]
+        for index in self.indexes.values():
+            index.remove_from(num_rows)
 
     def row_at(self, position: int) -> tuple:
         return self.rows[position]
@@ -128,6 +135,14 @@ class Table:
         )
         self.indexes[column_name] = index
         return index
+
+    def drop_index(self, column_name: str) -> None:
+        """Remove the index on one column (the undo of create_index)."""
+        if column_name not in self.indexes:
+            raise CatalogError(
+                "table %r has no index on %r" % (self.name, column_name)
+            )
+        del self.indexes[column_name]
 
     def index_on(self, column_name: str) -> Optional[Index]:
         return self.indexes.get(column_name)

@@ -1,0 +1,51 @@
+"""Transactions, write-ahead logging, and crash recovery.
+
+- :mod:`manager` — undo-based statement/transaction atomicity and the
+  COMMIT-time redo protocol.
+- :mod:`wal` — the length-prefixed, checksummed log and its file /
+  in-memory storage backends.
+- :mod:`recovery` — rebuild a fresh database from surviving log bytes.
+- :mod:`state` — the one logical-state serializer shared by
+  checkpoints, recovery, and the crash harness's fingerprints.
+- :mod:`crash` — seeded crash injection at WAL durability boundaries.
+
+See docs/transactions.md for semantics, the WAL format, and the
+recovery guarantees.
+"""
+
+from .crash import CrashInjector, SimulatedCrash
+from .manager import Savepoint, Transaction, TransactionManager
+from .recovery import RecoveryReport, recover, scan
+from .state import fingerprint, load_state, state_dict
+from .wal import (
+    FileStorage,
+    MemoryStorage,
+    WAL_MAGIC,
+    WalStorage,
+    WriteAheadLog,
+    encode_record,
+    iter_records,
+    split_header,
+)
+
+__all__ = [
+    "CrashInjector",
+    "SimulatedCrash",
+    "Savepoint",
+    "Transaction",
+    "TransactionManager",
+    "RecoveryReport",
+    "recover",
+    "scan",
+    "fingerprint",
+    "load_state",
+    "state_dict",
+    "FileStorage",
+    "MemoryStorage",
+    "WAL_MAGIC",
+    "WalStorage",
+    "WriteAheadLog",
+    "encode_record",
+    "iter_records",
+    "split_header",
+]

@@ -1,0 +1,66 @@
+"""Seeded crash injection at WAL durability boundaries.
+
+The PR-2 fault-injection pattern applied to the storage layer: a
+:class:`CrashInjector` installed as a :class:`~repro.txn.wal.
+WriteAheadLog` hook counts every append/fsync/checkpoint boundary and,
+when armed, raises :class:`SimulatedCrash` at the k-th one. The test
+harness then abandons the in-memory database (that *is* the process
+death — nothing is flushed, nothing unwinds cleanly), asks the
+:class:`~repro.txn.wal.MemoryStorage` what survived on "disk", and
+recovers from those bytes.
+
+``SimulatedCrash`` deliberately does NOT subclass
+:class:`~repro.errors.ReproError`: it models the process dying, not an
+error the engine is supposed to report, so the error-taxonomy contract
+("only ReproError escapes the public surface") does not apply to it —
+and the taxonomy fuzzer never arms an injector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class SimulatedCrash(Exception):
+    """Raised by an armed :class:`CrashInjector` to model power loss at
+    a WAL boundary. Carries the boundary name and hook ordinal."""
+
+    def __init__(self, boundary: str, ordinal: int):
+        super().__init__(
+            "simulated crash at WAL boundary %r (hook #%d)"
+            % (boundary, ordinal)
+        )
+        self.boundary = boundary
+        self.ordinal = ordinal
+
+
+class CrashInjector:
+    """Counts WAL hook firings; raises at the ``kill_at``-th one.
+
+    ``kill_at=None`` never fires — a dry run that just counts the
+    boundaries, so a harness can enumerate every kill point::
+
+        probe = CrashInjector()
+        ...run schedule...           # probe.fired == total boundaries
+        for k in range(probe.fired):
+            run_with(CrashInjector(kill_at=k))  # dies at boundary k
+
+    ``boundaries`` optionally restricts which hook names count (e.g.
+    only ``("sync",)`` to crash exactly at fsync points).
+    """
+
+    def __init__(self, kill_at: Optional[int] = None,
+                 boundaries: Optional[List[str]] = None):
+        self.kill_at = kill_at
+        self.boundaries = tuple(boundaries) if boundaries else None
+        self.fired = 0
+        self.crashed: Optional[SimulatedCrash] = None
+
+    def __call__(self, name: str) -> None:
+        if self.boundaries is not None and name not in self.boundaries:
+            return
+        ordinal = self.fired
+        self.fired += 1
+        if self.kill_at is not None and ordinal == self.kill_at:
+            self.crashed = SimulatedCrash(name, ordinal)
+            raise self.crashed

@@ -1,0 +1,465 @@
+"""The transaction manager: undo-based atomicity + redo logging.
+
+Every mutating statement runs inside :meth:`TransactionManager.atomic`
+— joining the open explicit transaction if there is one, otherwise
+wrapped in an implicit autocommit transaction. Each operation method
+(``do_insert``, ``do_create_table``, ...) performs the change, pushes
+an undo closure, and (when a WAL is active) buffers a logical redo
+record. The three outcomes:
+
+- **statement fails** — ``atomic`` pops undo closures back to the
+  statement's mark: statement-level atomicity, even mid-``insert_many``.
+- **ROLLBACK** (or an implicit transaction failing) — all undo closures
+  run, the buffered redo records are discarded, and the catalog version
+  is bumped *forward* (never restored): content reverts exactly, but a
+  rolled-back version number is never reused, so the plan cache — which
+  requires an exact version match — can never serve a plan built
+  against rolled-back DDL.
+- **COMMIT** — the redo records plus a commit marker are appended to
+  the WAL (fsynced under ``durability="commit"``); only then is the
+  transaction forgotten. A crash before the commit record is durable
+  means recovery discards the whole transaction — which is exactly the
+  atomicity contract.
+
+Redo is buffered per-transaction rather than logged eagerly, so
+rollback (full or to a savepoint) is pure in-memory truncation and the
+WAL only ever contains committed work plus, transiently, the tail of
+the commit batch in progress.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Callable, List, Optional
+
+from ..errors import (
+    TransactionAborted,
+    TransactionError,
+    WalError,
+)
+from .state import state_dict
+from .wal import FileStorage, MemoryStorage, WriteAheadLog
+
+
+class Savepoint:
+    """A rollback mark inside one transaction: list lengths + version."""
+
+    __slots__ = ("name", "undo_len", "redo_len", "version")
+
+    def __init__(self, name: str, undo_len: int, redo_len: int,
+                 version: int):
+        self.name = name
+        self.undo_len = undo_len
+        self.redo_len = redo_len
+        self.version = version
+
+
+class Transaction:
+    """One (explicit or implicit) transaction's in-flight state."""
+
+    __slots__ = ("id", "implicit", "undo", "redo", "savepoints",
+                 "aborted", "abort_cause", "begin_version", "statements",
+                 "log_redo")
+
+    def __init__(self, txn_id: int, implicit: bool, begin_version: int,
+                 log_redo: bool):
+        self.id = txn_id
+        self.implicit = implicit
+        self.undo: List[Callable[[], None]] = []
+        self.redo: List[dict] = []
+        self.savepoints: List[Savepoint] = []
+        self.aborted = False
+        self.abort_cause = ""
+        self.begin_version = begin_version
+        self.statements = 0
+        # sampled at BEGIN: with durability off, redo records are never
+        # consulted, so skipping them keeps autocommit overhead at a
+        # closure push + a version compare
+        self.log_redo = log_redo
+
+    @property
+    def name(self) -> str:
+        return "t%d" % self.id
+
+
+class TransactionManager:
+    """Statement- and transaction-level atomicity for one Database."""
+
+    def __init__(self, db):
+        self._db = db
+        self.current: Optional[Transaction] = None
+        #: "abort" (PostgreSQL semantics: an error inside an explicit
+        #: transaction aborts it until ROLLBACK) or "continue" (the
+        #: failed statement is undone, the transaction stays usable —
+        #: psql's ON_ERROR_ROLLBACK)
+        self.on_error = "abort"
+        self._ids = itertools.count(1)
+        self._wal: Optional[WriteAheadLog] = None
+        # commit records ever written to the attached WAL (checkpoint
+        # records carry this so recovery — and the crash harness's
+        # independent parser — can count commits across a checkpoint)
+        self.wal_commits = 0
+        db.catalog.analyze_listener = self._on_analyze
+
+    # -------------------------------------------------------------- WAL
+
+    @property
+    def durability(self) -> str:
+        return self._db.defaults.durability or "off"
+
+    def attach_wal(self, wal: WriteAheadLog) -> WriteAheadLog:
+        """Install a specific WAL (tests, crash harness, recovery)."""
+        self._wal = wal
+        return wal
+
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The attached WAL, opening one lazily when durability is on:
+        a :class:`FileStorage` at ``Options.wal_path`` when set,
+        otherwise in-memory."""
+        if self._wal is None and self.durability != "off":
+            path = self._db.defaults.wal_path
+            storage = FileStorage(path) if path else MemoryStorage()
+            self._wal = WriteAheadLog(storage)
+        return self._wal
+
+    # -------------------------------------------------- statement scope
+
+    @contextmanager
+    def atomic(self):
+        """Statement-level atomicity: join the open transaction (or an
+        implicit autocommit one); on error, undo just this statement."""
+        txn = self.current
+        implicit = txn is None
+        if implicit:
+            txn = self._begin(implicit=True)
+        txn.statements += 1
+        undo_mark = len(txn.undo)
+        redo_mark = len(txn.redo)
+        version_mark = self._db.catalog.version
+        try:
+            yield txn
+        except BaseException:
+            self._undo_to(txn, undo_mark, version_mark)
+            del txn.redo[redo_mark:]
+            if implicit:
+                self.current = None
+            raise
+        if implicit:
+            self._commit(txn)
+
+    def note_error(self, exc: Optional[BaseException]) -> None:
+        """Mark the open explicit transaction aborted after a statement
+        error escaped to the caller (unless on_error='continue')."""
+        txn = self.current
+        if txn is None or txn.implicit or txn.aborted:
+            return
+        if isinstance(exc, TransactionAborted):
+            return
+        if self.on_error == "continue":
+            return
+        txn.aborted = True
+        txn.abort_cause = type(exc).__name__ if exc is not None else \
+            "KeyboardInterrupt"
+
+    def clear_aborted(self) -> None:
+        """Resurrect an aborted transaction (the distributed coordinator
+        uses this after undoing a statement that died on a downed site,
+        before transparently re-optimizing and re-running it)."""
+        if self.current is not None:
+            self.current.aborted = False
+            self.current.abort_cause = ""
+
+    def check_usable(self) -> None:
+        """Raise :class:`TransactionAborted` when the open transaction
+        is aborted (only COMMIT/ROLLBACK may run then)."""
+        txn = self.current
+        if txn is not None and txn.aborted:
+            raise TransactionAborted(
+                "current transaction is aborted (by %s); statements are "
+                "refused until ROLLBACK" % (txn.abort_cause or "an error"),
+                cause=txn.abort_cause,
+            )
+
+    # ------------------------------------------------------- txn control
+
+    def begin(self) -> Transaction:
+        if self.current is not None:
+            raise TransactionError(
+                "already in a transaction (%s); nested BEGIN is not "
+                "supported — use SAVEPOINT" % self.current.name
+            )
+        txn = self._begin(implicit=False)
+        self._db.event_log.emit("txn_begin", txn=txn.name)
+        return txn
+
+    def _begin(self, implicit: bool) -> Transaction:
+        txn = Transaction(
+            next(self._ids), implicit, self._db.catalog.version,
+            log_redo=self.durability != "off",
+        )
+        self.current = txn
+        self._db.metrics_registry.inc(
+            "txn_begins_total",
+            label="implicit" if implicit else "explicit")
+        return txn
+
+    def commit(self) -> str:
+        """COMMIT the open transaction; on an aborted one this rolls
+        back instead (PostgreSQL semantics) and returns "rollback"."""
+        txn = self.current
+        if txn is None:
+            raise TransactionError("COMMIT outside a transaction")
+        if txn.aborted:
+            self.rollback()
+            return "rollback"
+        self._commit(txn)
+        self._db.event_log.emit("txn_commit", txn=txn.name,
+                                ops=txn.statements)
+        return "commit"
+
+    def _commit(self, txn: Transaction) -> None:
+        wal = self.wal()
+        if wal is not None and txn.redo:
+            try:
+                for record in txn.redo:
+                    record["t"] = txn.id
+                    wal.append(record)
+                wal.append({"t": txn.id, "op": "commit"})
+                if self.durability == "commit":
+                    wal.sync()
+            except BaseException:
+                # the commit did not become durable; keep memory
+                # consistent with the log by rolling the txn back
+                # before the error (or simulated crash) propagates
+                self._rollback_all(txn)
+                raise
+            self.wal_commits += 1
+        self.current = None
+        self._db.metrics_registry.inc(
+            "txn_commits_total",
+            label="implicit" if txn.implicit else "explicit")
+
+    def rollback(self, savepoint: Optional[str] = None) -> None:
+        txn = self.current
+        if txn is None:
+            raise TransactionError("ROLLBACK outside a transaction")
+        if savepoint is not None:
+            self._rollback_to_savepoint(txn, savepoint)
+            return
+        self._rollback_all(txn)
+        self._db.metrics_registry.inc("txn_rollbacks_total",
+                                      label="explicit")
+        self._db.event_log.emit("txn_rollback", txn=txn.name)
+
+    def _rollback_all(self, txn: Transaction) -> None:
+        self._undo_to(txn, 0, txn.begin_version)
+        txn.redo.clear()
+        txn.savepoints.clear()
+        txn.aborted = False
+        self.current = None
+
+    def _undo_to(self, txn: Transaction, undo_len: int,
+                 version: int) -> None:
+        """Pop undo closures (LIFO) down to ``undo_len``; if the catalog
+        version moved past ``version``, bump it once more — content is
+        restored exactly, but version numbers are never reused."""
+        while len(txn.undo) > undo_len:
+            txn.undo.pop()()
+        if self._db.catalog.version != version:
+            self._db.catalog.bump_version()
+
+    def savepoint(self, name: str) -> None:
+        txn = self._require_explicit("SAVEPOINT")
+        txn.savepoints.append(Savepoint(
+            name.lower(), len(txn.undo), len(txn.redo),
+            self._db.catalog.version,
+        ))
+
+    def _find_savepoint(self, txn: Transaction, name: str) -> int:
+        key = name.lower()
+        for at in range(len(txn.savepoints) - 1, -1, -1):
+            if txn.savepoints[at].name == key:
+                return at
+        raise TransactionError("no savepoint named %r" % name)
+
+    def _rollback_to_savepoint(self, txn: Transaction,
+                               name: str) -> None:
+        at = self._find_savepoint(txn, name)
+        mark = txn.savepoints[at]
+        self._undo_to(txn, mark.undo_len, mark.version)
+        del txn.redo[mark.redo_len:]
+        # the savepoint itself survives (PostgreSQL semantics); later
+        # ones are gone with the work they marked
+        del txn.savepoints[at + 1:]
+        txn.aborted = False
+        txn.abort_cause = ""
+        self._db.metrics_registry.inc("txn_rollbacks_total",
+                                      label="savepoint")
+
+    def release(self, name: str) -> None:
+        txn = self._require_explicit("RELEASE SAVEPOINT")
+        at = self._find_savepoint(txn, name)
+        del txn.savepoints[at:]
+
+    def _require_explicit(self, what: str) -> Transaction:
+        if self.current is None or self.current.implicit:
+            raise TransactionError("%s outside a transaction" % what)
+        return self.current
+
+    # ------------------------------------------------------- operations
+    #
+    # Each performs one logical mutation, pushes its undo, and buffers
+    # its redo record. All must be called inside atomic().
+
+    def do_insert(self, table_name: str, rows) -> int:
+        txn = self.current
+        catalog = self._db.catalog
+        table = catalog.table(table_name)
+        before = table.num_rows
+        # registered before the mutation: a bad row mid-batch leaves
+        # earlier rows appended, and this truncation removes them
+        txn.undo.append(lambda: table.truncate_to(before))
+        count = table.insert_many(rows)
+        catalog.bump_version()
+        if txn.log_redo and count:
+            txn.redo.append({
+                "op": "insert", "table": table.name,
+                "rows": [list(row) for row in table.rows[before:]],
+            })
+        return count
+
+    def do_create_table(self, name: str, schema):
+        txn = self.current
+        catalog = self._db.catalog
+        table = catalog.create_table(name, schema)
+        txn.undo.append(lambda: catalog.uninstall_table(name))
+        if txn.log_redo:
+            txn.redo.append({
+                "op": "create_table", "name": table.name,
+                "columns": [[col.name, col.dtype.value, col.width]
+                            for col in schema],
+            })
+        return table
+
+    def do_drop_table(self, name: str) -> None:
+        txn = self.current
+        catalog = self._db.catalog
+        table = catalog.table(name)
+        stats = catalog.stats_entry(name)
+        site = catalog.site_entry(name)
+        catalog.drop_table(name)
+        txn.undo.append(
+            lambda: catalog.install_table(table, stats=stats, site=site))
+        if txn.log_redo:
+            txn.redo.append({"op": "drop", "kind": "table",
+                             "name": table.name})
+
+    def do_create_view(self, name: str, sql_text: str,
+                       column_aliases=None, recursive: bool = False):
+        txn = self.current
+        catalog = self._db.catalog
+        view = catalog.create_view(name, sql_text, column_aliases,
+                                   recursive=recursive)
+        txn.undo.append(lambda: catalog.uninstall_view(name))
+        if txn.log_redo:
+            txn.redo.append({
+                "op": "create_view", "name": view.name, "sql": sql_text,
+                "aliases": list(column_aliases) if column_aliases
+                else None,
+                "recursive": recursive,
+            })
+        return view
+
+    def do_drop_view(self, name: str) -> None:
+        txn = self.current
+        catalog = self._db.catalog
+        view = catalog.view(name)
+        catalog.drop_view(name)
+        txn.undo.append(lambda: catalog.install_view(view))
+        if txn.log_redo:
+            txn.redo.append({"op": "drop", "kind": "view",
+                             "name": view.name})
+
+    def do_create_index(self, table_name: str, column: str,
+                        kind: str) -> None:
+        txn = self.current
+        catalog = self._db.catalog
+        table = catalog.table(table_name)
+        table.create_index(column, kind)
+        catalog.bump_version()
+        txn.undo.append(lambda: table.drop_index(column))
+        if txn.log_redo:
+            txn.redo.append({"op": "create_index", "table": table.name,
+                             "column": column, "kind": kind})
+
+    def do_analyze(self, name: Optional[str] = None) -> None:
+        txn = self.current
+        # catalog.analyze fires the analyze listener, which registers
+        # the undo (shared with the planner's lazy stats builds)
+        self._db.catalog.analyze(name)
+        if txn.log_redo:
+            txn.redo.append({"op": "analyze", "name": name})
+
+    def _on_analyze(self, name: Optional[str], snapshot: dict) -> None:
+        """Catalog analyze listener: inside any transaction — including
+        a lazy, planner-triggered analyze during an explicit one —
+        register an undo that reinstates the prior stats entries."""
+        txn = self.current
+        if txn is None:
+            return
+        catalog = self._db.catalog
+        txn.undo.append(
+            lambda: catalog.restore_stats(snapshot, name))
+
+    # ------------------------------------------------------- checkpoint
+
+    def checkpoint(self) -> dict:
+        """Write a snapshot checkpoint and truncate the WAL to it.
+
+        Refused inside a transaction: with in-place (steal) updates the
+        tables hold uncommitted changes mid-transaction, so a snapshot
+        taken then would persist them.
+        """
+        if self.current is not None:
+            raise TransactionError(
+                "cannot checkpoint inside a transaction (%s holds "
+                "uncommitted changes)" % self.current.name
+            )
+        if self.durability == "off":
+            raise TransactionError(
+                "checkpointing requires durability 'lazy' or 'commit' "
+                "(db.configure(durability=...))"
+            )
+        wal = self.wal()
+        record = {
+            "op": "checkpoint",
+            "commits": self.wal_commits,
+            "state": state_dict(self._db),
+        }
+        wal.checkpoint(record)
+        self._db.metrics_registry.inc("checkpoints_total")
+        self._db.event_log.emit("checkpoint",
+                                commits=self.wal_commits,
+                                size_bytes=wal.storage.size())
+        return record
+
+    # ----------------------------------------------------------- status
+
+    def status(self) -> dict:
+        """Shell/\\txn view of the transaction state."""
+        txn = self.current
+        info = {
+            "active": txn is not None,
+            "txn": txn.name if txn else None,
+            "aborted": bool(txn and txn.aborted),
+            "statements": txn.statements if txn else 0,
+            "savepoints": [sp.name for sp in txn.savepoints] if txn
+            else [],
+            "on_error": self.on_error,
+            "durability": self.durability,
+            "wal_commits": self.wal_commits,
+        }
+        if self._wal is not None:
+            info["wal"] = self._wal.stats()
+        return info

@@ -1,0 +1,258 @@
+"""The write-ahead log: length-prefixed, checksummed logical records.
+
+Layout (see docs/transactions.md for a worked hexdump)::
+
+    REPROWAL1\\0                         10-byte magic header
+    [ length:u32le | crc32:u32le | payload ]*   records
+
+Each payload is one JSON object (UTF-8, sorted keys, compact
+separators) describing a *logical redo* operation — ``insert``,
+``create_table``, ``create_index``, ``create_view``, ``drop``,
+``analyze`` — or a transaction ``commit`` marker, or a ``checkpoint``
+holding a full database snapshot. The CRC-32 covers the payload bytes,
+so a torn final record (partial length word, partial payload, or a
+payload that does not match its checksum) is detected and treated as
+the crash-truncated tail, not corruption.
+
+Two storage backends implement the same durability contract:
+
+- :class:`FileStorage` — a real file; ``sync`` is flush+fsync and
+  ``replace`` (checkpointing) writes a sidecar then ``os.replace``\\ s it
+  over the log, the classic atomic-rename move.
+- :class:`MemoryStorage` — models the durable/unsynced split in memory
+  so crash tests can keep a seeded *prefix* of the unsynced bytes
+  (producing genuinely torn records) without touching a filesystem.
+
+Every append/sync/replace boundary fires a named hook, which is where
+the crash injector (:mod:`repro.txn.crash`) kills the process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..errors import WalError
+
+#: file magic: identifies format and version in the first 10 bytes
+WAL_MAGIC = b"REPROWAL1\x00"
+
+_FRAME = struct.Struct("<II")  # (payload length, payload crc32)
+
+#: sanity cap on a record's declared length; anything larger is treated
+#: as a torn/garbage length word, not an allocation request
+MAX_RECORD_BYTES = 1 << 28
+
+
+def encode_record(record: dict) -> bytes:
+    """One framed record: length, CRC-32, then the JSON payload."""
+    payload = json.dumps(record, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def iter_records(data: bytes) -> Iterator[Tuple[dict, int]]:
+    """Yield ``(record, end_offset)`` for every whole, valid record.
+
+    Stops silently at the first frame that is incomplete, fails its
+    checksum, or does not decode — by construction that is the
+    crash-torn tail (writes are append-only, so damage can only be a
+    suffix). ``data`` must start *after* the magic header.
+    """
+    offset = 0
+    n = len(data)
+    while offset + _FRAME.size <= n:
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        if length > MAX_RECORD_BYTES or start + length > n:
+            return
+        payload = data[start:start + length]
+        if zlib.crc32(payload) != crc:
+            return
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return
+        if not isinstance(record, dict):
+            return
+        offset = start + length
+        yield record, offset
+
+
+def split_header(data: bytes) -> Optional[bytes]:
+    """Strip the magic header; None if the log is empty or the header
+    itself was torn; :class:`WalError` if the magic mismatches."""
+    if len(data) < len(WAL_MAGIC):
+        if data and not WAL_MAGIC.startswith(data):
+            raise WalError("not a repro WAL (bad magic)")
+        return None
+    if not data.startswith(WAL_MAGIC):
+        raise WalError("not a repro WAL (bad magic)")
+    return data[len(WAL_MAGIC):]
+
+
+# ---------------------------------------------------------------- storage
+
+class WalStorage:
+    """Durability contract shared by the file and in-memory backends."""
+
+    def append(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Force all appended bytes to stable storage."""
+        raise NotImplementedError
+
+    def replace(self, data: bytes) -> None:
+        """Atomically and durably replace the whole log content."""
+        raise NotImplementedError
+
+    def read_all(self) -> bytes:
+        """Everything written so far (durable or not)."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        return len(self.read_all())
+
+    def close(self) -> None:
+        pass
+
+
+class MemoryStorage(WalStorage):
+    """In-memory storage modeling the durable/page-cache split.
+
+    ``append`` lands in the unsynced buffer; ``sync`` moves it to the
+    durable region. :meth:`crash` returns what a real disk would hold
+    after power loss: the durable bytes plus an arbitrary (seeded)
+    prefix of the unsynced ones — which is exactly how torn records
+    happen.
+    """
+
+    def __init__(self):
+        self.durable = bytearray()
+        self.unsynced = bytearray()
+
+    def append(self, data: bytes) -> None:
+        self.unsynced.extend(data)
+
+    def sync(self) -> None:
+        self.durable.extend(self.unsynced)
+        self.unsynced.clear()
+
+    def replace(self, data: bytes) -> None:
+        # models write-sidecar + atomic rename: the swap is all-or-
+        # nothing and durable the moment it happens
+        self.durable = bytearray(data)
+        self.unsynced.clear()
+
+    def read_all(self) -> bytes:
+        return bytes(self.durable) + bytes(self.unsynced)
+
+    def crash(self, rng=None) -> bytes:
+        """The post-crash disk image: durable bytes plus a prefix of
+        the unsynced tail (all of it when ``rng`` is None)."""
+        if rng is None:
+            keep = len(self.unsynced)
+        else:
+            keep = rng.randint(0, len(self.unsynced))
+        return bytes(self.durable) + bytes(self.unsynced[:keep])
+
+
+class FileStorage(WalStorage):
+    """A real WAL file; ``sync`` is fsync, ``replace`` is the sidecar +
+    ``os.replace`` atomic-rename idiom."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._file = open(self.path, "ab")
+
+    def append(self, data: bytes) -> None:
+        self._file.write(data)
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def replace(self, data: bytes) -> None:
+        sidecar = self.path + ".ckpt"
+        with open(sidecar, "wb") as out:
+            out.write(data)
+            out.flush()
+            os.fsync(out.fileno())
+        self._file.close()
+        os.replace(sidecar, self.path)
+        self._file = open(self.path, "ab")
+
+    def read_all(self) -> bytes:
+        self._file.flush()
+        with open(self.path, "rb") as handle:
+            return handle.read()
+
+    def close(self) -> None:
+        self._file.close()
+
+
+# -------------------------------------------------------------------- WAL
+
+class WriteAheadLog:
+    """Append-only logical redo log over a :class:`WalStorage`.
+
+    ``hook(name)`` fires at every durability boundary — ``append`` /
+    ``appended``, ``sync`` / ``synced``, ``checkpoint`` /
+    ``checkpointed`` — and is the crash injector's attachment point.
+    """
+
+    def __init__(self, storage: Optional[WalStorage] = None,
+                 hook: Optional[Callable[[str], None]] = None):
+        self.storage = storage if storage is not None else MemoryStorage()
+        self.hook = hook or (lambda name: None)
+        self.records_written = 0
+        self.bytes_written = 0
+        self.syncs = 0
+        self.checkpoints = 0
+        if self.storage.size() == 0:
+            self.storage.append(WAL_MAGIC)
+
+    def append(self, record: dict) -> None:
+        self.hook("append")
+        data = encode_record(record)
+        self.storage.append(data)
+        self.records_written += 1
+        self.bytes_written += len(data)
+        self.hook("appended")
+
+    def sync(self) -> None:
+        self.hook("sync")
+        self.storage.sync()
+        self.syncs += 1
+        self.hook("synced")
+
+    def checkpoint(self, record: dict) -> None:
+        """Replace the whole log with magic + one checkpoint record."""
+        self.hook("checkpoint")
+        self.storage.replace(WAL_MAGIC + encode_record(record))
+        self.checkpoints += 1
+        self.hook("checkpointed")
+
+    def records(self) -> List[dict]:
+        """Every whole, valid record currently in the log (the torn
+        tail, if any, is excluded)."""
+        body = split_header(self.storage.read_all())
+        if body is None:
+            return []
+        return [record for record, _ in iter_records(body)]
+
+    def stats(self) -> dict:
+        return {
+            "records_written": self.records_written,
+            "bytes_written": self.bytes_written,
+            "syncs": self.syncs,
+            "checkpoints": self.checkpoints,
+            "size_bytes": self.storage.size(),
+        }
+
+    def close(self) -> None:
+        self.storage.close()

@@ -196,6 +196,63 @@ def test_site_down_schedule_with_cached_plan(db, baseline):
     restore(db)
 
 
+# -------------------------------- site failure mid-transaction regime
+
+def test_transient_site_failure_mid_txn_is_invisible():
+    """A transient site failure during a query inside an explicit
+    transaction is retried behind the caller's back — the transaction is
+    NOT aborted (internal retries are not user-visible statement
+    failures) and COMMIT keeps everything."""
+    db = build_db()
+    clean = sorted(db.sql(QUERY).rows)
+    db.sql("BEGIN")
+    db.insert("Local", [(999, 999)])
+    db.set_fault_plan(FaultPlan(fail_first={"east": 2}), seed=0)
+    result = db.sql(QUERY)
+    assert sorted(result.rows) == clean
+    status = db.txn.status()
+    assert status["active"] and not status["aborted"], status
+    db.sql("COMMIT")
+    assert (999, 999) in db.catalog.table("Local").rows
+
+
+def test_site_down_mid_txn_degrades_and_commit_succeeds():
+    """The primary site dies in the middle of an explicit transaction:
+    the coordinator degrades onto the replica, the transaction stays
+    usable, and the commit lands — with the degradation recorded."""
+    db = build_db()
+    clean = sorted(db.sql(QUERY).rows)
+    db.add_replica("East", "west")
+    db.sql("BEGIN")
+    db.insert("Local", [(777, 777)])
+    db.set_fault_plan(FaultPlan(down_sites=frozenset({"east"})), seed=0)
+    result = db.sql(QUERY)
+    assert sorted(result.rows) == clean
+    status = db.txn.status()
+    assert status["active"] and not status["aborted"], status
+    assert [e.site for e in db.degradation_events] == ["east"]
+    db.sql("COMMIT")
+    assert (777, 777) in db.catalog.table("Local").rows
+
+
+def test_rollback_after_site_failure_mid_txn_is_clean():
+    """ROLLBACK after a mid-transaction site failure undoes the
+    transaction's writes completely; the degradation bookkeeping (a
+    coordinator-level fact, not transactional state) survives."""
+    db = build_db()
+    before = list(db.catalog.table("Local").rows)
+    db.add_replica("East", "west")
+    db.sql("BEGIN")
+    db.insert("Local", [(555, 555)])
+    db.set_fault_plan(FaultPlan(down_sites=frozenset({"east"})), seed=0)
+    db.sql(QUERY)
+    db.sql("ROLLBACK")
+    assert db.catalog.table("Local").rows == before
+    assert db.degradation_events
+    status = db.txn.status()
+    assert not status["active"] and not status["aborted"], status
+
+
 # ------------------------------------- recursive fixpoint under chaos
 
 from repro import FixpointLimitExceeded  # noqa: E402

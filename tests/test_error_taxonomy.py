@@ -52,6 +52,12 @@ def mutate_sql(rng):
         "CREATE TABLE Zed (a INT)",
         "SELECT name FROM Emp ORDER BY sal",
         "SELECT name FROM Emp WHERE sal > ? AND dept = ?",
+        "BEGIN",
+        "COMMIT",
+        "ROLLBACK",
+        "SAVEPOINT sp1",
+        "ROLLBACK TO SAVEPOINT sp1",
+        "RELEASE SAVEPOINT sp1",
     ]
     text = rng.choice(seeds)
     op = rng.randrange(6)
@@ -173,6 +179,116 @@ class TestApiArgumentFuzz:
         db = make_db()
         self.check(lambda: db.create_view("V", "SELECT nope FROM gone"))
         self.check(lambda: db.create_view("Emp", "SELECT name FROM Emp"))
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_txn_surface_stays_typed(seed):
+    """Random interleavings of transaction control and statements —
+    including statements fired into an aborted transaction — must only
+    ever raise typed errors. ``SimulatedCrash`` is exempt from the
+    taxonomy by design (it models process death, not an engine error)
+    but this fuzzer never arms a crash injector, so it must not appear
+    either."""
+    rng = random.Random(seed)
+    db = make_db()
+    db.configure(durability=rng.choice(["off", "lazy", "commit"]))
+    moves = ["BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT s",
+             "ROLLBACK TO SAVEPOINT s", "RELEASE SAVEPOINT s",
+             "SAVEPOINT t", "RELEASE SAVEPOINT missing"]
+    for _ in range(rng.randrange(4, 14)):
+        if rng.random() < 0.55:
+            text = rng.choice(moves)
+        else:
+            text = mutate_sql(rng)
+        try:
+            db.sql(text)
+        except ReproError:
+            pass
+        except _LEAKY as exc:  # pragma: no cover - the bug we hunt
+            pytest.fail("raw %s leaked for %r: %s"
+                        % (type(exc).__name__, text, exc))
+    # non-SQL mutation entry points inside whatever txn state we ended in
+    for call in (lambda: db.insert("Emp", [("z", 1, 1)]),
+                 lambda: db.analyze("Emp"),
+                 lambda: db.checkpoint()):
+        try:
+            call()
+        except _ACCEPTABLE:
+            pass
+        except _LEAKY as exc:
+            pytest.fail("raw %s leaked: %s" % (type(exc).__name__, exc))
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_recover_on_garbage_raises_only_typed_errors(seed):
+    """recover() fed arbitrary bytes — random garbage, bit-flipped real
+    logs, truncations — either recovers some prefix or raises a typed
+    WalError; internals never leak."""
+    from repro import recover, MemoryStorage, WriteAheadLog, Database as DB
+
+    rng = random.Random(seed)
+    db = DB()
+    db.configure(durability="commit")
+    storage = MemoryStorage()
+    db.attach_wal(WriteAheadLog(storage))
+    db.create_table("R", [("a", DataType.INT)])
+    db.insert("R", [(i,) for i in range(8)])
+    real = storage.crash()
+
+    mode = seed % 4
+    if mode == 0:       # pure garbage
+        data = bytes(rng.randrange(256)
+                     for _ in range(rng.randrange(0, 200)))
+    elif mode == 1:     # real log, one flipped byte
+        data = bytearray(real)
+        data[rng.randrange(len(data))] ^= 1 << rng.randrange(8)
+        data = bytes(data)
+    elif mode == 2:     # real log, random truncation
+        data = real[:rng.randrange(len(real) + 1)]
+    else:               # real log + garbage tail
+        data = real + bytes(rng.randrange(256)
+                            for _ in range(rng.randrange(1, 60)))
+    try:
+        recovered, report = recover(data)
+        recovered.sql("SELECT 1 WHERE 1 = 0")  # must be a usable db
+    except ReproError:
+        pass
+    except _LEAKY as exc:
+        pytest.fail("raw %s leaked from recover(): %s"
+                    % (type(exc).__name__, exc))
+
+
+class TestTxnApiArgumentFuzz:
+    """Bad arguments and bad states on the transaction surface."""
+
+    def check(self, call):
+        try:
+            call()
+        except _ACCEPTABLE:
+            pass
+        except _LEAKY as exc:
+            pytest.fail("raw %s leaked: %s" % (type(exc).__name__, exc))
+
+    def test_bad_durability_and_wal_args(self):
+        db = make_db()
+        self.check(lambda: db.configure(durability="paranoid"))
+        self.check(lambda: db.attach_wal("not-a-wal"))
+        self.check(lambda: db.checkpoint())           # durability off
+
+    def test_txn_misuse(self):
+        db = make_db()
+        self.check(lambda: db.sql("COMMIT"))          # no txn
+        self.check(lambda: db.sql("SAVEPOINT s"))     # no txn
+        db.sql("BEGIN")
+        self.check(lambda: db.sql("BEGIN"))           # nested
+        self.check(lambda: db.checkpoint())           # inside txn
+        self.check(lambda: db.sql("ROLLBACK TO SAVEPOINT nope"))
+        db.sql("ROLLBACK")
+
+    def test_recover_bad_source_type(self):
+        from repro import recover
+        self.check(lambda: recover(12345))
+        self.check(lambda: recover(["not", "bytes"]))
 
 
 @pytest.mark.parametrize("seed", range(30))

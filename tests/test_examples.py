@@ -66,3 +66,12 @@ def test_tracing():
     assert "estimate drift over the last" in output
     assert "Chrome-trace export" in output
     assert "wrote" in output and "events" in output
+
+
+def test_transactions():
+    output = run_example("transactions.py")
+    assert "rows after failed insert: 2 (unchanged)" in output
+    assert "Audit exists: False" in output
+    assert "owners after partial rollback: ada, bob, cyd" in output
+    assert "refused while aborted" in output
+    assert "recovered 3 committed txns" in output

@@ -285,3 +285,120 @@ class TestObservabilityCommands:
         assert "error: EXPLAIN ANALYZE requires a query" in output
         # the shell survived and ran the next command (\d header)
         assert "name  kind  rows" in output
+
+
+class TestTxnShell:
+    def test_txn_status_outside_txn(self):
+        output = run_shell("\\txn\n")
+        assert "no transaction in progress (autocommit)" in output
+        assert "on_error" in output and "durability" in output
+
+    def test_txn_control_words_echoed(self):
+        output = run_shell(
+            SETUP + "BEGIN;\nINSERT INTO T VALUES (4, 40);\n"
+            "\\txn\nCOMMIT;\n"
+        )
+        assert "BEGIN" in output and "COMMIT" in output
+        assert "in transaction t" in output
+
+    def test_savepoint_and_release_words(self):
+        output = run_shell(
+            SETUP + "BEGIN;\nSAVEPOINT s1;\n\\txn\n"
+            "RELEASE SAVEPOINT s1;\nROLLBACK;\n"
+        )
+        assert "SAVEPOINT" in output and "RELEASE" in output
+        assert "savepoints: s1" in output
+
+    def test_error_mid_txn_aborts_until_rollback(self):
+        """PostgreSQL semantics in the shell: a typed error inside
+        BEGIN...COMMIT aborts the transaction; every later statement is
+        refused until ROLLBACK, after which the session works again."""
+        output = run_shell(
+            SETUP + "BEGIN;\nSELECT nope FROM missing;\n\\txn\n"
+            "SELECT a FROM T;\nROLLBACK;\nSELECT a FROM T;\n"
+        )
+        assert "ABORTED — ROLLBACK to recover" in output
+        # the SELECT before ROLLBACK was refused, the one after ran
+        assert output.count("error:") == 2
+        assert "(3 rows" in output
+
+    def test_commit_of_aborted_txn_reports_rollback(self):
+        output = run_shell(
+            SETUP + "BEGIN;\nSELECT nope FROM missing;\nCOMMIT;\n\\txn\n"
+        )
+        # COMMIT of an aborted transaction rolls back and says so
+        assert "ROLLBACK" in output
+        assert "no transaction in progress" in output
+
+    def test_abort_on_error_off_keeps_txn_usable(self):
+        output = run_shell(
+            SETUP + "\\txn abort-on-error off\nBEGIN;\n"
+            "SELECT nope FROM missing;\nSELECT a FROM T;\nCOMMIT;\n"
+        )
+        assert "abort-on-error off" in output
+        assert "(3 rows" in output
+
+    def test_abort_on_error_usage_message(self):
+        output = run_shell("\\txn abort-on-error maybe\n")
+        assert "usage: \\txn" in output
+
+    def test_ctrl_c_mid_txn_reports_aborted_transaction(self, monkeypatch):
+        """Ctrl-C during a statement inside BEGIN...COMMIT aborts the
+        transaction like any statement error; the shell says so and the
+        session needs ROLLBACK to recover."""
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        out = io.StringIO()
+        shell = Shell(db=db, out=out)
+
+        real = db._dispatch_statement
+        armed = {"on": False}
+
+        def interruptible(*args, **kwargs):
+            if armed["on"]:
+                armed["on"] = False
+                raise KeyboardInterrupt
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(db, "_dispatch_statement", interruptible)
+
+        def source():
+            yield "BEGIN;\n"
+            armed["on"] = True
+            yield "INSERT INTO T VALUES (1);\n"
+            yield "\\txn\n"
+            yield "ROLLBACK;\n"
+            yield "\\txn\n"
+
+        shell.run(source())
+        output = out.getvalue()
+        assert "^C — statement abandoned; transaction" in output
+        assert "aborted (ROLLBACK to recover)" in output
+        assert "ABORTED — ROLLBACK to recover" in output
+        assert "no transaction in progress" in output
+
+    def test_ctrl_c_outside_txn_plain_message(self, monkeypatch):
+        db = Database()
+        db.sql("CREATE TABLE T (a INT)")
+        out = io.StringIO()
+        shell = Shell(db=db, out=out)
+
+        real = db._dispatch_statement
+        armed = {"on": False}
+
+        def interruptible(*args, **kwargs):
+            if armed["on"]:
+                armed["on"] = False
+                raise KeyboardInterrupt
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(db, "_dispatch_statement", interruptible)
+
+        def source():
+            armed["on"] = True
+            yield "INSERT INTO T VALUES (1);\n"
+
+        shell.run(source())
+        output = out.getvalue()
+        assert "^C — statement abandoned" in output
+        assert "transaction" not in output

@@ -1,0 +1,205 @@
+"""WAL unit tests: framing, checksums, torn tails, storage backends.
+
+The contract under test: every whole, checksum-valid record written
+before a crash is recoverable, and any damaged suffix — a partial
+length word, a partial payload, a payload that fails its CRC — is
+silently treated as the torn tail, never misparsed as data and never
+reported as corruption.
+"""
+
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import WalError
+from repro.txn import (
+    CrashInjector,
+    FileStorage,
+    MemoryStorage,
+    SimulatedCrash,
+    WAL_MAGIC,
+    WriteAheadLog,
+    encode_record,
+    iter_records,
+    split_header,
+)
+
+RECORDS = [
+    {"t": 1, "op": "create_table", "name": "R",
+     "columns": [["a", "int", 8]]},
+    {"t": 1, "op": "insert", "table": "R", "rows": [[1], [2], [3]]},
+    {"t": 1, "op": "commit"},
+    {"t": 2, "op": "insert", "table": "R", "rows": [[4]]},
+    {"t": 2, "op": "commit"},
+]
+
+
+def encoded_log():
+    return b"".join(encode_record(r) for r in RECORDS)
+
+
+# ------------------------------------------------------------- framing
+
+def test_round_trip():
+    data = encoded_log()
+    out = [record for record, _ in iter_records(data)]
+    assert out == RECORDS
+
+
+def test_every_truncation_point_recovers_a_prefix():
+    """Cut the log at EVERY byte offset: the parse must yield exactly
+    the records whose frames are fully inside the cut — the torn final
+    record never surfaces and never raises."""
+    data = encoded_log()
+    ends = []
+    offset = 0
+    for record, end in iter_records(data):
+        ends.append(end)
+        offset = end
+    assert offset == len(data)
+    for cut in range(len(data) + 1):
+        got = [record for record, _ in iter_records(data[:cut])]
+        expected = sum(1 for end in ends if end <= cut)
+        assert len(got) == expected, "cut at byte %d" % cut
+        assert got == RECORDS[:expected]
+
+
+def test_corrupt_payload_stops_the_scan():
+    data = bytearray(encoded_log())
+    # flip a byte inside the second record's payload
+    first_end = next(iter_records(bytes(data)))[1]
+    data[first_end + 12] ^= 0xFF
+    got = [record for record, _ in iter_records(bytes(data))]
+    assert got == RECORDS[:1]
+
+
+def test_garbage_length_word_is_torn_not_an_allocation():
+    frame = struct.pack("<II", 0x7FFFFFFF, 0)
+    got = list(iter_records(encode_record(RECORDS[0]) + frame + b"x" * 64))
+    assert [record for record, _ in got] == RECORDS[:1]
+
+
+def test_valid_crc_non_dict_payload_is_torn():
+    payload = b"[1,2,3]"
+    frame = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+    assert list(iter_records(frame)) == []
+
+
+def test_split_header():
+    assert split_header(b"") is None
+    assert split_header(WAL_MAGIC[:4]) is None   # torn mid-magic
+    assert split_header(WAL_MAGIC) == b""
+    assert split_header(WAL_MAGIC + b"abc") == b"abc"
+    with pytest.raises(WalError):
+        split_header(b"NOTAWAL000" + b"xx")
+    with pytest.raises(WalError):
+        split_header(b"XY")  # short AND not a magic prefix
+
+
+# ------------------------------------------------------------- storage
+
+def test_memory_storage_durable_unsynced_split():
+    storage = MemoryStorage()
+    storage.append(b"aaa")
+    assert storage.crash() == b"aaa"          # page cache may survive
+    assert bytes(storage.durable) == b""
+    storage.sync()
+    assert bytes(storage.durable) == b"aaa"
+    storage.append(b"bbb")
+    rng = random.Random(7)
+    image = storage.crash(rng)
+    assert image.startswith(b"aaa")           # synced bytes always survive
+    assert image in [b"aaa" + b"bbb"[:i] for i in range(4)]
+
+
+def test_memory_storage_crash_prefix_is_seeded():
+    def image(seed):
+        storage = MemoryStorage()
+        storage.append(b"x" * 100)
+        return storage.crash(random.Random(seed))
+
+    assert image(3) == image(3)
+
+
+def test_file_storage_round_trip(tmp_path):
+    path = str(tmp_path / "test.wal")
+    storage = FileStorage(path)
+    storage.append(WAL_MAGIC)
+    storage.append(encode_record(RECORDS[0]))
+    storage.sync()
+    assert split_header(storage.read_all()) is not None
+    # replace = checkpoint: sidecar + atomic rename, then append again
+    storage.replace(WAL_MAGIC + encode_record(RECORDS[3]))
+    storage.append(encode_record(RECORDS[4]))
+    body = split_header(storage.read_all())
+    assert [r for r, _ in iter_records(body)] == [RECORDS[3], RECORDS[4]]
+    storage.close()
+    # reopening an existing file appends, never truncates
+    reopened = FileStorage(path)
+    assert split_header(reopened.read_all()) is not None
+    reopened.close()
+
+
+# ----------------------------------------------------------------- log
+
+def test_wal_writes_magic_once_and_records():
+    wal = WriteAheadLog(MemoryStorage())
+    assert wal.storage.read_all() == WAL_MAGIC
+    for record in RECORDS:
+        wal.append(record)
+    assert wal.records() == RECORDS
+    stats = wal.stats()
+    assert stats["records_written"] == len(RECORDS)
+    assert stats["syncs"] == 0
+    wal.sync()
+    assert wal.stats()["syncs"] == 1
+
+
+def test_wal_checkpoint_replaces_content():
+    wal = WriteAheadLog(MemoryStorage())
+    for record in RECORDS:
+        wal.append(record)
+    wal.checkpoint({"op": "checkpoint", "commits": 2, "state": {}})
+    assert [r["op"] for r in wal.records()] == ["checkpoint"]
+    wal.append(RECORDS[3])
+    assert [r["op"] for r in wal.records()] == ["checkpoint", "insert"]
+
+
+def test_wal_hooks_fire_in_order():
+    fired = []
+    wal = WriteAheadLog(MemoryStorage(), hook=fired.append)
+    wal.append(RECORDS[0])
+    wal.sync()
+    wal.checkpoint({"op": "checkpoint", "commits": 0, "state": {}})
+    assert fired == ["append", "appended", "sync", "synced",
+                     "checkpoint", "checkpointed"]
+
+
+def test_crash_injector_kills_at_exact_boundary():
+    probe = CrashInjector()  # dry run: counts, never fires
+    wal = WriteAheadLog(MemoryStorage(), hook=probe)
+    wal.append(RECORDS[0])
+    wal.sync()
+    assert probe.fired == 4
+
+    injector = CrashInjector(kill_at=2)  # the "sync" boundary
+    wal = WriteAheadLog(MemoryStorage(), hook=injector)
+    wal.append(RECORDS[0])
+    with pytest.raises(SimulatedCrash) as exc_info:
+        wal.sync()
+    assert exc_info.value.boundary == "sync"
+    assert exc_info.value.ordinal == 2
+    # the append landed before the kill: its bytes are in the cache
+    body = split_header(wal.storage.crash())
+    assert [r for r, _ in iter_records(body)] == [RECORDS[0]]
+
+
+def test_crash_injector_boundary_filter():
+    injector = CrashInjector(kill_at=0, boundaries=["sync"])
+    wal = WriteAheadLog(MemoryStorage(), hook=injector)
+    wal.append(RECORDS[0])  # append boundaries don't count
+    wal.append(RECORDS[1])
+    with pytest.raises(SimulatedCrash):
+        wal.sync()
