@@ -27,7 +27,7 @@ See README.md for the full tour and DESIGN.md for the architecture.
 
 from typing import Optional, Sequence
 
-from .database import Database, PreparedStatement, QueryResult
+from .database import Database, PreparedStatement, QueryResult, Session
 from .options import BUILTIN, ENGINES, Options
 from .errors import (
     BindError,
@@ -36,10 +36,12 @@ from .errors import (
     FixpointLimitExceeded,
     ParameterError,
     PlanError,
+    ProtocolError,
     QueryTimeout,
     RecursiveViewError,
     ReproError,
     ResourceExhausted,
+    SerializationError,
     SiteUnavailable,
     SqlSyntaxError,
     StatsError,
@@ -127,6 +129,7 @@ __all__ = [
     "PlanCache",
     "PlanError",
     "PreparedStatement",
+    "ProtocolError",
     "QueryResult",
     "QueryTimeout",
     "QueryTrace",
@@ -134,6 +137,8 @@ __all__ = [
     "ReproError",
     "ResourceExhausted",
     "Schema",
+    "SerializationError",
+    "Session",
     "Span",
     "SiteUnavailable",
     "SqlSyntaxError",

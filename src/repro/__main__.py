@@ -7,6 +7,12 @@ Graphviz DOT — the same data behind ``db.explain(sql, mode="search")``::
     python -m repro dump-search                          # empdept, JSON
     python -m repro dump-search --format dot -o s.dot    # Graphviz
     python -m repro dump-search --workload star "SELECT ..."
+
+``python -m repro serve`` starts the TCP SQL server (length-prefixed
+JSON frames; see docs/server.md)::
+
+    python -m repro serve --port 7878
+    python -m repro serve --workload empdept --durability lazy --wal db.wal
 """
 
 import sys
@@ -69,10 +75,80 @@ def _dump_search(argv) -> int:
     return 0
 
 
+def _serve(argv) -> int:
+    import argparse
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve a database over TCP (length-prefixed JSON "
+                    "frames; one MVCC session per connection).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7878,
+                        help="TCP port (0 picks an ephemeral port)")
+    parser.add_argument("--workload", choices=("empdept", "star"),
+                        default=None,
+                        help="preload a built-in dataset")
+    parser.add_argument("--durability", choices=("off", "lazy", "commit"),
+                        default="off")
+    parser.add_argument("--wal", default=None, metavar="PATH",
+                        help="WAL file path (durability must be on); "
+                             "an existing log is recovered first")
+    parser.add_argument("--log-events", action="store_true",
+                        help="stream the structured event log to stderr")
+    args = parser.parse_args(argv)
+
+    import os
+
+    from .database import Database
+    from .server import Server
+
+    recovered = False
+    if args.wal and os.path.exists(args.wal) and \
+            os.path.getsize(args.wal) > 0:
+        from .txn import recover
+
+        db, report = recover(args.wal)
+        recovered = True
+        sys.stderr.write(
+            "recovered %d commit(s) from %s\n"
+            % (report.total_commits, args.wal))
+    else:
+        db = Database()
+    if args.durability != "off":
+        db.configure(durability=args.durability, wal_path=args.wal)
+    if args.workload and not recovered:
+        # A recovered WAL already replays the preload's DDL; building
+        # the workload again would collide with the recovered tables.
+        from .workloads import build_empdept, build_star
+
+        (build_empdept if args.workload == "empdept" else build_star)(db)
+    if args.log_events:
+        db.event_log.enable(sink=sys.stderr)
+
+    async def run() -> None:
+        server = await Server(db, args.host, args.port).start()
+        sys.stderr.write("repro server listening on %s:%d\n"
+                         % server.address)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        sys.stderr.write("server stopped\n")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "dump-search":
         return _dump_search(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve(argv[1:])
     from .shell import main as shell_main
 
     return shell_main(argv)

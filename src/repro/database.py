@@ -19,13 +19,14 @@ cost ledger rides along on the :class:`QueryResult`.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from .algebra.block import QueryBlock
-from .errors import ParameterError, ReproError
+from .errors import ParameterError, ReproError, TransactionError
 from .executor.lowering import execute as execute_tree
 from .executor.lowering import lower
 from .executor.runtime import RuntimeContext
@@ -49,6 +50,7 @@ from .plancache import (
 )
 from .sql import ast
 from .sql.binder import Binder
+from .sql.dml import compile_expr
 from .sql.parser import Parser, parse
 from .storage.catalog import Catalog
 from .storage.schema import Column, DataType, Schema
@@ -73,6 +75,8 @@ _STATEMENT_KINDS = {
     "CreateViewStmt": "create_view",
     "CreateIndexStmt": "create_index",
     "InsertStmt": "insert",
+    "UpdateStmt": "update",
+    "DeleteStmt": "delete",
     "DropStmt": "drop",
     "BeginStmt": "begin",
     "CommitStmt": "commit",
@@ -158,6 +162,11 @@ class Database:
         # transactions: statement/transaction atomicity and the WAL
         # (durability is off until configure(durability=...) enables it)
         self.txn = TransactionManager(self)
+        # concurrency: statements execute one at a time under this lock
+        # (re-entrant: public methods nest through sql()/atomic());
+        # isolation between concurrent sessions comes from MVCC row
+        # versions, never from interleaving inside a statement
+        self._lock = threading.RLock()
 
     # ----------------------------------------------------------- options
 
@@ -198,6 +207,27 @@ class Database:
     def _resolve_options(self, options: Optional[Options]) -> Options:
         """BUILTIN <- database defaults <- per-call options."""
         return self.defaults.merged(options).resolved()
+
+    # ---------------------------------------------------------- sessions
+
+    def new_session(self, name: Optional[str] = None) -> "Session":
+        """Open an independent session (connection): its own
+        transaction state over the shared catalog, plan cache, and
+        metrics. Safe to use from another thread — statements from all
+        sessions execute one at a time under the database lock, with
+        MVCC snapshots isolating concurrent transactions::
+
+            s1, s2 = db.new_session(), db.new_session()
+            s1.sql("BEGIN")
+            s1.sql("INSERT INTO t VALUES (1)")
+            s2.sql("SELECT * FROM t")   # does not see s1's row yet
+            s1.sql("COMMIT")
+
+        Close with :meth:`Session.close` (or use as a context manager);
+        closing rolls back any open transaction, like a disconnect.
+        """
+        with self._lock:
+            return Session(self, self.txn.new_session(name))
 
     # Pre-Options attributes, kept as views over self.defaults so
     # existing ``db.tracing = True`` / ``db.default_timeout = 2.0``
@@ -258,11 +288,11 @@ class Database:
         """Create a table from (name, DataType) pairs or a Schema."""
         schema = (columns if isinstance(columns, Schema)
                   else Schema(Column(col, dtype) for col, dtype in columns))
-        with self.txn.atomic():
+        with self._lock, self.txn.atomic():
             return self.txn.do_create_table(name, schema)
 
     def drop_table(self, name: str) -> None:
-        with self.txn.atomic():
+        with self._lock, self.txn.atomic():
             self.txn.do_drop_table(name)
 
     def create_view(self, name: str, sql_text: str,
@@ -277,37 +307,69 @@ class Database:
         statement = parse(sql_text)  # validate eagerly
         if not isinstance(statement, (ast.SelectStmt, ast.UnionStmt)):
             raise ReproError("a view must be defined by a query")
-        with self.txn.atomic():
+        with self._lock, self.txn.atomic():
             return self.txn.do_create_view(name, sql_text, column_aliases,
                                            recursive=recursive)
 
     def drop_view(self, name: str) -> None:
-        with self.txn.atomic():
+        with self._lock, self.txn.atomic():
             self.txn.do_drop_view(name)
 
     def create_index(self, table: str, column: str,
                      kind: str = "hash") -> None:
-        with self.txn.atomic():
+        with self._lock, self.txn.atomic():
             self.txn.do_create_index(table, column, kind)
 
     def insert(self, table: str, rows) -> int:
         # data changes shift row counts/stats under cached plans; the
         # operation bumps the catalog version so they are re-optimized
         # rather than run with stale estimates
-        with self.txn.atomic():
+        with self._lock, self.txn.atomic():
             return self.txn.do_insert(table, rows)
+
+    def update(self, table: str, assignments, where: Optional[str] = None
+               ) -> int:
+        """Programmatic UPDATE: ``assignments`` maps column names to SQL
+        value expressions (strings); ``where`` is an optional SQL
+        predicate. Equivalent to the UPDATE statement."""
+        where_sql = " WHERE %s" % where if where else ""
+        sets = ", ".join("%s = %s" % (col, expr)
+                         for col, expr in dict(assignments).items())
+        return self.sql("UPDATE %s SET %s%s"
+                        % (table, sets, where_sql)).rows[0][0]
+
+    def delete(self, table: str, where: Optional[str] = None) -> int:
+        """Programmatic DELETE with an optional SQL predicate."""
+        where_sql = " WHERE %s" % where if where else ""
+        return self.sql("DELETE FROM %s%s"
+                        % (table, where_sql)).rows[0][0]
+
+    def delete_rows(self, table: str, rows) -> int:
+        """Delete the first visible occurrence of each row value (the
+        WAL-replay form of DELETE/UPDATE; see
+        :meth:`TransactionManager.do_delete_values`)."""
+        with self._lock, self.txn.atomic():
+            return self.txn.do_delete_values(table, rows)
 
     def analyze(self, table: Optional[str] = None) -> None:
         """(Re)collect optimizer statistics."""
-        with self.txn.atomic():
+        with self._lock, self.txn.atomic():
             self.txn.do_analyze(table)
+
+    def vacuum(self) -> dict:
+        """Compact away dead row versions in every table; returns
+        ``{table: versions_reclaimed}``. Refused while any session has
+        an open transaction."""
+        with self._lock:
+            return self.txn.vacuum()
 
     # ----------------------------------------------------------- durability
 
     def checkpoint(self) -> dict:
         """Snapshot the full logical state into the WAL and truncate it
         (durability must be on; refused inside a transaction)."""
-        return self.txn.checkpoint()
+        with self._lock:
+            return self.txn.checkpoint()
 
     def attach_wal(self, wal) -> None:
         """Install a specific :class:`~repro.txn.wal.WriteAheadLog`
@@ -546,21 +608,22 @@ class Database:
             max_fixpoint_iterations=max_fixpoint_iterations,
         )
         started = time.perf_counter()
-        if trace is None:
-            operator = lower(plan, ctx)
-            rows = execute_tree(operator, engine)
-            elapsed = time.perf_counter() - started
-            ledger = ctx.ledger
-        else:
-            trace.install(ctx)
-            with trace.phase("lower"):
+        with self._lock:
+            if trace is None:
                 operator = lower(plan, ctx)
-            with trace.phase("execute"):
                 rows = execute_tree(operator, engine)
-            elapsed = time.perf_counter() - started
-            # a plain snapshot, not the tee subclass, so ledger equality
-            # against untraced runs behaves normally
-            ledger = ctx.ledger.snapshot()
+                elapsed = time.perf_counter() - started
+                ledger = ctx.ledger
+            else:
+                trace.install(ctx)
+                with trace.phase("lower"):
+                    operator = lower(plan, ctx)
+                with trace.phase("execute"):
+                    rows = execute_tree(operator, engine)
+                elapsed = time.perf_counter() - started
+                # a plain snapshot, not the tee subclass, so ledger
+                # equality against untraced runs behaves normally
+                ledger = ctx.ledger.snapshot()
         result = QueryResult(
             rows=rows,
             schema=plan.schema,
@@ -655,6 +718,14 @@ class Database:
                            options: Optional[Options] = None,
                            parse_seconds: float = 0.0
                            ) -> QueryResult:
+        with self._lock:
+            return self._execute_locked(statement, original_text, config,
+                                        options, parse_seconds)
+
+    def _execute_locked(self, statement, original_text: str,
+                        config: Optional[OptimizerConfig],
+                        options: Optional[Options],
+                        parse_seconds: float) -> QueryResult:
         opts = self.defaults.merged(options).resolved()
         kind = _STATEMENT_KINDS.get(type(statement).__name__, "other")
         self.metrics_registry.inc("queries_total", label=kind)
@@ -663,13 +734,16 @@ class Database:
         self._current_query_id = qid
         if qid is not None:
             log.emit("query_start", query_id=qid, kind=kind,
-                     statement=" ".join(original_text.split())[:200])
+                     statement=" ".join(original_text.split())[:200],
+                     session=self.txn.session.name)
             log.emit("parse", query_id=qid,
                      seconds=round(parse_seconds, 6))
         try:
-            result = self._dispatch_statement(statement, original_text,
-                                              config, opts,
-                                              parse_seconds, qid)
+            with self.txn.statement_snapshot():
+                result = self._dispatch_statement(statement,
+                                                  original_text,
+                                                  config, opts,
+                                                  parse_seconds, qid)
         except Exception as exc:
             self.txn.note_error(exc)
             if qid is not None:
@@ -704,7 +778,7 @@ class Database:
                             qid: Optional[str]) -> QueryResult:
         log = self.event_log
         if isinstance(statement, ast.TXN_STATEMENTS):
-            return self._txn_statement(statement)
+            return self._txn_statement(statement, opts)
         # an aborted explicit transaction refuses everything except
         # COMMIT/ROLLBACK (handled above) until it is rolled back
         self.txn.check_usable()
@@ -833,6 +907,8 @@ class Database:
             result.rows = [(count,)]
             result.schema = Schema([Column("inserted", DataType.INT)])
             return result
+        if isinstance(statement, (ast.UpdateStmt, ast.DeleteStmt)):
+            return self._dml_statement(statement, qid)
         if isinstance(statement, ast.DropStmt):
             if statement.kind == "table":
                 self.drop_table(statement.name)
@@ -841,14 +917,42 @@ class Database:
             return _ddl_result("drop")
         raise ReproError("unsupported statement %r" % type(statement).__name__)
 
-    def _txn_statement(self, statement) -> QueryResult:
+    def _dml_statement(self, statement, qid: Optional[str]
+                       ) -> QueryResult:
+        """UPDATE/DELETE: compiled against the target table's schema
+        and executed by a direct visible-row scan (no planner)."""
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        where = (compile_expr(statement.where, schema, statement.table)
+                 if statement.where is not None else None)
+        if isinstance(statement, ast.UpdateStmt):
+            assignments = [
+                (column, compile_expr(expr, schema, statement.table))
+                for column, expr in statement.assignments
+            ]
+            with self.txn.atomic():
+                count = self.txn.do_update(statement.table,
+                                           assignments, where)
+            kind, column = "update", "updated"
+        else:
+            with self.txn.atomic():
+                count = self.txn.do_delete(statement.table, where)
+            kind, column = "delete", "deleted"
+        if qid is not None:
+            self.event_log.emit("execute", query_id=qid, rows=count)
+        result = _ddl_result(kind)
+        result.rows = [(count,)]
+        result.schema = Schema([Column(column, DataType.INT)])
+        return result
+
+    def _txn_statement(self, statement, opts: Options) -> QueryResult:
         """BEGIN/COMMIT/ROLLBACK/SAVEPOINT/RELEASE. The result's
         ``statement_kind`` reports what actually happened — COMMIT of an
         aborted transaction rolls back and says so."""
         txn = self.txn
         if isinstance(statement, ast.BeginStmt):
             txn.check_usable()
-            txn.begin()
+            txn.begin(isolation=opts.isolation)
             return _ddl_result("begin")
         if isinstance(statement, ast.CommitStmt):
             return _ddl_result(txn.commit())
@@ -862,6 +966,73 @@ class Database:
         txn.check_usable()
         txn.release(statement.name)
         return _ddl_result("release")
+
+
+class Session:
+    """One connection's view of a shared :class:`Database`.
+
+    A session owns nothing but its transaction state
+    (BEGIN/COMMIT/ROLLBACK/SAVEPOINT are per-session); the catalog,
+    plan cache, metrics registry, and event log are shared with every
+    other session. Statements execute one at a time under the database
+    lock — concurrency between sessions is isolation (MVCC snapshots),
+    not parallelism. Thread-safe: each server connection or worker
+    thread gets its own session.
+    """
+
+    def __init__(self, db: Database, state):
+        self._db = db
+        self._state = state
+        self.closed = False
+
+    @property
+    def name(self) -> str:
+        return self._state.name
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._state.txn is not None
+
+    def sql(self, text: str, **kwargs) -> QueryResult:
+        """Execute one statement as this session (see
+        :meth:`Database.sql`)."""
+        return self._run(self._db.sql, text, **kwargs)
+
+    def execute_script(self, text: str, **kwargs) -> List[QueryResult]:
+        return self._run(self._db.execute_script, text, **kwargs)
+
+    def _run(self, method, *args, **kwargs):
+        if self.closed:
+            raise TransactionError(
+                "session %r is closed" % self.name)
+        db = self._db
+        with db._lock:
+            previous = db.txn.session
+            db.txn.bind(self._state)
+            try:
+                return method(*args, **kwargs)
+            finally:
+                db.txn.bind(previous)
+
+    def close(self) -> None:
+        """Roll back any open transaction and release the session
+        (idempotent)."""
+        if self.closed:
+            return
+        with self._db._lock:
+            self._db.txn.close_session(self._state)
+        self.closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else (
+            "in txn" if self.in_transaction else "idle")
+        return "Session(%r, %s)" % (self.name, state)
 
 
 class PreparedStatement:

@@ -142,6 +142,29 @@ class TransactionAborted(TransactionError):
         self.cause = cause
 
 
+class SerializationError(TransactionError):
+    """A write-write conflict under snapshot isolation: the row this
+    transaction tried to update or delete was already written by a
+    concurrent transaction (first-committer-wins — the other
+    transaction got there first). The losing transaction is aborted;
+    retry it against a fresh snapshot.
+
+    ``table`` names the relation the conflict was detected on.
+    """
+
+    def __init__(self, message: str, table: str = ""):
+        super().__init__(message)
+        self.table = table
+
+
+class ProtocolError(ReproError):
+    """A malformed client/server frame: bad length prefix, oversized
+    frame, invalid JSON payload, or a request missing required fields.
+    The server answers with a protocol error response (or drops the
+    connection when the stream itself is unreadable); the client raises
+    this type."""
+
+
 class WalError(ReproError):
     """The write-ahead log is unreadable: bad magic, an impossible
     record length, or corruption *before* the final record (a torn

@@ -168,18 +168,28 @@ class IndexScanOp(Operator):
                 "no index on %s.%s" % (self.table.name, self.column)
             )
         if self.op == "=":
-            return index.probe(self.value)
-        if index.kind != "sorted":
+            positions = index.probe(self.value)
+        elif index.kind != "sorted":
             raise ExecutionError("range probe requires a sorted index")
-        if self.op == "<":
-            return index.probe_range(None, self.value, high_inclusive=False)
-        if self.op == "<=":
-            return index.probe_range(None, self.value, high_inclusive=True)
-        if self.op == ">":
-            return index.probe_range(self.value, None, low_inclusive=False)
-        if self.op == ">=":
-            return index.probe_range(self.value, None, low_inclusive=True)
-        raise ExecutionError("unsupported index operator %r" % self.op)
+        elif self.op == "<":
+            positions = index.probe_range(None, self.value,
+                                          high_inclusive=False)
+        elif self.op == "<=":
+            positions = index.probe_range(None, self.value,
+                                          high_inclusive=True)
+        elif self.op == ">":
+            positions = index.probe_range(self.value, None,
+                                          low_inclusive=False)
+        elif self.op == ">=":
+            positions = index.probe_range(self.value, None,
+                                          low_inclusive=True)
+        else:
+            raise ExecutionError(
+                "unsupported index operator %r" % self.op)
+        # indexes map to physical positions; drop versions this
+        # statement's MVCC snapshot cannot see (identity on a table
+        # with no in-flight or unvacuumed versions)
+        return self.table.visible_positions(positions)
 
     def rows(self) -> Iterator[Row]:
         positions = self._positions()
@@ -1123,7 +1133,7 @@ class IndexNLJoinOp(Operator):
             key = outer_row[self.outer_position]
             if key is None:
                 continue
-            positions = index.probe(key)
+            positions = self.table.visible_positions(index.probe(key))
             self.ctx.ledger.charge_reads(1.0 + _probe_data_pages(
                 self.table, self.index_column, len(positions)))
             self.ctx.charge_cpu(len(positions) + 1)

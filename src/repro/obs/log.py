@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import threading
 import time
 from collections import deque
 from typing import Callable, List, Optional, TextIO
@@ -53,6 +54,10 @@ class EventLog:
         self._events: deque = deque(maxlen=capacity)
         self._query_ids = itertools.count(1)
         self._sink: Optional[TextIO] = None
+        # shared by every session of a served database: the lock keeps
+        # append order and sink lines consistent across threads (emit
+        # still bails on the ``enabled`` check before touching it)
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------ control
 
@@ -84,10 +89,11 @@ class EventLog:
         if query_id is not None:
             record["query_id"] = query_id
         record.update(fields)
-        self._events.append(record)
-        if self._sink is not None:
-            self._sink.write(json.dumps(record, sort_keys=True,
-                                        default=str) + "\n")
+        with self._lock:
+            self._events.append(record)
+            if self._sink is not None:
+                self._sink.write(json.dumps(record, sort_keys=True,
+                                            default=str) + "\n")
         return record
 
     # ------------------------------------------------------------ queries

@@ -10,7 +10,8 @@ The catalog (see ``docs/observability.md``) covers queries by statement
 kind, plan-cache hit/miss/invalidation, network retries and degradation
 events, rows produced per operator class, and the per-query cardinality
 q-error distribution. Instruments are deliberately primitive — plain
-dict bumps, no locks, no timestamps — so always-on recording costs
+dict bumps, no timestamps, one flat lock per registry so concurrent
+sessions never lose an update — so always-on recording costs
 nanoseconds (enforced by ``benchmarks/bench_obs_overhead.py``); a
 registry can still be disabled wholesale via ``enabled`` for A/B
 overhead measurements.
@@ -18,6 +19,7 @@ overhead measurements.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -151,6 +153,11 @@ class MetricsRegistry:
         self.parent = parent
         self.enabled = enabled
         self._instruments: Dict[str, object] = {}
+        # read-modify-write bumps are not atomic under concurrent
+        # sessions; each registry locks its own instruments (the parent
+        # chain locks registry by registry, so there is no lock order
+        # to get wrong)
+        self._lock = threading.Lock()
 
     # -------------------------------------------------------- instruments
 
@@ -181,13 +188,15 @@ class MetricsRegistry:
     def inc(self, name: str, amount: float = 1.0, label: str = "",
             help: str = "") -> None:
         if self.enabled:
-            self.counter(name, help).inc(amount, label)
+            with self._lock:
+                self.counter(name, help).inc(amount, label)
         if self.parent is not None:
             self.parent.inc(name, amount, label, help)
 
     def set_gauge(self, name: str, value: float, help: str = "") -> None:
         if self.enabled:
-            self.gauge(name, help).set(value)
+            with self._lock:
+                self.gauge(name, help).set(value)
         if self.parent is not None:
             self.parent.set_gauge(name, value, help)
 
@@ -195,7 +204,8 @@ class MetricsRegistry:
                 bounds: Sequence[float] = QERROR_BUCKETS,
                 help: str = "") -> None:
         if self.enabled:
-            self.histogram(name, help, bounds).observe(value)
+            with self._lock:
+                self.histogram(name, help, bounds).observe(value)
         if self.parent is not None:
             self.parent.observe(name, value, bounds, help)
 

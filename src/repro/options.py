@@ -37,6 +37,12 @@ ENGINES = ("iterator", "vector")
 #: every commit record
 DURABILITY_LEVELS = ("off", "lazy", "commit")
 
+#: valid isolation levels (see docs/transactions.md): "snapshot" =
+#: reads pinned to the BEGIN snapshot for the whole transaction,
+#: "read-committed" = a fresh snapshot per statement. Both detect
+#: write-write conflicts first-committer-wins.
+ISOLATION_LEVELS = ("snapshot", "read-committed")
+
 
 @dataclass(frozen=True)
 class Options:
@@ -74,6 +80,10 @@ class Options:
       ``None`` keeps the log in memory (useful for tests and crash
       simulation). Only meaningful as a database default — the WAL is
       opened once, on the first logged commit.
+    - ``isolation``: MVCC isolation level for explicit transactions —
+      ``"snapshot"`` (the built-in default: reads pinned to the BEGIN
+      snapshot) or ``"read-committed"`` (a fresh snapshot per
+      statement). Sampled at BEGIN; see docs/transactions.md.
     """
 
     trace: Optional[bool] = None
@@ -85,6 +95,7 @@ class Options:
     max_fixpoint_iterations: Optional[int] = None
     durability: Optional[str] = None
     wal_path: Optional[str] = None
+    isolation: Optional[str] = None
 
     def __post_init__(self):
         if self.engine is not None and self.engine not in ENGINES:
@@ -113,6 +124,12 @@ class Options:
             raise ValueError(
                 "unknown durability %r (expected one of %s)"
                 % (self.durability, ", ".join(DURABILITY_LEVELS))
+            )
+        if (self.isolation is not None
+                and self.isolation not in ISOLATION_LEVELS):
+            raise ValueError(
+                "unknown isolation %r (expected one of %s)"
+                % (self.isolation, ", ".join(ISOLATION_LEVELS))
             )
 
     def merged(self, over: Optional["Options"]) -> "Options":
@@ -146,7 +163,7 @@ class Options:
 #: and no per-call options
 BUILTIN = Options(trace=False, use_cache=False, engine="iterator",
                   search_trace=False, max_fixpoint_iterations=1000,
-                  durability="off")
+                  durability="off", isolation="snapshot")
 
 OPTION_FIELDS = tuple(f.name for f in dataclasses.fields(Options))
 

@@ -29,6 +29,7 @@ shell's ``\\cache`` command.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -109,6 +110,11 @@ class PlanCache:
         # move, so an owning Database can mirror them into its metrics
         # registry without polling
         self.listener = listener
+        # the cache is shared by every session of a served database;
+        # the lock keeps LRU moves and counter bumps consistent when
+        # statements from different connections race (re-entrant: the
+        # listener may call back into stats())
+        self._lock = threading.RLock()
 
     def _emit(self, event: str, count: int = 1) -> None:
         if self.listener is not None and count:
@@ -131,22 +137,23 @@ class PlanCache:
         An entry built under an older catalog version is discarded and
         counted as an invalidation (plus the miss the caller sees).
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            self._emit("miss")
-            return None
-        if entry.catalog_version != catalog_version:
-            del self._entries[key]
-            self.invalidations += 1
-            self.misses += 1
-            self._emit("invalidation")
-            self._emit("miss")
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        self._emit("hit")
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                self._emit("miss")
+                return None
+            if entry.catalog_version != catalog_version:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                self._emit("invalidation")
+                self._emit("miss")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._emit("hit")
+            return entry
 
     def peek(self, key: Tuple[str, str]) -> Optional[PlanCacheEntry]:
         """The entry for ``key`` without touching LRU order or counters
@@ -158,37 +165,41 @@ class PlanCache:
         capacity. A no-op when the cache is disabled."""
         if not self.enabled:
             return
-        self._entries[entry.key] = entry
-        self._entries.move_to_end(entry.key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            self._emit("eviction")
+        with self._lock:
+            self._entries[entry.key] = entry
+            self._entries.move_to_end(entry.key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._emit("eviction")
 
     def invalidate_all(self) -> int:
         """Drop every entry (counted as invalidations); returns how many."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.invalidations += dropped
-        self._emit("invalidation", dropped)
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            self._emit("invalidation", dropped)
+            return dropped
 
     def clear(self) -> None:
         """Drop all entries and reset every counter."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
+            self.evictions = 0
 
     def resize(self, capacity: int) -> None:
         if capacity < 0:
             raise ValueError("plan cache capacity must be >= 0")
-        self.capacity = capacity
-        while len(self._entries) > capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            self._emit("eviction")
+        with self._lock:
+            self.capacity = capacity
+            while len(self._entries) > capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._emit("eviction")
 
     def stats(self) -> dict:
         total = self.hits + self.misses

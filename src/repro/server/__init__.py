@@ -1,0 +1,42 @@
+"""Client/server serving layer: an asyncio SQL server over sessions.
+
+``python -m repro serve`` starts a TCP server whose wire format is
+length-prefixed JSON frames (see :mod:`repro.server.protocol`). Each
+connection gets its own :class:`~repro.database.Session` — transactions
+are per-connection, snapshot-isolated by MVCC — while the catalog, plan
+cache, metrics registry, and event log are shared. The blocking engine
+runs in a thread pool; the event loop only frames bytes.
+
+    from repro.server import Server, Client
+
+    server = await Server(db).start()
+    client = Client(*server.address)
+    client.sql("SELECT 1 AS one").rows   # [(1,)]
+"""
+
+from .client import Client, ClientResult
+from .protocol import (
+    HEADER,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_payload,
+    encode_frame,
+    error_payload,
+    frame_length,
+    result_payload,
+)
+from .server import Server
+
+__all__ = [
+    "Client",
+    "ClientResult",
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "Server",
+    "decode_payload",
+    "encode_frame",
+    "error_payload",
+    "frame_length",
+    "result_payload",
+]

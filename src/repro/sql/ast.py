@@ -217,6 +217,29 @@ class InsertStmt:
 
 
 @dataclass
+class UpdateStmt:
+    """``UPDATE table SET col = expr [, ...] [WHERE expr]``.
+
+    Assignments and the predicate are plain scalar expressions over
+    the target table's columns (no subqueries, no parameters in v1);
+    they are compiled against the table schema by
+    :mod:`repro.sql.dml`.
+    """
+
+    table: str
+    assignments: List[Tuple[str, AstExpr]]
+    where: Optional[AstExpr]
+
+
+@dataclass
+class DeleteStmt:
+    """``DELETE FROM table [WHERE expr]``."""
+
+    table: str
+    where: Optional[AstExpr]
+
+
+@dataclass
 class DropStmt:
     kind: str  # "table" | "view"
     name: str
@@ -272,6 +295,7 @@ TXN_STATEMENTS = (BeginStmt, CommitStmt, RollbackStmt, SavepointStmt,
 
 Statement = Union[
     SelectStmt, UnionStmt, WithStmt, CreateTableStmt, CreateTableAsStmt,
-    CreateViewStmt, CreateIndexStmt, InsertStmt, DropStmt, ExplainStmt,
+    CreateViewStmt, CreateIndexStmt, InsertStmt, UpdateStmt, DeleteStmt,
+    DropStmt, ExplainStmt,
     BeginStmt, CommitStmt, RollbackStmt, SavepointStmt, ReleaseStmt,
 ]

@@ -1,0 +1,78 @@
+"""Compile UPDATE/DELETE scalar expressions against one table schema.
+
+UPDATE and DELETE never reach the planner: they resolve their target
+rows by a direct visible-row scan inside the transaction manager, so
+all they need is the expression subset — columns of the target table,
+literals, comparisons, boolean logic, arithmetic, and IN lists —
+compiled to the executor's :mod:`repro.expr.nodes` tree and resolved
+against the table schema. Subqueries, function calls, and prepared
+parameters are rejected with typed errors.
+"""
+
+from __future__ import annotations
+
+from ..errors import BindError, ParameterError
+from ..expr.nodes import (
+    Arithmetic,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+)
+from ..storage.schema import Schema
+from . import ast
+
+
+def compile_expr(node, schema: Schema, table_name: str) -> Expr:
+    """AST scalar expression -> resolved executor expression."""
+    return _convert(node, schema, table_name).resolve(schema)
+
+
+def _convert(node, schema: Schema, table_name: str) -> Expr:
+    if isinstance(node, ast.AstLiteral):
+        return Literal(node.value)
+    if isinstance(node, ast.AstColumn):
+        if node.qualifier and \
+                node.qualifier.lower() != table_name.lower():
+            raise BindError(
+                "unknown qualifier %r in UPDATE/DELETE on %r"
+                % (node.qualifier, table_name)
+            )
+        if not schema.has_column(node.name):
+            raise BindError(
+                "no column %r in table %r" % (node.name, table_name)
+            )
+        return ColumnRef(node.name)
+    if isinstance(node, ast.AstComparison):
+        return Comparison(
+            node.op,
+            _convert(node.left, schema, table_name),
+            _convert(node.right, schema, table_name),
+        )
+    if isinstance(node, ast.AstBoolean):
+        return BooleanExpr(
+            node.op,
+            [_convert(arg, schema, table_name) for arg in node.args],
+        )
+    if isinstance(node, ast.AstArithmetic):
+        return Arithmetic(
+            node.op,
+            _convert(node.left, schema, table_name),
+            _convert(node.right, schema, table_name),
+        )
+    if isinstance(node, ast.AstInList):
+        return InList(
+            _convert(node.operand, schema, table_name),
+            node.values,
+            negated=node.negated,
+        )
+    if isinstance(node, ast.AstParameter):
+        raise ParameterError(
+            "parameters (?) are not supported in UPDATE/DELETE"
+        )
+    raise BindError(
+        "%s is not supported in UPDATE/DELETE expressions"
+        % type(node).__name__
+    )

@@ -20,7 +20,7 @@ KEYWORDS = {
     "VARCHAR", "TEXT", "BOOLEAN", "BOOL", "TRUE", "FALSE", "NULL", "ON",
     "INDEX", "DROP", "EXPLAIN", "LIMIT", "WITH", "RECURSIVE",
     "BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT", "RELEASE",
-    "TRANSACTION", "TO",
+    "TRANSACTION", "TO", "UPDATE", "SET", "DELETE",
 }
 
 SYMBOLS = (

@@ -147,6 +147,10 @@ class Parser:
             return self._create()
         if token.is_keyword("INSERT"):
             return self._insert()
+        if token.is_keyword("UPDATE"):
+            return self._update()
+        if token.is_keyword("DELETE"):
+            return self._delete()
         if token.is_keyword("DROP"):
             return self._drop()
         if token.is_keyword("BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT",
@@ -276,6 +280,27 @@ class Parser:
             if not self.accept_symbol(","):
                 break
         return ast.InsertStmt(table, rows)
+
+    def _update(self) -> ast.UpdateStmt:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = []
+        while True:
+            column = self.expect_ident()
+            self.expect_symbol("=")
+            assignments.append((column, self.parse_expr()))
+            if not self.accept_symbol(","):
+                break
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.UpdateStmt(table, assignments, where)
+
+    def _delete(self) -> ast.DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.DeleteStmt(table, where)
 
     def _drop(self) -> ast.DropStmt:
         self.expect_keyword("DROP")

@@ -18,6 +18,7 @@ from ..stats.histogram import (
     EquiWidthHistogram,
     FrequencyHistogram,
 )
+from .mvcc import MVCCState
 from .schema import DataType, Schema
 from .table import Table
 
@@ -150,6 +151,9 @@ class Catalog:
         self._replicas: Dict[str, List[str]] = {}
         self._down_sites: set = set()
         self._version = 0
+        #: snapshot/commit bookkeeping shared by every table installed
+        #: in this catalog (see repro.storage.mvcc)
+        self.mvcc = MVCCState()
         # called as listener(table_name_or_None, prior_stats_snapshot)
         # at the start of every analyze(); the transaction manager
         # hooks this so stats rebuilds — including the planner's lazy
@@ -181,6 +185,7 @@ class Catalog:
         if key in self._tables or key in self._views:
             raise CatalogError("relation %r already exists" % name)
         table = Table(name, schema)
+        table._mvcc = self.mvcc
         self._tables[key] = table
         self.bump_version()
         return table
@@ -380,6 +385,7 @@ class Catalog:
         key = table.name.lower()
         if key in self._tables or key in self._views:
             raise CatalogError("relation %r already exists" % table.name)
+        table._mvcc = self.mvcc
         self._tables[key] = table
         if stats is not None:
             self._stats[key] = stats

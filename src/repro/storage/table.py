@@ -1,4 +1,4 @@
-"""In-memory tables with a simulated page layout.
+"""In-memory tables with a simulated page layout and MVCC versioning.
 
 Rows live in a Python list, but every table exposes a *page model*: given
 its schema's row width and a fixed page size, ``num_pages`` says how many
@@ -6,15 +6,31 @@ page I/Os a full scan costs. Executor operators charge those I/Os to the
 cost ledger; the optimizer's formulas predict the same quantities from
 catalog statistics. This is the substitution documented in DESIGN.md for
 the paper's disk-based engine.
+
+Concurrency (PR 8) adds snapshot-isolated versioning on top of the
+same storage: ``_rows`` holds every version ever created, a parallel
+``_xmins`` list stamps each version with its creating transaction, and
+a sparse ``_xmaxs`` dict stamps deleted/superseded versions with the
+transaction that removed them. ``Table.rows`` is now a *property*: on
+a quiesced table (no unfrozen stamps) it returns the raw physical list
+— bit-identical to the pre-MVCC engine, zero per-row overhead — and
+otherwise a cached list of the versions visible to the current
+snapshot (see :mod:`repro.storage.mvcc` for the visibility rules and
+the freezing protocol that keeps tables quiesced). Updates never
+modify a row in place: they stamp the old version's ``xmax`` and
+append the new version, so concurrent readers keep seeing the world
+their snapshot pinned. :meth:`vacuum` physically reclaims frozen-dead
+versions once no transaction can need them.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CatalogError
 from .index import HashIndex, Index, SortedIndex
+from .mvcc import FROZEN, MVCCState, Snapshot
 from .schema import Schema
 
 PAGE_SIZE_BYTES = 4096
@@ -34,33 +50,153 @@ def pages_for(num_rows: float, row_width: int) -> float:
 
 
 class Table:
-    """An append-only stored relation.
+    """An append-only, multi-versioned stored relation.
 
     Tables own their secondary indexes; ``create_index`` builds over
     existing rows and ``insert`` maintains all indexes incrementally.
+    Indexes map keys to *physical* positions and may reference dead
+    versions; readers re-check visibility via
+    :meth:`visible_positions`.
     """
 
     def __init__(self, name: str, schema: Schema):
         self.name = name
         self.schema = schema
-        self.rows: List[tuple] = []
+        self._rows: List[tuple] = []
         self.indexes: dict = {}
         # Column the rows are physically ordered by (clustered), if any;
         # equality probes on it touch contiguous pages.
         self.clustered_on: Optional[str] = None
+        # ------------------------------------------- version metadata
+        #: the catalog's MVCCState once installed; a standalone Table
+        #: never sees stamped versions and behaves exactly as before
+        self._mvcc: Optional[MVCCState] = None
+        #: creating txn per physical row; FROZEN = visible to all
+        self._xmins: List[int] = []
+        #: physical position -> deleting txn; FROZEN = dead to all
+        self._xmaxs: Dict[int, int] = {}
+        #: unfrozen txn id -> positions it created (for freeze/undo)
+        self._writers: Dict[int, List[int]] = {}
+        #: unfrozen txn id -> positions it deleted (for freeze)
+        self._deleters: Dict[int, List[int]] = {}
+        #: count of frozen-dead versions (xmax == FROZEN), vacuumable
+        self._dead = 0
+        #: bumped on any row/version change; keys the visibility cache
+        self._mutations = 0
+        self._vis_key: Optional[tuple] = None
+        self._vis_rows: List[tuple] = []
 
     # ------------------------------------------------------------------ data
 
-    def insert(self, row: Sequence) -> None:
-        """Validate, coerce, and append one row, maintaining indexes."""
+    @property
+    def rows(self) -> List[tuple]:
+        """The rows visible to the current snapshot.
+
+        Fast path: with no unfrozen stamps anywhere (the common,
+        quiesced state) every physical row is visible and the raw list
+        is returned directly.
+        """
+        if not self._xmaxs and not self._writers:
+            return self._rows
+        if self._mvcc is None:
+            return self._rows
+        return self._visible_rows(self._mvcc.read_view())
+
+    @property
+    def physical_rows(self) -> List[tuple]:
+        """Raw storage, every version including dead ones. Owned by
+        the transaction manager and vacuum; everyone else wants
+        :attr:`rows`."""
+        return self._rows
+
+    @property
+    def physical_count(self) -> int:
+        return len(self._rows)
+
+    def _visible_rows(self, snap: Snapshot) -> List[tuple]:
+        key = (snap.txn_id, snap.seq, self._mutations)
+        if key == self._vis_key:
+            return self._vis_rows
+        xmins, xmaxs = self._xmins, self._xmaxs
+        out = []
+        for pos, row in enumerate(self._rows):
+            xmin = xmins[pos]
+            if xmin and not snap.sees(xmin):
+                continue
+            xmax = xmaxs.get(pos)
+            if xmax is not None and (xmax == FROZEN or snap.sees(xmax)):
+                continue
+            out.append(row)
+        self._vis_key = key
+        self._vis_rows = out
+        return out
+
+    def visible_items(self) -> List[Tuple[int, tuple]]:
+        """(physical position, row) pairs visible to the current
+        snapshot — what UPDATE/DELETE iterate to find their targets."""
+        if (not self._xmaxs and not self._writers) or self._mvcc is None:
+            return list(enumerate(self._rows))
+        snap = self._mvcc.read_view()
+        xmins, xmaxs = self._xmins, self._xmaxs
+        out = []
+        for pos, row in enumerate(self._rows):
+            xmin = xmins[pos]
+            if xmin and not snap.sees(xmin):
+                continue
+            xmax = xmaxs.get(pos)
+            if xmax is not None and (xmax == FROZEN or snap.sees(xmax)):
+                continue
+            out.append((pos, row))
+        return out
+
+    def visible_positions(self, positions: Sequence[int]) -> List[int]:
+        """Filter index-probe results down to the current snapshot.
+        Identity on a quiesced table, so index paths charge exactly
+        what they did pre-MVCC."""
+        if (not self._xmaxs and not self._writers) or self._mvcc is None:
+            return list(positions)
+        snap = self._mvcc.read_view()
+        xmins, xmaxs = self._xmins, self._xmaxs
+        out = []
+        for pos in positions:
+            xmin = xmins[pos]
+            if xmin and not snap.sees(xmin):
+                continue
+            xmax = xmaxs.get(pos)
+            if xmax is not None and (xmax == FROZEN or snap.sees(xmax)):
+                continue
+            out.append(pos)
+        return out
+
+    def conflicting_positions(self, positions: Sequence[int]) -> List[int]:
+        """Positions that already carry *any* deletion stamp. A version
+        that is visible to the caller yet stamped was written by a
+        concurrent transaction — the write-write conflict that
+        first-committer-wins turns into a SerializationError."""
+        xmaxs = self._xmaxs
+        if not xmaxs:
+            return []
+        return [p for p in positions if p in xmaxs]
+
+    def insert(self, row: Sequence, xmin: int = FROZEN) -> None:
+        """Validate, coerce, and append one row, maintaining indexes.
+
+        ``xmin`` stamps the new version with its creating transaction;
+        the default FROZEN makes it immediately visible to everyone
+        (correct whenever no concurrent snapshot is live)."""
         coerced = self.schema.validate_row(row)
-        position = len(self.rows)
-        self.rows.append(coerced)
+        position = len(self._rows)
+        self._rows.append(coerced)
+        self._xmins.append(xmin)
+        if xmin:
+            self._writers.setdefault(xmin, []).append(position)
+        self._mutations += 1
         for index in self.indexes.values():
             key = coerced[self.schema.index_of(index.column_name)]
             index.insert(key, position)
 
-    def insert_many(self, rows: Iterable[Sequence]) -> int:
+    def insert_many(self, rows: Iterable[Sequence],
+                    xmin: int = FROZEN) -> int:
         """Insert many rows; returns the number inserted.
 
         A bad row mid-batch raises with earlier rows already appended;
@@ -70,24 +206,149 @@ class Table:
         """
         count = 0
         for row in rows:
-            self.insert(row)
+            self.insert(row, xmin=xmin)
             count += 1
         return count
 
+    def mark_deleted(self, position: int, xmax: int = FROZEN) -> None:
+        """Stamp one version as deleted by transaction ``xmax``
+        (FROZEN = dead to every snapshot immediately)."""
+        self._xmaxs[position] = xmax
+        if xmax:
+            self._deleters.setdefault(xmax, []).append(position)
+        else:
+            self._dead += 1
+        self._mutations += 1
+
+    def unmark_deleted(self, position: int) -> None:
+        """Remove a deletion stamp (the undo of :meth:`mark_deleted`).
+        Stale entries in the deleter tracking lists are tolerated by
+        :meth:`freeze_txn`'s ownership check."""
+        xmax = self._xmaxs.pop(position, None)
+        if xmax == FROZEN:
+            self._dead -= 1
+        self._mutations += 1
+
     def truncate_to(self, num_rows: int) -> None:
-        """Discard every row at position >= ``num_rows``, maintaining
-        indexes. The undo of an append, since tables are append-only."""
-        if num_rows >= len(self.rows):
+        """Discard every version at position >= ``num_rows``,
+        maintaining indexes and version metadata. The undo of an
+        append when the tail is known to belong to the caller."""
+        if num_rows >= len(self._rows):
             return
-        del self.rows[num_rows:]
+        del self._rows[num_rows:]
+        del self._xmins[num_rows:]
+        if self._xmaxs:
+            kept = {p: x for p, x in self._xmaxs.items() if p < num_rows}
+            self._xmaxs = kept
+            self._dead = sum(1 for x in kept.values() if x == FROZEN)
+        for tracker in (self._writers, self._deleters):
+            for txn_id in list(tracker):
+                mine = [p for p in tracker[txn_id] if p < num_rows]
+                if mine:
+                    tracker[txn_id] = mine
+                else:
+                    del tracker[txn_id]
+        self._mutations += 1
         for index in self.indexes.values():
             index.remove_from(num_rows)
 
+    def retract_inserts(self, before: int, txn_id: int) -> None:
+        """Undo an insert batch that started at physical position
+        ``before``. When the tail above ``before`` is entirely ours
+        (always true for statement-level undo, which runs before the
+        statement lock is released) it is physically truncated;
+        otherwise — transaction rollback after other transactions
+        appended — our versions are stamped frozen-dead for vacuum."""
+        mine = [p for p in self._writers.get(txn_id, ()) if p >= before]
+        if txn_id == FROZEN or len(self._rows) - before == len(mine):
+            self.truncate_to(before)
+            return
+        for position in mine:
+            if self._xmaxs.get(position) != FROZEN:
+                self._xmaxs[position] = FROZEN
+                self._dead += 1
+        kept = [p for p in self._writers[txn_id] if p < before]
+        if kept:
+            self._writers[txn_id] = kept
+        else:
+            del self._writers[txn_id]
+        self._mutations += 1
+
+    def freeze_txn(self, txn_id: int) -> None:
+        """Rewrite a committed transaction's stamps to FROZEN: its
+        insertions become visible to all, its deletions dead to all.
+        Called by MVCCState once every live snapshot sees the commit."""
+        for position in self._writers.pop(txn_id, ()):
+            self._xmins[position] = FROZEN
+        for position in self._deleters.pop(txn_id, ()):
+            if self._xmaxs.get(position) == txn_id:
+                self._xmaxs[position] = FROZEN
+                self._dead += 1
+        self._mutations += 1
+
+    def forget_txn(self, txn_id: int) -> None:
+        """Drop a rolled-back transaction's tracking entries (its
+        stamps were already retracted by the undo closures)."""
+        self._writers.pop(txn_id, None)
+        self._deleters.pop(txn_id, None)
+        self._mutations += 1
+
+    def vacuum(self) -> int:
+        """Physically reclaim frozen-dead versions, compacting storage
+        and rebuilding indexes; returns the number reclaimed.
+
+        Only safe when no transaction holds undo closures referencing
+        physical positions — the manager guarantees that by vacuuming
+        only while no transaction is live.
+        """
+        if not self._dead:
+            return 0
+        xmaxs = self._xmaxs
+        keep = [p for p in range(len(self._rows))
+                if xmaxs.get(p) != FROZEN]
+        reclaimed = len(self._rows) - len(keep)
+        if not reclaimed:
+            return 0
+        remap = {}
+        rows: List[tuple] = []
+        xmins: List[int] = []
+        for new_pos, old_pos in enumerate(keep):
+            remap[old_pos] = new_pos
+            rows.append(self._rows[old_pos])
+            xmins.append(self._xmins[old_pos])
+        self._rows = rows
+        self._xmins = xmins
+        self._xmaxs = {remap[p]: x for p, x in xmaxs.items()
+                       if x != FROZEN and p in remap}
+        for tracker in (self._writers, self._deleters):
+            for txn_id in list(tracker):
+                mine = [remap[p] for p in tracker[txn_id] if p in remap]
+                if mine:
+                    tracker[txn_id] = mine
+                else:
+                    del tracker[txn_id]
+        self._dead = 0
+        self._mutations += 1
+        for index in self.indexes.values():
+            col_pos = self.schema.index_of(index.column_name)
+            index.bulk_load(
+                (row[col_pos], at) for at, row in enumerate(rows)
+            )
+        return reclaimed
+
+    @property
+    def dead_versions(self) -> int:
+        return self._dead
+
     def row_at(self, position: int) -> tuple:
-        return self.rows[position]
+        return self._rows[position]
 
     @property
     def num_rows(self) -> int:
+        """Rows visible to the current snapshot (physical count on a
+        quiesced table)."""
+        if not self._xmaxs and not self._writers:
+            return len(self._rows)
         return len(self.rows)
 
     @property
@@ -96,23 +357,37 @@ class Table:
 
     @property
     def num_pages(self) -> int:
-        """Whole pages occupied (at least 1, even when empty)."""
-        return int(math.ceil(pages_for(self.num_rows, self.schema.row_width())))
+        """Whole pages occupied (at least 1, even when empty). Page
+        occupancy is physical: dead versions take space until
+        vacuumed, exactly like a real heap."""
+        return int(math.ceil(pages_for(len(self._rows),
+                                       self.schema.row_width())))
 
     def cluster_by(self, column_name: str) -> None:
         """Physically sort the rows by one column and rebuild indexes.
 
         Models a clustered table: equality/range probes on the cluster
         column read contiguous pages instead of Yao-scattered ones.
+        Requires a quiesced table (clustering rewrites every physical
+        position); frozen-dead versions are vacuumed first.
         """
+        if self._writers or any(x != FROZEN
+                                for x in self._xmaxs.values()):
+            raise CatalogError(
+                "cannot cluster %r: transactions hold unfrozen row "
+                "versions" % self.name
+            )
+        if self._xmaxs:
+            self.vacuum()
         position = self.schema.index_of(column_name)
-        self.rows.sort(key=lambda row: (row[position] is None,
-                                        row[position]))
+        self._rows.sort(key=lambda row: (row[position] is None,
+                                         row[position]))
         self.clustered_on = column_name
+        self._mutations += 1
         for index in self.indexes.values():
             col_pos = self.schema.index_of(index.column_name)
             index.bulk_load(
-                (row[col_pos], at) for at, row in enumerate(self.rows)
+                (row[col_pos], at) for at, row in enumerate(self._rows)
             )
 
     # --------------------------------------------------------------- indexes
@@ -131,7 +406,8 @@ class Table:
         else:
             raise CatalogError("unknown index kind %r" % kind)
         index.bulk_load(
-            (row[col_pos], position) for position, row in enumerate(self.rows)
+            (row[col_pos], position)
+            for position, row in enumerate(self._rows)
         )
         self.indexes[column_name] = index
         return index

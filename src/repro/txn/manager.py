@@ -1,4 +1,4 @@
-"""The transaction manager: undo-based atomicity + redo logging.
+"""The transaction manager: undo-based atomicity + redo logging + MVCC.
 
 Every mutating statement runs inside :meth:`TransactionManager.atomic`
 — joining the open explicit transaction if there is one, otherwise
@@ -25,19 +25,34 @@ Redo is buffered per-transaction rather than logged eagerly, so
 rollback (full or to a savepoint) is pure in-memory truncation and the
 WAL only ever contains committed work plus, transiently, the tail of
 the commit batch in progress.
+
+Concurrency (PR 8): the manager now holds one :class:`SessionState`
+per connection — the database binds a session before executing each
+statement, so ``self.current`` always means "the bound session's open
+transaction". Row versions are stamped per the MVCC scheme in
+:mod:`repro.storage.mvcc`: explicit transactions pin a begin-snapshot
+and stamp every version they create or delete with their id; implicit
+(single-statement) transactions skip stamping entirely when no
+concurrent snapshot is live, which keeps the single-caller write path
+within the transaction benchmark's 5% budget. Write-write conflicts
+surface as :class:`~repro.errors.SerializationError` the moment the
+second writer touches a row with an unfrozen deletion stamp —
+first-committer-wins, detected no-wait at write time.
 """
 
 from __future__ import annotations
 
 import itertools
 from contextlib import contextmanager
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set
 
 from ..errors import (
+    SerializationError,
     TransactionAborted,
     TransactionError,
     WalError,
 )
+from ..storage.mvcc import FROZEN, Snapshot
 from .state import state_dict
 from .wal import FileStorage, MemoryStorage, WriteAheadLog
 
@@ -55,15 +70,28 @@ class Savepoint:
         self.version = version
 
 
+class SessionState:
+    """One connection's transaction state. The engine executes
+    statements one at a time under the database lock; a session is
+    bound for the duration of each of its statements."""
+
+    __slots__ = ("name", "txn")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.txn: Optional["Transaction"] = None
+
+
 class Transaction:
     """One (explicit or implicit) transaction's in-flight state."""
 
     __slots__ = ("id", "implicit", "undo", "redo", "savepoints",
                  "aborted", "abort_cause", "begin_version", "statements",
-                 "log_redo")
+                 "log_redo", "snapshot", "isolation", "tables",
+                 "stamped")
 
     def __init__(self, txn_id: int, implicit: bool, begin_version: int,
-                 log_redo: bool):
+                 log_redo: bool, isolation: str = "snapshot"):
         self.id = txn_id
         self.implicit = implicit
         self.undo: List[Callable[[], None]] = []
@@ -77,10 +105,24 @@ class Transaction:
         # consulted, so skipping them keeps autocommit overhead at a
         # closure push + a version compare
         self.log_redo = log_redo
+        #: the pinned read snapshot (explicit transactions only)
+        self.snapshot: Optional[Snapshot] = None
+        self.isolation = isolation
+        #: tables whose versions this transaction touched
+        self.tables: Set = set()
+        #: True once any version was stamped with our id (and so must
+        #: be committed into the MVCC ordering / frozen later)
+        self.stamped = False
 
     @property
     def name(self) -> str:
         return "t%d" % self.id
+
+
+#: auto-vacuum thresholds: reclaim once a table holds at least this
+#: many frozen-dead versions AND they are at least a quarter of it
+VACUUM_MIN_DEAD = 64
+VACUUM_DEAD_FRACTION = 0.25
 
 
 class TransactionManager:
@@ -88,7 +130,10 @@ class TransactionManager:
 
     def __init__(self, db):
         self._db = db
-        self.current: Optional[Transaction] = None
+        self._default_session = SessionState("main")
+        self._active = self._default_session
+        self._sessions: List[SessionState] = [self._default_session]
+        self._session_ids = itertools.count(1)
         #: "abort" (PostgreSQL semantics: an error inside an explicit
         #: transaction aborts it until ROLLBACK) or "continue" (the
         #: failed statement is undone, the transaction stays usable —
@@ -101,12 +146,64 @@ class TransactionManager:
         # independent parser — can count commits across a checkpoint)
         self.wal_commits = 0
         db.catalog.analyze_listener = self._on_analyze
+        db.catalog.mvcc.manager = self
+
+    # ---------------------------------------------------------- sessions
+
+    @property
+    def current(self) -> Optional[Transaction]:
+        """The bound session's open transaction."""
+        return self._active.txn
+
+    @current.setter
+    def current(self, txn: Optional[Transaction]) -> None:
+        self._active.txn = txn
+
+    @property
+    def session(self) -> SessionState:
+        return self._active
+
+    def new_session(self, name: Optional[str] = None) -> SessionState:
+        state = SessionState(name or "s%d" % next(self._session_ids))
+        self._sessions.append(state)
+        return state
+
+    def bind(self, state: SessionState) -> None:
+        """Make ``state`` the session whose transaction ``current``
+        means. Must be called under the database statement lock."""
+        self._active = state
+
+    def bind_default(self) -> None:
+        self._active = self._default_session
+
+    def close_session(self, state: SessionState) -> None:
+        """Roll back the session's open transaction (a disconnect is a
+        rollback) and forget the session."""
+        if state.txn is not None:
+            previous = self._active
+            self._active = state
+            try:
+                self.rollback()
+            finally:
+                self._active = previous
+        if state is not self._default_session and state in self._sessions:
+            self._sessions.remove(state)
+
+    def any_open_txn(self) -> Optional[Transaction]:
+        for state in self._sessions:
+            if state.txn is not None:
+                return state.txn
+        return None
 
     # -------------------------------------------------------------- WAL
 
     @property
     def durability(self) -> str:
         return self._db.defaults.durability or "off"
+
+    @property
+    def _mvcc(self):
+        return self._db.catalog.mvcc
 
     def attach_wal(self, wal: WriteAheadLog) -> WriteAheadLog:
         """Install a specific WAL (tests, crash harness, recovery)."""
@@ -143,10 +240,31 @@ class TransactionManager:
             self._undo_to(txn, undo_mark, version_mark)
             del txn.redo[redo_mark:]
             if implicit:
+                for table in txn.tables:
+                    table.forget_txn(txn.id)
                 self.current = None
             raise
         if implicit:
             self._commit(txn)
+
+    @contextmanager
+    def statement_snapshot(self):
+        """Pin the MVCC read view for one statement: the open explicit
+        transaction's snapshot (refreshed first under read-committed),
+        else a fresh view of everything committed so far."""
+        mvcc = self._mvcc
+        txn = self.current
+        previous = mvcc.active
+        if txn is not None and not txn.implicit:
+            if txn.isolation == "read-committed":
+                txn.snapshot = mvcc.refresh(txn.id)
+            mvcc.active = txn.snapshot
+        else:
+            mvcc.active = mvcc.snapshot(None)
+        try:
+            yield
+        finally:
+            mvcc.active = previous
 
     def note_error(self, exc: Optional[BaseException]) -> None:
         """Mark the open explicit transaction aborted after a statement
@@ -183,22 +301,34 @@ class TransactionManager:
 
     # ------------------------------------------------------- txn control
 
-    def begin(self) -> Transaction:
+    def begin(self, isolation: Optional[str] = None) -> Transaction:
         if self.current is not None:
             raise TransactionError(
                 "already in a transaction (%s); nested BEGIN is not "
                 "supported — use SAVEPOINT" % self.current.name
             )
-        txn = self._begin(implicit=False)
-        self._db.event_log.emit("txn_begin", txn=txn.name)
+        txn = self._begin(implicit=False, isolation=isolation)
+        txn.snapshot = self._mvcc.register(txn.id)
+        self._db.event_log.emit("txn_begin", txn=txn.name,
+                                session=self._active.name,
+                                isolation=txn.isolation)
         return txn
 
-    def _begin(self, implicit: bool) -> Transaction:
+    def _begin(self, implicit: bool,
+               isolation: Optional[str] = None) -> Transaction:
         txn = Transaction(
             next(self._ids), implicit, self._db.catalog.version,
             log_redo=self.durability != "off",
+            isolation=isolation or "snapshot",
         )
         self.current = txn
+        if implicit:
+            # re-attribute the statement's read view so the implicit
+            # transaction sees its own stamped writes mid-statement
+            mvcc = self._mvcc
+            active = mvcc.active
+            if active is not None and active.txn_id is None:
+                mvcc.active = Snapshot(mvcc, txn.id, active.seq)
         self._db.metrics_registry.inc(
             "txn_begins_total",
             label="implicit" if implicit else "explicit")
@@ -215,7 +345,8 @@ class TransactionManager:
             return "rollback"
         self._commit(txn)
         self._db.event_log.emit("txn_commit", txn=txn.name,
-                                ops=txn.statements)
+                                ops=txn.statements,
+                                session=self._active.name)
         return "commit"
 
     def _commit(self, txn: Transaction) -> None:
@@ -235,10 +366,55 @@ class TransactionManager:
                 self._rollback_all(txn)
                 raise
             self.wal_commits += 1
+        mvcc = self._mvcc
+        if not txn.implicit:
+            mvcc.deregister(txn.id)
+        if txn.stamped:
+            mvcc.record_commit(txn.id, txn.tables)
+        elif not txn.implicit:
+            # our snapshot's departure may unblock pending freezes
+            mvcc.freeze()
         self.current = None
         self._db.metrics_registry.inc(
             "txn_commits_total",
             label="implicit" if txn.implicit else "explicit")
+        if txn.tables and not mvcc.live:
+            self._maybe_vacuum(txn.tables)
+
+    def _maybe_vacuum(self, tables) -> None:
+        """Opportunistic reclamation once no snapshot can need the dead
+        versions (and no undo closure can reference their positions)."""
+        for table in tables:
+            dead = table.dead_versions
+            if dead >= VACUUM_MIN_DEAD and \
+                    dead >= VACUUM_DEAD_FRACTION * table.physical_count:
+                reclaimed = table.vacuum()
+                if reclaimed:
+                    self._db.metrics_registry.inc(
+                        "vacuum_rows_reclaimed_total", amount=reclaimed)
+                    self._db.event_log.emit(
+                        "vacuum", table=table.name, reclaimed=reclaimed)
+
+    def vacuum(self) -> dict:
+        """Explicit ``db.vacuum()``: freeze whatever the (empty) live
+        set allows, then compact every table. Refused while any
+        session holds an open transaction — undo closures capture
+        physical row positions that compaction would invalidate."""
+        open_txn = self.any_open_txn()
+        if open_txn is not None:
+            raise TransactionError(
+                "cannot vacuum while a transaction is open (%s)"
+                % open_txn.name
+            )
+        self._mvcc.freeze()
+        report = {}
+        for table in self._db.catalog.tables():
+            reclaimed = table.vacuum()
+            if reclaimed:
+                report[table.name] = reclaimed
+                self._db.metrics_registry.inc(
+                    "vacuum_rows_reclaimed_total", amount=reclaimed)
+        return report
 
     def rollback(self, savepoint: Optional[str] = None) -> None:
         txn = self.current
@@ -250,10 +426,17 @@ class TransactionManager:
         self._rollback_all(txn)
         self._db.metrics_registry.inc("txn_rollbacks_total",
                                       label="explicit")
-        self._db.event_log.emit("txn_rollback", txn=txn.name)
+        self._db.event_log.emit("txn_rollback", txn=txn.name,
+                                session=self._active.name)
 
     def _rollback_all(self, txn: Transaction) -> None:
         self._undo_to(txn, 0, txn.begin_version)
+        for table in txn.tables:
+            table.forget_txn(txn.id)
+        if not txn.implicit:
+            mvcc = self._mvcc
+            mvcc.deregister(txn.id)
+            mvcc.freeze()
         txn.redo.clear()
         txn.savepoints.clear()
         txn.aborted = False
@@ -312,22 +495,182 @@ class TransactionManager:
     # Each performs one logical mutation, pushes its undo, and buffers
     # its redo record. All must be called inside atomic().
 
+    def _stamp(self, txn: Transaction) -> int:
+        """The version stamp for this transaction's writes: FROZEN on
+        the single-caller fast path (an implicit transaction with no
+        live snapshot anywhere — it begins and commits under the
+        statement lock, so nothing can observe its in-flight state),
+        else the transaction id."""
+        if txn.implicit and not self._mvcc.live:
+            return FROZEN
+        txn.stamped = True
+        return txn.id
+
+    def _check_conflicts(self, table, positions) -> None:
+        """First-committer-wins: a row version that is visible to us
+        but already carries a deletion stamp was written by a
+        concurrent transaction (uncommitted, or committed after our
+        snapshot). Touching it now would be a lost update."""
+        conflicts = table.conflicting_positions(positions)
+        if conflicts:
+            self._db.metrics_registry.inc(
+                "txn_serialization_failures_total")
+            raise SerializationError(
+                "could not serialize access to %r: %d row(s) were "
+                "concurrently updated (first-committer-wins)"
+                % (table.name, len(conflicts)),
+                table=table.name,
+            )
+
     def do_insert(self, table_name: str, rows) -> int:
         txn = self.current
         catalog = self._db.catalog
         table = catalog.table(table_name)
-        before = table.num_rows
+        before = table.physical_count
+        xmin = self._stamp(txn)
         # registered before the mutation: a bad row mid-batch leaves
-        # earlier rows appended, and this truncation removes them
-        txn.undo.append(lambda: table.truncate_to(before))
-        count = table.insert_many(rows)
+        # earlier rows appended, and this retraction removes them
+        txn.undo.append(lambda: table.retract_inserts(before, xmin))
+        txn.tables.add(table)
+        count = table.insert_many(rows, xmin=xmin)
         catalog.bump_version()
         if txn.log_redo and count:
             txn.redo.append({
                 "op": "insert", "table": table.name,
-                "rows": [list(row) for row in table.rows[before:]],
+                "rows": [list(row) for row in
+                         table.physical_rows[before:]],
             })
         return count
+
+    def do_update(self, table_name: str, assignments, where) -> int:
+        """UPDATE: stamp each matched visible version as deleted and
+        append the replacement — never in place, so concurrent
+        snapshots keep reading the version they pinned.
+
+        ``assignments`` is ``[(column_name, resolved Expr)]``; ``where``
+        a resolved Expr or None (see :mod:`repro.sql.dml`).
+        """
+        txn = self.current
+        catalog = self._db.catalog
+        table = catalog.table(table_name)
+        schema = table.schema
+        set_positions = [(schema.index_of(column), expr)
+                         for column, expr in assignments]
+        matched = [(pos, row) for pos, row in table.visible_items()
+                   if where is None or where.eval(row) is True]
+        if not matched:
+            return 0
+        self._check_conflicts(table, [pos for pos, _ in matched])
+        stamp = self._stamp(txn)
+        txn.tables.add(table)
+        new_rows = []
+        for _, row in matched:
+            values = list(row)
+            for at, expr in set_positions:
+                values[at] = expr.eval(row)
+            new_rows.append(values)
+        before = table.physical_count
+        marked: List[int] = []
+
+        def undo():
+            table.retract_inserts(before, stamp)
+            for position in marked:
+                table.unmark_deleted(position)
+
+        txn.undo.append(undo)
+        for position, _ in matched:
+            table.mark_deleted(position, stamp)
+            marked.append(position)
+        table.insert_many(new_rows, xmin=stamp)
+        catalog.bump_version()
+        if txn.log_redo:
+            txn.redo.append({
+                "op": "delete_rows", "table": table.name,
+                "rows": [list(row) for _, row in matched],
+            })
+            txn.redo.append({
+                "op": "insert", "table": table.name,
+                "rows": [list(row) for row in
+                         table.physical_rows[before:]],
+            })
+        return len(matched)
+
+    def do_delete(self, table_name: str, where) -> int:
+        """DELETE: stamp each matched visible version as deleted."""
+        txn = self.current
+        catalog = self._db.catalog
+        table = catalog.table(table_name)
+        matched = [(pos, row) for pos, row in table.visible_items()
+                   if where is None or where.eval(row) is True]
+        if not matched:
+            return 0
+        self._check_conflicts(table, [pos for pos, _ in matched])
+        stamp = self._stamp(txn)
+        txn.tables.add(table)
+        marked: List[int] = []
+
+        def undo():
+            for position in marked:
+                table.unmark_deleted(position)
+
+        txn.undo.append(undo)
+        for position, _ in matched:
+            table.mark_deleted(position, stamp)
+            marked.append(position)
+        catalog.bump_version()
+        if txn.log_redo:
+            txn.redo.append({
+                "op": "delete_rows", "table": table.name,
+                "rows": [list(row) for _, row in matched],
+            })
+        return len(matched)
+
+    def do_delete_values(self, table_name: str, values) -> int:
+        """Value-based delete (WAL replay): remove the first visible
+        occurrence of each row value, in order. Deterministic given the
+        committed-prefix state, which is what makes logical update/
+        delete records replayable."""
+        txn = self.current
+        catalog = self._db.catalog
+        table = catalog.table(table_name)
+        wanted = [tuple(table.schema.validate_row(value))
+                  for value in values]
+        items = table.visible_items()
+        taken: Set[int] = set()
+        positions: List[int] = []
+        for value in wanted:
+            found = None
+            for position, row in items:
+                if position not in taken and row == value:
+                    found = position
+                    break
+            if found is None:
+                raise TransactionError(
+                    "replayed delete found no row %r in %r"
+                    % (value, table_name)
+                )
+            taken.add(found)
+            positions.append(found)
+        self._check_conflicts(table, positions)
+        stamp = self._stamp(txn)
+        txn.tables.add(table)
+        marked: List[int] = []
+
+        def undo():
+            for position in marked:
+                table.unmark_deleted(position)
+
+        txn.undo.append(undo)
+        for position in positions:
+            table.mark_deleted(position, stamp)
+            marked.append(position)
+        catalog.bump_version()
+        if txn.log_redo:
+            txn.redo.append({
+                "op": "delete_rows", "table": table.name,
+                "rows": [list(value) for value in wanted],
+            })
+        return len(positions)
 
     def do_create_table(self, name: str, schema):
         txn = self.current
@@ -417,14 +760,16 @@ class TransactionManager:
     def checkpoint(self) -> dict:
         """Write a snapshot checkpoint and truncate the WAL to it.
 
-        Refused inside a transaction: with in-place (steal) updates the
-        tables hold uncommitted changes mid-transaction, so a snapshot
-        taken then would persist them.
+        Refused while *any* session holds an open transaction: the
+        snapshot must contain exactly the committed state, and an open
+        transaction's stamped versions would either leak in or leave
+        the WAL without their redo.
         """
-        if self.current is not None:
+        open_txn = self.any_open_txn()
+        if open_txn is not None:
             raise TransactionError(
                 "cannot checkpoint inside a transaction (%s holds "
-                "uncommitted changes)" % self.current.name
+                "uncommitted changes)" % open_txn.name
             )
         if self.durability == "off":
             raise TransactionError(
@@ -459,6 +804,9 @@ class TransactionManager:
             "on_error": self.on_error,
             "durability": self.durability,
             "wal_commits": self.wal_commits,
+            "session": self._active.name,
+            "sessions": len(self._sessions),
+            "mvcc": self._mvcc.status(),
         }
         if self._wal is not None:
             info["wal"] = self._wal.stats()

@@ -96,6 +96,12 @@ def _replay_op(db, record: dict) -> None:
     op = record["op"]
     if op == "insert":
         db.insert(record["table"], [tuple(row) for row in record["rows"]])
+    elif op == "delete_rows":
+        # logical UPDATE/DELETE record: remove the first visible
+        # occurrence of each value — deterministic over the
+        # committed-prefix state being rebuilt
+        db.delete_rows(record["table"],
+                       [tuple(row) for row in record["rows"]])
     elif op == "create_table":
         from ..storage.schema import Column, DataType, Schema
         db.create_table(record["name"], Schema(

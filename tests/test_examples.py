@@ -75,3 +75,13 @@ def test_transactions():
     assert "owners after partial rollback: ada, bob, cyd" in output
     assert "refused while aborted" in output
     assert "recovered 3 committed txns" in output
+
+
+def test_server_client():
+    output = run_example("server_client.py")
+    assert "each its own session" in output
+    assert "snapshot pinned until her COMMIT" in output
+    assert "SerializationError" in output
+    assert "balance 70" in output
+    assert "the connection survives: ping=True" in output
+    assert "0 connections left open" in output
