@@ -41,6 +41,7 @@ from .errors import (
     RecursiveViewError,
     ReproError,
     ResourceExhausted,
+    SchemaError,
     SerializationError,
     SiteUnavailable,
     SqlSyntaxError,
@@ -137,6 +138,7 @@ __all__ = [
     "ReproError",
     "ResourceExhausted",
     "Schema",
+    "SchemaError",
     "SerializationError",
     "Session",
     "Span",

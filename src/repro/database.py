@@ -26,8 +26,13 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
 from .algebra.block import QueryBlock
-from .errors import ParameterError, ReproError, TransactionError
-from .executor.lowering import execute as execute_tree
+from .errors import (
+    ParameterError,
+    ReproError,
+    SchemaError,
+    TransactionError,
+)
+from .executor.lowering import execute_collect as execute_tree
 from .executor.lowering import lower
 from .executor.runtime import RuntimeContext
 from .expr.nodes import PARAMETER_TYPES
@@ -52,6 +57,7 @@ from .sql import ast
 from .sql.binder import Binder
 from .sql.dml import compile_expr
 from .sql.parser import Parser, parse
+from .storage import columnar
 from .storage.catalog import Catalog
 from .storage.schema import Column, DataType, Schema
 from .txn.manager import TransactionManager
@@ -86,6 +92,23 @@ _STATEMENT_KINDS = {
 }
 
 
+class ColumnNames(list):
+    """The result's column names — a plain list of strings, so every
+    pre-existing ``result.columns`` call site (the shell, the wire
+    protocol, ``to_dicts``) keeps working — that is *also* callable:
+    ``result.columns()`` returns the columnar view, a dict mapping each
+    column name to its numpy value array (see
+    :meth:`QueryResult.column` for the per-column form with the null
+    mask)."""
+
+    def __init__(self, names, result: "QueryResult"):
+        super().__init__(names)
+        self._result = result
+
+    def __call__(self) -> dict:
+        return {name: self._result.column(name)[0] for name in self}
+
+
 @dataclass
 class QueryResult:
     """Rows plus everything an experiment wants to know about the run."""
@@ -108,10 +131,62 @@ class QueryResult:
     # event-log correlation id ("q1", "q2", ...) assigned while the
     # database's event log is enabled
     query_id: Optional[str] = None
+    # per-column typed arrays retained from a vector-engine execution
+    # (ColumnVector or plain list per column); None after iterator runs
+    # — column()/columns() then build arrays from the rows on demand
+    column_data: Optional[list] = None
 
     @property
-    def columns(self) -> List[str]:
-        return self.schema.names()
+    def columns(self) -> "ColumnNames":
+        return ColumnNames(self.schema.names(), self)
+
+    def column(self, name: str):
+        """One output column as ``(values, nulls)`` numpy arrays.
+
+        ``values`` is a typed array (int64/float64/bool; strings decode
+        from their dictionary into an object array) and ``nulls`` is a
+        boolean array marking NULL positions — where ``nulls`` is True
+        the corresponding ``values`` slot is padding (0 for numerics,
+        None for strings) and must not be read. After a vector-engine
+        execution the numeric ``values`` array *is* the engine's own
+        column (zero-copy); otherwise both arrays are built from the
+        rows on first access. Treat them as read-only.
+        """
+        np = columnar.np
+        if np is None:
+            raise ReproError("columnar results require numpy")
+        try:
+            j = self.schema.index_of(name)
+        except Exception:
+            raise ReproError(
+                "no output column %r (have: %s)"
+                % (name, ", ".join(self.schema.names()) or "none"))
+        vec = None
+        if self.column_data is not None:
+            candidate = self.column_data[j]
+            if isinstance(candidate, columnar.ColumnVector):
+                vec = candidate
+        if vec is None:
+            values = [row[j] for row in self.rows]
+            vec = columnar.ColumnVector.from_values(
+                self.schema.columns[j].dtype, values)
+            if vec is None:  # mixed / huge / non-encodable values
+                arr = np.empty(len(values), dtype=object)
+                for i, value in enumerate(values):
+                    arr[i] = value
+                nulls = np.fromiter((v is None for v in values),
+                                    dtype=bool, count=len(values))
+                return arr, nulls
+        nulls = (~vec.mask if vec.mask is not None
+                 else np.zeros(len(vec), dtype=bool))
+        if vec.dictionary is not None:
+            entries = np.array(list(vec.dictionary.entries) + [None],
+                               dtype=object)
+            codes = vec.values
+            if vec.mask is not None:
+                codes = np.where(vec.mask, codes, len(entries) - 1)
+            return entries[codes], nulls
+        return vec.values, nulls
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -120,7 +195,7 @@ class QueryResult:
         return iter(self.rows)
 
     def to_dicts(self) -> List[dict]:
-        names = self.columns
+        names = self.schema.names()
         return [dict(zip(names, row)) for row in self.rows]
 
     def measured_cost(self, params=None) -> float:
@@ -284,12 +359,51 @@ class Database:
     # ----------------------------------------------------------------- DDL
 
     def create_table(self, name: str,
-                     columns: Union[Schema, Sequence[Tuple[str, DataType]]]):
-        """Create a table from (name, DataType) pairs or a Schema."""
-        schema = (columns if isinstance(columns, Schema)
-                  else Schema(Column(col, dtype) for col, dtype in columns))
+                     columns: Union[Schema, Sequence, None] = None, *,
+                     schema: Union[Schema, Sequence, None] = None,
+                     rows=None):
+        """Create a table with a typed schema.
+
+        The schema comes from either positional ``columns`` or the
+        ``schema=`` keyword (they are aliases; passing both raises) and
+        may be a :class:`Schema`, ``(name, DataType)`` pairs, or — the
+        untyped legacy spelling — plain column-name strings, in which
+        case dtypes are inferred from ``rows`` (:meth:`Schema.inferred`
+        backfill; bools before ints, INT+FLOAT widens to FLOAT).
+        Dtype-violating inserts against the resulting table raise
+        :class:`~repro.errors.SchemaError`. ``rows``, when given, are
+        inserted after creation::
+
+            db.create_table("emp", schema=Schema.of(
+                ("eno", DataType.INT), ("name", DataType.STR)))
+            db.create_table("legacy", ["a", "b"],
+                            rows=[(1, "x"), (2, None)])
+        """
+        if (columns is None) == (schema is None):
+            raise TypeError(
+                "create_table() takes a schema either positionally or "
+                "as schema=, not both (and not neither)")
+        spec = columns if columns is not None else schema
+        if isinstance(spec, Schema):
+            resolved = spec
+        else:
+            spec = list(spec)
+            if all(isinstance(item, str) for item in spec) and spec:
+                if rows is None:
+                    raise SchemaError(
+                        "untyped column names require rows= to infer "
+                        "dtypes from (or declare (name, DataType) "
+                        "pairs)")
+                rows = [tuple(row) for row in rows]
+                resolved = Schema.inferred(spec, rows)
+            else:
+                resolved = Schema(
+                    Column(col, dtype) for col, dtype in spec)
         with self._lock, self.txn.atomic():
-            return self.txn.do_create_table(name, schema)
+            table = self.txn.do_create_table(name, resolved)
+            if rows:
+                self.txn.do_insert(name, rows)
+            return table
 
     def drop_table(self, name: str) -> None:
         with self._lock, self.txn.atomic():
@@ -611,7 +725,7 @@ class Database:
         with self._lock:
             if trace is None:
                 operator = lower(plan, ctx)
-                rows = execute_tree(operator, engine)
+                rows, column_data = execute_tree(operator, engine)
                 elapsed = time.perf_counter() - started
                 ledger = ctx.ledger
             else:
@@ -619,7 +733,7 @@ class Database:
                 with trace.phase("lower"):
                     operator = lower(plan, ctx)
                 with trace.phase("execute"):
-                    rows = execute_tree(operator, engine)
+                    rows, column_data = execute_tree(operator, engine)
                 elapsed = time.perf_counter() - started
                 # a plain snapshot, not the tee subclass, so ledger
                 # equality against untraced runs behaves normally
@@ -631,6 +745,7 @@ class Database:
             ledger=ledger,
             metrics=metrics,
             elapsed_seconds=elapsed,
+            column_data=column_data,
         )
         if trace is not None:
             result.trace = trace.finish(plan)

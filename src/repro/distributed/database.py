@@ -101,10 +101,12 @@ class DistributedDatabase(Database):
         return sorted(self._site_names)
 
     def create_table(self, name: str,
-                     columns: Sequence[Tuple[str, DataType]],
-                     site: Optional[str] = None):
+                     columns: Optional[Sequence[Tuple[str, DataType]]] = None,
+                     site: Optional[str] = None, *,
+                     schema=None, rows=None):
         """Create a table, optionally placed at a remote site."""
-        table = super().create_table(name, columns)
+        table = super().create_table(name, columns, schema=schema,
+                                     rows=rows)
         if site is not None:
             if site not in self._site_names:
                 self.add_site(site)

@@ -34,6 +34,24 @@ class CatalogError(ReproError):
     mismatch on load, and similar metadata problems."""
 
 
+class SchemaError(CatalogError):
+    """A value violates its column's declared dtype — the typed error
+    for INSERT/UPDATE rows that do not fit the table's schema, and for
+    dtype inference failures over untyped legacy data. Subclasses
+    :class:`CatalogError`, so pre-existing handlers keep working.
+
+    ``column`` names the offending column when known; ``dtype`` is the
+    declared type's name (``"int"``, ``"float"``, ``"str"``,
+    ``"bool"``).
+    """
+
+    def __init__(self, message: str, column: str = None,
+                 dtype: str = None):
+        super().__init__(message)
+        self.column = column
+        self.dtype = dtype
+
+
 class PlanError(ReproError):
     """The optimizer could not produce a plan (e.g. no join method is
     applicable, or an internal invariant was violated)."""

@@ -33,6 +33,7 @@ from ..optimizer.plans import (
     SortNode,
     UnionNode,
 )
+from ..storage import columnar
 from ..storage.schema import Column, Schema
 from .operators import (
     AggregateOp,
@@ -79,10 +80,37 @@ def execute(root: Operator, engine: str = "iterator") -> List[tuple]:
     ``batches()``); operators without a native batch implementation
     transparently bridge to their iterator form, charging identically.
     """
+    return execute_collect(root, engine)[0]
+
+
+def execute_collect(root: Operator, engine: str = "iterator"):
+    """Like :func:`execute`, but additionally returns the root's output
+    columns — ``(rows, columns_or_None)``.
+
+    Under the vector engine the root's batches are column-major
+    already; concatenating them per column preserves the typed arrays
+    (and string dictionaries) that :meth:`QueryResult.column` then
+    exposes zero-copy. The rows list is byte-identical to the plain
+    :func:`execute` result — columns are retained *next to* the row
+    materialization, never instead of it. The iterator engine (and an
+    empty result) returns None for the columns.
+    """
     if engine == "vector":
-        return root.drain()
+        batches = list(root.batches())
+        rows: List[tuple] = []
+        for batch in batches:
+            rows.extend(batch.rows())
+        width = len(root.schema)
+        columns = None
+        if batches and width:
+            columns = [
+                columnar.concat_columns(
+                    [batch.column(j) for batch in batches])
+                for j in range(width)
+            ]
+        return rows, columns
     if engine == "iterator":
-        return list(root.rows())
+        return list(root.rows()), None
     raise PlanError(
         "unknown engine %r (expected one of %s)"
         % (engine, ", ".join(ENGINES))

@@ -33,13 +33,18 @@ from ..stats.estimator import yao_blocks
 from ..storage.schema import Schema
 from ..storage.table import Table, pages_for
 from .runtime import RuntimeContext, TempTable
+from ..storage import columnar
+from ..storage.columnar import ColumnVector
 from .vectorize import (
     Batch,
     batches_from_list,
     batches_from_rows,
+    batches_from_store,
     compile_expr,
     compile_optional_filter,
 )
+
+_np = columnar.np  # None when numpy is unavailable
 
 Row = tuple
 
@@ -128,7 +133,16 @@ class SeqScanOp(Operator):
         bind_memberships(self.predicate, self.ctx)
         predicate = compile_optional_filter(self.predicate)
         width = len(self.schema)
-        for batch in batches_from_list(self.table.rows, width):
+        # a quiesced table scans straight off its columnar base (batch
+        # boundaries — and therefore every batch-granularity charge —
+        # are identical to the row layout); versioned tables fall back
+        # to the row path, where visibility filtering lives
+        store = self.table.columnar_view()
+        if store is not None and store.num_rows == len(self.table.rows):
+            source = batches_from_store(store)
+        else:
+            source = batches_from_list(self.table.rows, width)
+        for batch in source:
             self.ctx.charge_cpu(batch.n)
             if predicate is not None:
                 self.ctx.charge_cpu(batch.n)
@@ -490,42 +504,47 @@ class AggregateOp(Operator):
         ]
         single_agg = (len(arg_fns) == 1)
         get = groups.get
+
+        def register(key):
+            nonlocal held
+            accumulators = [
+                Accumulator.for_spec(spec) for spec, _ in self.aggregates
+            ]
+            groups[key] = accumulators
+            if not (len(groups) & _MEM_CHUNK_MASK):
+                self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
+                held += _MEM_CHUNK_ROWS * width
+            return accumulators
+
         try:
             for batch in self.child.batches():
                 self.ctx.charge_cpu(batch.n)
+                arg_values = [
+                    None if fn is None else fn(batch) for fn in arg_fns
+                ]
+                if self._consume_columnar(batch, arg_values, groups,
+                                          register):
+                    continue
                 key_columns = [batch.column(p)
                                for p in self.group_positions]
                 keys = (list(zip(*key_columns)) if key_columns
                         else [()] * batch.n)
                 arg_columns = [
-                    [None] * batch.n if fn is None else fn(batch)
-                    for fn in arg_fns
+                    [None] * batch.n if v is None else v
+                    for v in arg_values
                 ]
                 if single_agg:
                     # one accumulator per group: skip the inner zip
                     for key, value in zip(keys, arg_columns[0]):
                         accumulators = get(key)
                         if accumulators is None:
-                            accumulators = [Accumulator.for_spec(
-                                self.aggregates[0][0])]
-                            groups[key] = accumulators
-                            if not (len(groups) & _MEM_CHUNK_MASK):
-                                self.ctx.mem_acquire(
-                                    _MEM_CHUNK_ROWS * width)
-                                held += _MEM_CHUNK_ROWS * width
+                            accumulators = register(key)
                         accumulators[0].add(value)
                     continue
                 for i, key in enumerate(keys):
                     accumulators = get(key)
                     if accumulators is None:
-                        accumulators = [
-                            Accumulator.for_spec(spec)
-                            for spec, _ in self.aggregates
-                        ]
-                        groups[key] = accumulators
-                        if not (len(groups) & _MEM_CHUNK_MASK):
-                            self.ctx.mem_acquire(_MEM_CHUNK_ROWS * width)
-                            held += _MEM_CHUNK_ROWS * width
+                        accumulators = register(key)
                     for column, accumulator in zip(arg_columns,
                                                    accumulators):
                         accumulator.add(column[i])
@@ -543,6 +562,259 @@ class AggregateOp(Operator):
                 yield batch
         finally:
             self.ctx.mem_release(held)
+
+    def _consume_columnar(self, batch: Batch, arg_values, groups,
+                          register) -> bool:
+        """Fold one columnar batch into the group table with numpy
+        kernels: factorize the key columns, then apply per-group bulk
+        updates to the same :class:`Accumulator` objects the row path
+        drives, preserving first-occurrence group order, exact Python
+        arithmetic, and the row path's memory-chunk accounting.
+
+        Returns False — before touching any state — whenever exact
+        replication isn't possible wholesale (row-backed batch, DISTINCT,
+        float SUM/AVG whose result depends on accumulation order, float
+        group keys, overflow-risky int sums); the caller then runs the
+        per-row path on this batch.
+        """
+        if _np is None:
+            return False
+        n = batch.n
+        key_cols = []
+        for p in self.group_positions:
+            col = batch.column(p)
+            if not isinstance(col, ColumnVector) or (
+                    col.dictionary is None
+                    and col.values.dtype == _np.float64):
+                return False
+            key_cols.append(col)
+
+        # ---- plan per-aggregate updates; nothing is mutated yet ----
+        plans = []
+        for (spec, _), values in zip(self.aggregates, arg_values):
+            if spec.distinct:
+                return False
+            if values is None:
+                plans.append(("star", None))
+                continue
+            if not isinstance(values, ColumnVector):
+                return False
+            fname = spec.function
+            if fname in ("sum", "avg") and (
+                    values.dictionary is not None
+                    or values.values.dtype not in (_np.int64, _np.bool_)):
+                # float sums are order-dependent; strings raise — both
+                # replicate exactly only on the per-row path
+                return False
+            plans.append((fname, values))
+
+        # ---- factorize group keys (first occurrence order) ----
+        # Small key domains (dictionary codes, narrow int ranges — the
+        # overwhelmingly common GROUP BY shapes) factorize sort-free:
+        # pack the per-column codes into one combined code and bincount
+        # it. Wide domains fall back to np.unique.
+        factored = self._factorize_small(key_cols, n) if key_cols \
+            else None
+        if factored is not None:
+            first_idx, inverse, counts_all = factored
+            k = len(first_idx)
+        elif key_cols:
+            enc = []
+            for col in key_cols:
+                part = col.values.astype(_np.int64)
+                if col.mask is not None:
+                    if col.dictionary is not None:
+                        part = _np.where(col.mask, part, -1)
+                    else:
+                        enc.append((~col.mask).astype(_np.int64))
+                enc.append(part)
+            if len(enc) == 1:
+                _, first_idx, inverse = _np.unique(
+                    enc[0], return_index=True, return_inverse=True)
+            else:
+                key_mat = _np.column_stack(enc)
+                _, first_idx, inverse = _np.unique(
+                    key_mat, axis=0, return_index=True,
+                    return_inverse=True)
+            inverse = inverse.reshape(-1)
+            k = len(first_idx)
+            counts_all = _np.bincount(inverse, minlength=k)
+        else:
+            inverse = _np.zeros(n, dtype=_np.int64)
+            first_idx = _np.zeros(1, dtype=_np.int64)
+            k = 1
+            counts_all = _np.bincount(inverse, minlength=k)
+
+        base_order = None  # shared argsort for mask-free aggregates
+        int64_safe = columnar.INT64_SAFE
+        float_exact = 1 << 52
+
+        def grouped(values_arr, vidx, per_counts):
+            """(sorted values, nonzero groups' segment starts, nonzero
+            flags). Empty groups are excluded from the reduceat index
+            list so neighbouring segments stay exact."""
+            nonlocal base_order
+            if vidx is inverse:
+                if base_order is None:
+                    base_order = _np.argsort(inverse, kind="stable")
+                order = base_order
+            else:
+                order = _np.argsort(vidx, kind="stable")
+            sv = values_arr[order]
+            starts = _np.searchsorted(vidx[order], _np.arange(k),
+                                      side="left")
+            nz = per_counts > 0
+            return sv, starts[nz], nz
+
+        updates = []
+        for fname, values in plans:
+            if fname == "star":
+                updates.append(("count", counts_all))
+                continue
+            if values.mask is None:
+                vidx, vvals, per_counts = (
+                    inverse, values.values, counts_all)
+            else:
+                sel = values.mask
+                vidx = inverse[sel]
+                vvals = values.values[sel]
+                per_counts = _np.bincount(vidx, minlength=k)
+            if fname == "count":
+                updates.append(("count", per_counts))
+                continue
+            if fname in ("sum", "avg"):
+                vals = (vvals.astype(_np.int64)
+                        if vvals.dtype == _np.bool_ else vvals)
+                sums = _np.zeros(k, dtype=_np.int64)
+                if len(vals):
+                    worst = max(abs(int(vals.min())),
+                                abs(int(vals.max()))) * \
+                        max(1, int(per_counts.max()))
+                    if worst >= int64_safe:
+                        return False  # per-row path sums unbounded ints
+                    if worst < float_exact:
+                        # every partial stays an exact float64 integer
+                        sums = _np.bincount(
+                            vidx, weights=vals,
+                            minlength=k).astype(_np.int64)
+                    else:
+                        sv, nz_starts, nz = grouped(vals, vidx,
+                                                    per_counts)
+                        sums[nz] = _np.add.reduceat(sv, nz_starts)
+                updates.append(("sum", (per_counts, sums)))
+                continue
+            # min / max
+            dictionary = values.dictionary
+            if dictionary is not None:
+                ranks = dictionary.sort_ranks()
+                mv = ranks[vvals]
+            else:
+                mv = vvals
+            candidates = [None] * k
+            if len(mv):
+                sv, nz_starts, nz = grouped(mv, vidx, per_counts)
+                reducer = (_np.minimum if fname == "min"
+                           else _np.maximum)
+                red = reducer.reduceat(sv, nz_starts)
+                nz_locals = _np.nonzero(nz)[0].tolist()
+                if dictionary is not None:
+                    by_rank = dictionary.sorted_entries()
+                    for pos, local in enumerate(nz_locals):
+                        candidates[local] = by_rank[int(red[pos])]
+                else:
+                    for pos, local in enumerate(nz_locals):
+                        candidates[local] = red[pos].item()
+            updates.append((fname, (per_counts, candidates)))
+
+        # ---- apply: register groups in first-occurrence order ----
+        acc_lists = [None] * k
+        for local in _np.argsort(first_idx, kind="stable").tolist():
+            i = int(first_idx[local])
+            key = tuple(col.item(i) for col in key_cols)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = register(key)
+            acc_lists[local] = accumulators
+
+        for j, (kind, data) in enumerate(updates):
+            if kind == "count":
+                for local, c in enumerate(data.tolist()):
+                    if c:
+                        acc_lists[local][j].count += c
+            elif kind == "sum":
+                per_counts, sums = data
+                pc = per_counts.tolist()
+                sm = sums.tolist()
+                for local in range(k):
+                    if pc[local]:
+                        acc = acc_lists[local][j]
+                        acc.count += pc[local]
+                        acc.total += sm[local]
+            else:  # min / max
+                per_counts, candidates = data
+                pc = per_counts.tolist()
+                is_min = (kind == "min")
+                for local in range(k):
+                    if pc[local]:
+                        acc = acc_lists[local][j]
+                        acc.count += pc[local]
+                        value = candidates[local]
+                        if is_min:
+                            if acc.minimum is None or \
+                                    value < acc.minimum:
+                                acc.minimum = value
+                        else:
+                            if acc.maximum is None or \
+                                    value > acc.maximum:
+                                acc.maximum = value
+        return True
+
+    def _factorize_small(self, key_cols, n):
+        """Sort-free factorization for small combined key domains.
+
+        Each key column maps to a dense non-negative code (NULL takes
+        slot 0) and the per-column codes pack into one combined code by
+        mixed-radix arithmetic. A single bincount then yields group
+        counts, first-occurrence row indices, and the inverse mapping —
+        no O(n log n) sort, unlike ``np.unique``. Returns
+        ``(first_idx, inverse, counts_all)`` with groups ordered by
+        combined code, or None when any column (or the product of
+        domains) exceeds the cap, in which case the caller falls back
+        to ``np.unique``.
+        """
+        cap = 1 << 16
+        domain = 1
+        combined = None
+        for col in key_cols:
+            if col.dictionary is not None:
+                d = len(col.dictionary.entries) + 1
+                if d > cap:
+                    return None
+                e = col.values.astype(_np.int64) + 1
+            elif col.values.dtype == _np.bool_:
+                d = 3
+                e = col.values.astype(_np.int64) + 1
+            else:
+                vals = col.values
+                lo = int(vals.min()) if n else 0
+                hi = int(vals.max()) if n else 0
+                d = hi - lo + 2
+                if d > cap:
+                    return None
+                e = (vals - lo) + 1
+            if col.mask is not None:
+                e = _np.where(col.mask, e, 0)
+            domain *= d
+            if domain > cap:
+                return None
+            combined = e if combined is None else combined * d + e
+        counts_dom = _np.bincount(combined, minlength=domain)
+        present = _np.flatnonzero(counts_dom)
+        first = _np.empty(domain, dtype=_np.int64)
+        first[combined[::-1]] = _np.arange(n - 1, -1, -1)
+        remap = _np.empty(domain, dtype=_np.int64)
+        remap[present] = _np.arange(len(present))
+        return first[present], remap[combined], counts_dom[present]
 
 
 class MaterializeOp(Operator):
@@ -855,7 +1127,7 @@ class HashJoinOp(Operator):
     def batches(self) -> Iterator[Batch]:
         bind_memberships(self.residual, self.ctx)
         residual = compile_optional_filter(self.residual)
-        table = {}
+        table = None
         build_rows = 0
         build_width = self.inner.schema.row_width()
         out_width = len(self.schema)
@@ -865,7 +1137,7 @@ class HashJoinOp(Operator):
             # by the bare value — no per-row tuple allocation, and the
             # null check is an identity test instead of a call
             single = (len(self.inner_positions) == 1)
-            setdefault = table.setdefault
+            build_batches = []
             for batch in self.inner.batches():
                 self.ctx.charge_cpu(batch.n)
                 # replicate the iterator's every-1024-rows memory
@@ -876,66 +1148,46 @@ class HashJoinOp(Operator):
                 for _ in range(crossings):
                     self.ctx.mem_acquire(_MEM_CHUNK_ROWS * build_width)
                     held += _MEM_CHUNK_ROWS * build_width
-                rows = batch.rows()
-                if single:
-                    for key, row in zip(
-                            batch.column(self.inner_positions[0]), rows):
-                        if key is not None:
-                            setdefault(key, []).append(row)
-                else:
-                    key_columns = [batch.column(p)
-                                   for p in self.inner_positions]
-                    keys = (zip(*key_columns) if key_columns
-                            else [()] * batch.n)
-                    for key, row in zip(keys, rows):
-                        if _null_free(key):
-                            setdefault(key, []).append(row)
+                build_batches.append(batch)
             tail = (build_rows & _MEM_CHUNK_MASK) * build_width
             self.ctx.mem_acquire(tail)
             held += tail
             build_pages = pages_for(build_rows, build_width)
+            # the sorted-key probe path covers single-column inner joins
+            # whose key columns arrived columnar end-to-end; anything
+            # else (semi joins, multi-column keys, row-backed batches)
+            # builds the classic bucket table below, per batch
+            vec = (self._vector_build(build_batches)
+                   if single and not self.semi and _np is not None
+                   else None)
+            if vec is None:
+                table = self._bucket_table(build_batches, single)
             probe_rows = 0
             emitted_inner = set() if self.semi else None
-            get = table.get
             for batch in self.outer.batches():
                 self.ctx.charge_cpu(batch.n)
                 probe_rows += batch.n
-                if single:
-                    keys = batch.column(self.outer_positions[0])
-                else:
-                    key_columns = [batch.column(p)
-                                   for p in self.outer_positions]
-                    keys = (list(zip(*key_columns)) if key_columns
-                            else [()] * batch.n)
-                rows = batch.rows()
-                out: List[Row] = []
-                append = out.append
-                pairs = 0
-                if self.semi:
-                    seen_add = emitted_inner.add
-                    for key in keys:
-                        if key is None or (not single
-                                           and not _null_free(key)):
+                if vec is not None:
+                    probe_key = batch.column(self.outer_positions[0])
+                    if isinstance(probe_key, ColumnVector):
+                        result, pairs = self._vector_probe(
+                            batch, probe_key, vec, out_width)
+                        if result is not None or pairs == 0:
+                            self.ctx.charge_cpu(pairs)
+                            if result is None:
+                                continue
+                            if residual is not None:
+                                result = result.select(residual(result))
+                            if result.n:
+                                yield result
                             continue
-                        bucket = get(key)
-                        if not bucket:
-                            continue
-                        pairs += len(bucket)
-                        for inner_row in bucket:
-                            if id(inner_row) not in emitted_inner:
-                                seen_add(id(inner_row))
-                                append(inner_row)
-                else:
-                    for outer_row, key in zip(rows, keys):
-                        if key is None or (not single
-                                           and not _null_free(key)):
-                            continue
-                        bucket = get(key)
-                        if not bucket:
-                            continue
-                        pairs += len(bucket)
-                        for inner_row in bucket:
-                            append(outer_row + inner_row)
+                    # probe batch incompatible with the sorted arrays:
+                    # fall back to buckets for it (built only once)
+                    if table is None:
+                        table = self._bucket_table(build_batches, single)
+                batch_out = self._probe_batch_rows(
+                    batch, table, single, emitted_inner)
+                out, pairs = batch_out
                 self.ctx.charge_cpu(pairs)
                 if not out:
                     continue
@@ -951,6 +1203,242 @@ class HashJoinOp(Operator):
                 self.ctx.ledger.charge_reads(build_pages + probe_pages)
         finally:
             self.ctx.mem_release(held)
+
+    def _bucket_table(self, build_batches, single) -> dict:
+        """The iterator engine's bucket table, built from collected
+        build batches (identical insertion order)."""
+        table = {}
+        setdefault = table.setdefault
+        for batch in build_batches:
+            rows = batch.rows()
+            if single:
+                for key, row in zip(
+                        batch.column(self.inner_positions[0]), rows):
+                    if key is not None:
+                        setdefault(key, []).append(row)
+            else:
+                key_columns = [batch.column(p)
+                               for p in self.inner_positions]
+                keys = (zip(*key_columns) if key_columns
+                        else [()] * batch.n)
+                for key, row in zip(keys, rows):
+                    if _null_free(key):
+                        setdefault(key, []).append(row)
+        return table
+
+    def _probe_batch_rows(self, batch, table, single, emitted_inner):
+        """One probe batch against the bucket table (the per-row path);
+        returns (output rows, pair count)."""
+        get = table.get
+        if single:
+            keys = batch.column(self.outer_positions[0])
+        else:
+            key_columns = [batch.column(p)
+                           for p in self.outer_positions]
+            keys = (list(zip(*key_columns)) if key_columns
+                    else [()] * batch.n)
+        rows = batch.rows()
+        out: List[Row] = []
+        append = out.append
+        pairs = 0
+        if self.semi:
+            seen_add = emitted_inner.add
+            for key in keys:
+                if key is None or (not single
+                                   and not _null_free(key)):
+                    continue
+                bucket = get(key)
+                if not bucket:
+                    continue
+                pairs += len(bucket)
+                for inner_row in bucket:
+                    if id(inner_row) not in emitted_inner:
+                        seen_add(id(inner_row))
+                        append(inner_row)
+        else:
+            for outer_row, key in zip(rows, keys):
+                if key is None or (not single
+                                   and not _null_free(key)):
+                    continue
+                bucket = get(key)
+                if not bucket:
+                    continue
+                pairs += len(bucket)
+                for inner_row in bucket:
+                    append(outer_row + inner_row)
+        return out, pairs
+
+    def _vector_build(self, build_batches):
+        """Sorted-key arrays over the build side for binary-search
+        probing. Returns None unless every build batch's key column is a
+        ColumnVector of one consistent kind (int64/bool, float64, or
+        codes of one shared dictionary); bucket insertion order — build
+        position ascending — is preserved by the stable sort, so probe
+        emission order matches the bucket path exactly."""
+        pos = self.inner_positions[0]
+        parts = [b.column(pos) for b in build_batches]
+        if not all(isinstance(p, ColumnVector) for p in parts):
+            return None
+        if parts:
+            first = parts[0]
+            if first.dictionary is not None:
+                if any(p.dictionary is not first.dictionary
+                       for p in parts):
+                    return None
+                keyvals = _np.concatenate(
+                    [p.values.astype(_np.int64) for p in parts])
+                kind = first.dictionary
+            else:
+                if any(p.dictionary is not None for p in parts):
+                    return None
+                dtypes = {str(p.values.dtype) for p in parts}
+                if dtypes <= {"int64", "bool"}:
+                    keyvals = _np.concatenate(
+                        [p.values.astype(_np.int64) for p in parts])
+                    kind = "int"
+                elif dtypes == {"float64"}:
+                    # NaN never encodes into a ColumnVector, so float
+                    # keys compare identically to dict hashing
+                    keyvals = _np.concatenate(
+                        [p.values for p in parts])
+                    kind = "float"
+                else:
+                    return None
+            if any(p.mask is not None for p in parts):
+                valid = _np.concatenate([p.valid_mask() for p in parts])
+            else:
+                valid = None
+        else:
+            keyvals = _np.empty(0, dtype=_np.int64)
+            valid = None
+            kind = "int"
+        positions = _np.arange(len(keyvals))
+        if valid is not None:
+            positions = positions[valid]
+            keyvals = keyvals[valid]
+        order = _np.argsort(keyvals, kind="stable")
+        sorted_keys = keyvals[order]
+        sorted_pos = positions[order]
+        unique = bool(sorted_keys.size < 2 or
+                      (sorted_keys[1:] != sorted_keys[:-1]).all())
+        # small unique int domains (surrogate keys, dictionary codes)
+        # get a dense position lookup table: probing is then one fancy
+        # index instead of a binary search per batch
+        lut = None
+        lut_lo = 0
+        if unique and sorted_keys.size and \
+                sorted_keys.dtype == _np.int64:
+            lut_lo = int(sorted_keys[0])
+            span = int(sorted_keys[-1]) - lut_lo + 1
+            if span <= max(1 << 16, 4 * sorted_keys.size):
+                lut = _np.zeros(span, dtype=_np.int64)
+                lut[sorted_keys - lut_lo] = sorted_pos + 1  # 0 = absent
+        inner_width = len(self.inner.schema)
+        inner_columns = [
+            columnar.concat_columns([b.column(j) for b in build_batches])
+            for j in range(inner_width)
+        ]
+        return {
+            "keys": sorted_keys,
+            "pos": sorted_pos,
+            "kind": kind,
+            "unique": unique,
+            "lut": lut,
+            "lut_lo": lut_lo,
+            "columns": inner_columns,
+            "trans": {},  # per-probe-dictionary code translations
+        }
+
+    def _vector_probe(self, batch, probe_key, vec, out_width):
+        """One columnar probe batch against the sorted build arrays;
+        returns (result batch or None, pair count), or (None, -1) when
+        this batch's key column is incompatible with the build kind."""
+        kind = vec["kind"]
+        values = probe_key.values
+        if probe_key.dictionary is not None:
+            if not isinstance(kind, columnar.StringDictionary):
+                return None, -1
+            if probe_key.dictionary is kind:
+                vals = values.astype(_np.int64)
+            else:
+                trans = vec["trans"].get(id(probe_key.dictionary))
+                if trans is None:
+                    entries = probe_key.dictionary.entries
+                    trans = (_np.fromiter(
+                        (kind.lookup(e) for e in entries),
+                        dtype=_np.int64, count=len(entries))
+                        if entries else _np.empty(0, dtype=_np.int64))
+                    vec["trans"][id(probe_key.dictionary)] = trans
+                vals = (trans[values] if len(trans)
+                        else _np.full(len(values), -1, dtype=_np.int64))
+        elif kind == "int":
+            if values.dtype != _np.int64 and values.dtype != _np.bool_:
+                return None, -1
+            vals = values.astype(_np.int64)
+        elif kind == "float":
+            if values.dtype != _np.float64:
+                return None, -1
+            vals = values
+        else:
+            return None, -1
+        sorted_keys = vec["keys"]
+        m = sorted_keys.size
+        lut = vec["lut"]
+        if lut is not None and vals.dtype == _np.int64:
+            idx = vals - vec["lut_lo"]
+            in_range = (idx >= 0) & (idx < lut.size)
+            slot = lut[_np.where(in_range, idx, 0)]
+            found = in_range & (slot > 0)
+            if probe_key.mask is not None:
+                found &= probe_key.mask
+            pairs = int(_np.count_nonzero(found))
+            if pairs == 0:
+                return None, 0
+            probe_idx = _np.flatnonzero(found)
+            build_pos = slot[found] - 1
+        elif vec["unique"]:
+            # at most one match per probe row: a single binary search
+            # plus an equality check replaces the repeat/cumsum expansion
+            lo = _np.searchsorted(sorted_keys, vals, side="left")
+            if m:
+                found = sorted_keys[_np.minimum(lo, m - 1)] == vals
+                found &= lo < m
+            else:
+                found = _np.zeros(len(vals), dtype=bool)
+            if probe_key.mask is not None:
+                found &= probe_key.mask
+            pairs = int(_np.count_nonzero(found))
+            if pairs == 0:
+                return None, 0
+            probe_idx = _np.flatnonzero(found)
+            build_pos = vec["pos"][lo[found]]
+        else:
+            lo = _np.searchsorted(sorted_keys, vals, side="left")
+            hi = _np.searchsorted(sorted_keys, vals, side="right")
+            counts = hi - lo
+            if probe_key.mask is not None:
+                counts = _np.where(probe_key.mask, counts, 0)
+            pairs = int(counts.sum())
+            if pairs == 0:
+                return None, 0
+            # expand each probe row into its matches: ascending build
+            # position within a key = bucket insertion order
+            probe_idx = _np.repeat(_np.arange(batch.n), counts)
+            starts = _np.repeat(lo, counts)
+            offsets = _np.arange(pairs) - _np.repeat(
+                _np.cumsum(counts) - counts, counts)
+            build_pos = vec["pos"][starts + offsets]
+        outer_columns = [
+            (c.take(probe_idx) if isinstance(c, ColumnVector)
+             else [c[i] for i in probe_idx])
+            for c in (batch.columns if batch.width else [])
+        ]
+        inner_columns = [
+            (c.take(build_pos) if isinstance(c, ColumnVector)
+             else [c[i] for i in build_pos])
+            for c in vec["columns"]
+        ]
+        return Batch(outer_columns + inner_columns, pairs), pairs
 
 
 class MergeJoinOp(Operator):

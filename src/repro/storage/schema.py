@@ -12,7 +12,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import CatalogError
+from ..errors import CatalogError, SchemaError
 
 
 class DataType(enum.Enum):
@@ -50,8 +50,9 @@ class DataType(enum.Enum):
                     raise TypeError
                 return value
         except (TypeError, ValueError):
-            raise CatalogError(
-                "value %r is not valid for type %s" % (value, self.value)
+            raise SchemaError(
+                "value %r is not valid for type %s" % (value, self.value),
+                dtype=self.value,
             )
         raise CatalogError("unknown data type %r" % self)
 
@@ -101,6 +102,55 @@ class Schema:
     def of(cls, *specs: Tuple[str, DataType]) -> "Schema":
         """Convenience constructor: ``Schema.of(("did", DataType.INT), ...)``."""
         return cls(Column(name, dtype) for name, dtype in specs)
+
+    @classmethod
+    def inferred(cls, names: Sequence[str], rows: Iterable[Sequence]
+                 ) -> "Schema":
+        """A typed schema inferred from sample rows — the dtype
+        backfill for untyped legacy data (plain column names plus a
+        list of value tuples).
+
+        Per column: bool before int (Python bools *are* ints), INT and
+        FLOAT widen to FLOAT, any other mix raises
+        :class:`SchemaError`, and a column with no non-NULL sample
+        defaults to STR.
+        """
+        dtypes: List[Optional[DataType]] = [None] * len(names)
+        for row in rows:
+            if len(row) != len(names):
+                raise CatalogError(
+                    "row arity %d does not match %d column name(s)"
+                    % (len(row), len(names))
+                )
+            for j, value in enumerate(row):
+                if value is None:
+                    continue
+                if isinstance(value, bool):
+                    dtype = DataType.BOOL
+                elif isinstance(value, int):
+                    dtype = DataType.INT
+                elif isinstance(value, float):
+                    dtype = DataType.FLOAT
+                elif isinstance(value, str):
+                    dtype = DataType.STR
+                else:
+                    raise SchemaError(
+                        "cannot infer a dtype for value %r" % (value,),
+                        column=names[j],
+                    )
+                seen = dtypes[j]
+                if seen is None or seen is dtype:
+                    dtypes[j] = dtype
+                elif {seen, dtype} == {DataType.INT, DataType.FLOAT}:
+                    dtypes[j] = DataType.FLOAT
+                else:
+                    raise SchemaError(
+                        "column %r mixes %s and %s values"
+                        % (names[j], seen.value, dtype.value),
+                        column=names[j],
+                    )
+        return cls(Column(name, dtype or DataType.STR)
+                   for name, dtype in zip(names, dtypes))
 
     def __len__(self) -> int:
         return len(self.columns)
@@ -154,15 +204,26 @@ class Schema:
         )
 
     def validate_row(self, row: Sequence) -> tuple:
-        """Coerce a row to this schema, raising on arity/type mismatch."""
+        """Coerce a row to this schema, raising on arity/type mismatch.
+
+        Type mismatches raise :class:`SchemaError` (a
+        :class:`CatalogError` subtype) tagged with the offending
+        column's name and declared dtype.
+        """
         if len(row) != len(self.columns):
             raise CatalogError(
                 "row arity %d does not match schema arity %d"
                 % (len(row), len(self.columns))
             )
-        return tuple(
-            col.dtype.coerce(value) for col, value in zip(self.columns, row)
-        )
+        out = []
+        for col, value in zip(self.columns, row):
+            try:
+                out.append(col.dtype.coerce(value))
+            except SchemaError as err:
+                if err.column is None:
+                    err.column = col.name
+                raise
+        return tuple(out)
 
     def __repr__(self) -> str:
         cols = ", ".join("%s %s" % (c.name, c.dtype.value) for c in self.columns)

@@ -29,6 +29,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CatalogError
+from . import columnar
 from .index import HashIndex, Index, SortedIndex
 from .mvcc import FROZEN, MVCCState, Snapshot
 from .schema import Schema
@@ -85,6 +86,13 @@ class Table:
         self._mutations = 0
         self._vis_key: Optional[tuple] = None
         self._vis_rows: List[tuple] = []
+        # ------------------------------------------- columnar base
+        #: typed numpy column arrays covering the quiesced prefix
+        #: ``_rows[:_col_base]`` (see repro.storage.columnar); rows past
+        #: the base are the row-form delta tail, folded in by
+        #: :meth:`compact`. Never consulted on a non-quiesced table.
+        self._colstore: Optional["columnar.ColumnStore"] = None
+        self._col_base = 0
 
     # ------------------------------------------------------------------ data
 
@@ -101,6 +109,46 @@ class Table:
         if self._mvcc is None:
             return self._rows
         return self._visible_rows(self._mvcc.read_view())
+
+    # -------------------------------------------------- columnar base
+
+    def _col_invalidate(self) -> None:
+        self._colstore = None
+        self._col_base = 0
+
+    def compact(self) -> Optional["columnar.ColumnStore"]:
+        """(Re)build or extend the columnar base to cover every
+        physical row. Only meaningful on a quiesced table — with
+        unfrozen version stamps the caller must stay on the row path —
+        and a no-op when numpy is unavailable.
+
+        Called lazily by :meth:`columnar_view` at scan time, and
+        eagerly by :meth:`vacuum` right after physical compaction, so
+        freshly frozen/vacuumed versions land in the columnar base.
+        """
+        if not columnar.AVAILABLE or self._xmaxs or self._writers:
+            return None
+        n = len(self._rows)
+        if self._colstore is None:
+            if n == 0:
+                return None
+            self._colstore = columnar.ColumnStore.build(
+                self.schema, self._rows)
+            self._col_base = n
+        elif self._col_base < n:
+            # fold the row-form delta tail into the columnar base
+            self._colstore = self._colstore.extend(
+                self._rows[self._col_base:])
+            self._col_base = n
+        return self._colstore
+
+    def columnar_view(self) -> Optional["columnar.ColumnStore"]:
+        """The columnar base covering *all* currently visible rows, or
+        ``None`` when the table is not quiesced (vector scans then fall
+        back to the row-form visibility path)."""
+        if self._xmaxs or self._writers:
+            return None
+        return self.compact()
 
     @property
     def physical_rows(self) -> List[tuple]:
@@ -213,6 +261,8 @@ class Table:
     def mark_deleted(self, position: int, xmax: int = FROZEN) -> None:
         """Stamp one version as deleted by transaction ``xmax``
         (FROZEN = dead to every snapshot immediately)."""
+        if position < self._col_base:
+            self._col_invalidate()
         self._xmaxs[position] = xmax
         if xmax:
             self._deleters.setdefault(xmax, []).append(position)
@@ -235,6 +285,8 @@ class Table:
         append when the tail is known to belong to the caller."""
         if num_rows >= len(self._rows):
             return
+        if num_rows < self._col_base:
+            self._col_invalidate()
         del self._rows[num_rows:]
         del self._xmins[num_rows:]
         if self._xmaxs:
@@ -265,6 +317,8 @@ class Table:
             return
         for position in mine:
             if self._xmaxs.get(position) != FROZEN:
+                if position < self._col_base:
+                    self._col_invalidate()
                 self._xmaxs[position] = FROZEN
                 self._dead += 1
         kept = [p for p in self._writers[txn_id] if p < before]
@@ -334,6 +388,10 @@ class Table:
             index.bulk_load(
                 (row[col_pos], at) for at, row in enumerate(rows)
             )
+        # positions moved: rebuild the columnar base over the compacted
+        # heap right away (vacuum is the explicit maintenance point)
+        self._col_invalidate()
+        self.compact()
         return reclaimed
 
     @property
@@ -383,6 +441,7 @@ class Table:
         self._rows.sort(key=lambda row: (row[position] is None,
                                          row[position]))
         self.clustered_on = column_name
+        self._col_invalidate()
         self._mutations += 1
         for index in self.indexes.values():
             col_pos = self.schema.index_of(index.column_name)
