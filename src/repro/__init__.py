@@ -52,11 +52,13 @@ from .errors import (
 )
 from .ledger import CostLedger, CostParams
 from .obs import (
+    AdaptivePolicy,
     DriftRecorder,
     DriftReport,
     EventLog,
     MetricsRegistry,
     OptimizerTrace,
+    QueryLog,
     QueryTrace,
     Span,
     WhyNotReport,
@@ -108,6 +110,7 @@ def connect(*, sites: Optional[Sequence[str]] = None,
 
 
 __all__ = [
+    "AdaptivePolicy",
     "BindError",
     "CatalogError",
     "Column",
@@ -131,6 +134,7 @@ __all__ = [
     "PlanError",
     "PreparedStatement",
     "ProtocolError",
+    "QueryLog",
     "QueryResult",
     "QueryTimeout",
     "QueryTrace",

@@ -13,6 +13,14 @@ JSON frames; see docs/server.md)::
 
     python -m repro serve --port 7878
     python -m repro serve --workload empdept --durability lazy --wal db.wal
+    python -m repro serve --telemetry --slow-query 0.05
+
+``python -m repro top`` renders a live snapshot of a running server —
+connections, per-kind latency, in-flight sessions, the slow-query log,
+drift by table, and adaptive maintenance counters::
+
+    python -m repro top --port 7878
+    python -m repro top --watch 2        # refresh every 2 seconds
 """
 
 import sys
@@ -97,6 +105,16 @@ def _serve(argv) -> int:
                              "an existing log is recovered first")
     parser.add_argument("--log-events", action="store_true",
                         help="stream the structured event log to stderr")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record per-query telemetry (query log, "
+                             "latency histograms, slow-query capture)")
+    parser.add_argument("--slow-query", type=float, default=None,
+                        metavar="SECONDS",
+                        help="slow-query threshold in seconds "
+                             "(implies --telemetry)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="enable drift-triggered adaptive "
+                             "re-analyze for traced statements")
     args = parser.parse_args(argv)
 
     import os
@@ -126,6 +144,12 @@ def _serve(argv) -> int:
         (build_empdept if args.workload == "empdept" else build_star)(db)
     if args.log_events:
         db.event_log.enable(sink=sys.stderr)
+    if args.telemetry or args.slow_query is not None:
+        db.configure(telemetry=True)
+    if args.slow_query is not None:
+        db.configure(slow_query_seconds=args.slow_query)
+    if args.adaptive:
+        db.configure(adaptive=True)
 
     async def run() -> None:
         server = await Server(db, args.host, args.port).start()
@@ -143,12 +167,56 @@ def _serve(argv) -> int:
     return 0
 
 
+def _top(argv) -> int:
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Render a live snapshot of a running repro server "
+                    "(latency, sessions, slow queries, drift, adaptive "
+                    "actions).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7878)
+    parser.add_argument("--watch", type=float, default=None,
+                        metavar="SECONDS",
+                        help="refresh every SECONDS until interrupted "
+                             "(default: render once and exit)")
+    args = parser.parse_args(argv)
+
+    from .server import Client
+    from .server.top import fetch_snapshot
+
+    try:
+        with Client(args.host, args.port) as client:
+            address = "%s:%d" % (args.host, args.port)
+            while True:
+                panel = fetch_snapshot(client, address=address)
+                if args.watch is not None:
+                    # clear-screen escape keeps the panel in place
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                sys.stdout.write(panel + "\n")
+                sys.stdout.flush()
+                if args.watch is None:
+                    return 0
+                time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionError as exc:
+        sys.stderr.write("cannot reach repro server at %s:%d: %s\n"
+                         % (args.host, args.port, exc))
+        return 1
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "dump-search":
         return _dump_search(argv[1:])
     if argv and argv[0] == "serve":
         return _serve(argv[1:])
+    if argv and argv[0] == "top":
+        return _top(argv[1:])
     from .shell import main as shell_main
 
     return shell_main(argv)

@@ -37,9 +37,11 @@ from .executor.lowering import lower
 from .executor.runtime import RuntimeContext
 from .expr.nodes import PARAMETER_TYPES
 from .ledger import CostLedger
+from .obs.adaptive import AdaptiveController
 from .obs.drift import DriftRecorder, DriftReport
 from .obs.log import EventLog
 from .obs.metrics import MetricsRegistry, global_metrics
+from .obs.querylog import QueryLog
 from .obs.opttrace import OptimizerTrace, WhyNotReport
 from .obs.render import render_explain_analyze
 from .obs.trace import QueryTrace, TraceBuilder
@@ -225,6 +227,12 @@ class Database:
         self.metrics_registry = MetricsRegistry("db",
                                                 parent=global_metrics())
         self.drift = DriftRecorder()
+        # serving telemetry: per-query ring buffer + latency histograms
+        # (records only when the telemetry option is on)
+        self.querylog = QueryLog()
+        # the drift->re-analyze feedback loop; acts only when a traced
+        # query ran with an enabled Options.adaptive policy
+        self.adaptive = AdaptiveController(self)
         # structured query-lifecycle log (off until .enable() is called)
         self.event_log = EventLog()
         self._current_query_id: Optional[str] = None
@@ -339,6 +347,8 @@ class Database:
         wal = self.txn._wal  # peek: metrics must not open a WAL lazily
         if wal is not None:
             data["wal"] = wal.stats()
+        if self.querylog.recorded:
+            data["latency"] = self.querylog.latency_summary()
         return data
 
     def drift_report(self) -> DriftReport:
@@ -853,6 +863,8 @@ class Database:
                      session=self.txn.session.name)
             log.emit("parse", query_id=qid,
                      seconds=round(parse_seconds, 6))
+        telemetry = bool(opts.telemetry)
+        started = time.perf_counter() if telemetry else 0.0
         try:
             with self.txn.statement_snapshot():
                 result = self._dispatch_statement(statement,
@@ -873,10 +885,47 @@ class Database:
             self.txn.note_error(exc)
             raise
         result.query_id = qid
+        if telemetry:
+            self._record_telemetry(result, original_text, kind, opts,
+                                   time.perf_counter() - started)
         if qid is not None:
             log.emit("query_end", query_id=qid, status="ok",
                      rows=len(result.rows))
+        # the feedback loop: a traced query just fed the drift recorder;
+        # let the adaptive policy act on it (outside the statement
+        # snapshot, so a triggered re-analyze is its own transaction)
+        policy = opts.adaptive
+        if result.trace is not None and policy is not None \
+                and policy.enabled:
+            self.adaptive.observe(policy, result)
         return result
+
+    def _record_telemetry(self, result: QueryResult, original_text: str,
+                          kind: str, opts: Options,
+                          seconds: float) -> None:
+        """One QueryLog entry for a completed statement; slow offenders
+        carry the full plan text and (when traced) the span tree."""
+        slow = seconds >= opts.slow_query_seconds
+        plan_text = None
+        trace_dict = None
+        if slow:
+            if result.plan is not None:
+                plan_text = result.plan.explain()
+            if result.trace is not None:
+                trace_dict = result.trace.to_dict()
+            self.metrics_registry.inc("slow_queries_total", label=kind)
+        self.querylog.record(
+            statement=" ".join(original_text.split())[:500],
+            kind=kind,
+            seconds=seconds,
+            rows=len(result.rows),
+            cost=result.ledger.total(),
+            session=self.txn.session.name,
+            cached_plan=result.cached_plan,
+            slow=slow,
+            plan=plan_text,
+            trace=trace_dict,
+        )
 
     def _emit_execute(self, qid: Optional[str],
                       result: QueryResult) -> None:

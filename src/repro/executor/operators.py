@@ -37,6 +37,7 @@ from ..storage import columnar
 from ..storage.columnar import ColumnVector
 from .vectorize import (
     Batch,
+    KernelStats,
     batches_from_list,
     batches_from_rows,
     batches_from_store,
@@ -78,9 +79,35 @@ def bind_memberships(expr: Optional[Expr], ctx: RuntimeContext) -> None:
 class Operator:
     """Base class for physical operators."""
 
+    #: kernel-vs-fallback batch counts, armed lazily by kernel_counter()
+    #: under tracing only; the span finalizer lifts the derived
+    #: kernel_batches / fallback_batches properties into span extras
+    kernel_stats: Optional[KernelStats] = None
+
     def __init__(self, ctx: RuntimeContext, schema: Schema):
         self.ctx = ctx
         self.schema = schema
+
+    def kernel_counter(self) -> Optional[KernelStats]:
+        """This operator's KernelStats when the execution is traced,
+        else None — so untraced compiled closures carry no counting
+        wrapper at all."""
+        if self.ctx.trace is None:
+            return None
+        stats = self.kernel_stats
+        if stats is None:
+            stats = self.kernel_stats = KernelStats()
+        return stats
+
+    @property
+    def kernel_batches(self) -> Optional[int]:
+        stats = self.kernel_stats
+        return stats.kernel if stats is not None else None
+
+    @property
+    def fallback_batches(self) -> Optional[int]:
+        stats = self.kernel_stats
+        return stats.fallback if stats is not None else None
 
     def rows(self) -> Iterator[Row]:
         raise NotImplementedError
@@ -131,7 +158,8 @@ class SeqScanOp(Operator):
     def batches(self) -> Iterator[Batch]:
         self.ctx.charge_scan(self.table.num_pages)
         bind_memberships(self.predicate, self.ctx)
-        predicate = compile_optional_filter(self.predicate)
+        predicate = compile_optional_filter(self.predicate,
+                                            stats=self.kernel_counter())
         width = len(self.schema)
         # a quiesced table scans straight off its columnar base (batch
         # boundaries — and therefore every batch-granularity charge —
@@ -225,7 +253,8 @@ class IndexScanOp(Operator):
             self.table, self.column, len(positions)))
         self.ctx.charge_cpu(len(positions) + 1)
         bind_memberships(self.residual, self.ctx)
-        residual = compile_optional_filter(self.residual)
+        residual = compile_optional_filter(self.residual,
+                                           stats=self.kernel_counter())
         rows = [self.table.row_at(p) for p in positions]
         for batch in batches_from_list(rows, len(self.schema)):
             if residual is not None:
@@ -286,7 +315,8 @@ class FilterOp(Operator):
 
     def batches(self) -> Iterator[Batch]:
         bind_memberships(self.predicate, self.ctx)
-        predicate = compile_optional_filter(self.predicate)
+        predicate = compile_optional_filter(self.predicate,
+                                            stats=self.kernel_counter())
         for batch in self.child.batches():
             self.ctx.charge_cpu(batch.n)
             batch = batch.select(predicate(batch))
@@ -311,7 +341,8 @@ class ProjectOp(Operator):
     def batches(self) -> Iterator[Batch]:
         for expr in self.exprs:
             bind_memberships(expr, self.ctx)
-        fns = [compile_expr(expr) for expr in self.exprs]
+        stats = self.kernel_counter()
+        fns = [compile_expr(expr, stats=stats) for expr in self.exprs]
         for batch in self.child.batches():
             self.ctx.charge_cpu(batch.n)
             yield Batch([fn(batch) for fn in fns], batch.n)
@@ -498,8 +529,10 @@ class AggregateOp(Operator):
         held = 0.0
         for spec, argument in self.aggregates:
             bind_memberships(argument, self.ctx)
+        stats = self.kernel_counter()
         arg_fns = [
-            None if argument is None else compile_expr(argument)
+            None if argument is None
+            else compile_expr(argument, stats=stats)
             for _, argument in self.aggregates
         ]
         single_agg = (len(arg_fns) == 1)
@@ -1126,7 +1159,8 @@ class HashJoinOp(Operator):
 
     def batches(self) -> Iterator[Batch]:
         bind_memberships(self.residual, self.ctx)
-        residual = compile_optional_filter(self.residual)
+        residual = compile_optional_filter(self.residual,
+                                           stats=self.kernel_counter())
         table = None
         build_rows = 0
         build_width = self.inner.schema.row_width()
@@ -1835,7 +1869,8 @@ class FilterJoinOp(Operator):
         charges, with the production/template subtrees pulled as batches
         and the final hash join evaluated batch-at-a-time."""
         bind_memberships(self.residual, self.ctx)
-        residual = compile_optional_filter(self.residual)
+        residual = compile_optional_filter(self.residual,
+                                           stats=self.kernel_counter())
         ledger = self.ctx.ledger
         outer_width = self.outer.schema.row_width()
 

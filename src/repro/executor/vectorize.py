@@ -261,6 +261,37 @@ def batches_from_store(store: "columnar.ColumnStore",
 
 ColumnFn = Callable[[Batch], Sequence]
 
+
+class KernelStats:
+    """Per-operator count of batch evaluations that ran as numpy kernels
+    vs. the per-element interpreter fallback.
+
+    One compiled expression evaluating one batch is one count: the
+    result stayed columnar (a :class:`ColumnVector`) → ``kernel``;
+    anything materialized to Python objects → ``fallback``. Operators
+    arm these only under tracing (see ``Operator.kernel_counter``) and
+    the span finalizer lifts them into span extras as
+    ``kernel_batches`` / ``fallback_batches``, so per-query columnar
+    coverage is visible in ``explain_analyze`` and the Chrome-trace
+    export without touching the untraced hot path.
+    """
+
+    __slots__ = ("kernel", "fallback")
+
+    def __init__(self):
+        self.kernel = 0
+        self.fallback = 0
+
+    def note(self, result) -> None:
+        if isinstance(result, ColumnVector):
+            self.kernel += 1
+        else:
+            self.fallback += 1
+
+    def __repr__(self) -> str:
+        return "KernelStats(kernel=%d, fallback=%d)" % (
+            self.kernel, self.fallback)
+
 _CMP_PYOP = {"=": "==", "!=": "!=", "<>": "!=",
              "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 _ARITH_PYOP = {"+": "+", "-": "-", "*": "*", "/": "/"}
@@ -297,7 +328,8 @@ def _const_reader(expr: Expr):
     return None
 
 
-def compile_expr(expr: Expr) -> ColumnFn:
+def compile_expr(expr: Expr,
+                 stats: Optional[KernelStats] = None) -> ColumnFn:
     """Compile a resolved expression tree into a column-level closure.
 
     The closure takes a :class:`Batch` and returns a sequence of ``n``
@@ -306,7 +338,26 @@ def compile_expr(expr: Expr) -> ColumnFn:
     logic, the iterator engine's error messages, late-bound parameters
     and filter-set memberships). Over ColumnVector inputs the result is
     itself a ColumnVector whenever a numpy kernel applies.
+
+    With ``stats``, every batch evaluation of the *top-level* closure
+    is tallied kernel-vs-fallback (sub-expressions are not separately
+    counted — the top-level result type already tells whether the
+    pipeline stayed columnar). ``stats=None`` returns the bare closure:
+    the untraced path is byte-identical to before.
     """
+    fn = _compile(expr)
+    if stats is None:
+        return fn
+
+    def counted(batch: Batch):
+        result = fn(batch)
+        stats.note(result)
+        return result
+
+    return counted
+
+
+def _compile(expr: Expr) -> ColumnFn:
     if isinstance(expr, ColumnRef):
         if expr.position is None:
             raise ExecutionError(
@@ -344,15 +395,18 @@ def compile_expr(expr: Expr) -> ColumnFn:
     )
 
 
-def compile_filter(expr: Expr) -> Callable[[Batch], Sequence]:
+def compile_filter(expr: Expr,
+                   stats: Optional[KernelStats] = None
+                   ) -> Callable[[Batch], Sequence]:
     """Compile a predicate into a selection-flag closure.
 
     Rows are kept only when the predicate is exactly ``True`` (never for
     NULL), matching the iterator engine's ``eval(row) is True`` checks.
     Returns a numpy boolean array when the predicate evaluated as a
-    kernel, else a Python list of bools.
+    kernel, else a Python list of bools. ``stats`` tallies per batch
+    exactly as in :func:`compile_expr`.
     """
-    value_fn = compile_expr(expr)
+    value_fn = compile_expr(expr, stats=stats)
 
     def run(batch: Batch):
         values = value_fn(batch)
@@ -926,10 +980,13 @@ def _compile_membership(expr: RuntimeMembership) -> ColumnFn:
     return run
 
 
-def compile_optional(expr: Optional[Expr]) -> Optional[ColumnFn]:
-    return compile_expr(expr) if expr is not None else None
+def compile_optional(expr: Optional[Expr],
+                     stats: Optional[KernelStats] = None
+                     ) -> Optional[ColumnFn]:
+    return compile_expr(expr, stats=stats) if expr is not None else None
 
 
-def compile_optional_filter(expr: Optional[Expr]
+def compile_optional_filter(expr: Optional[Expr],
+                            stats: Optional[KernelStats] = None
                             ) -> Optional[Callable[[Batch], Sequence]]:
-    return compile_filter(expr) if expr is not None else None
+    return compile_filter(expr, stats=stats) if expr is not None else None

@@ -9,7 +9,12 @@ search trace.
   process-global registry, surfaced via ``db.metrics()`` and the
   shell's ``\\metrics``;
 - :mod:`~repro.obs.drift` — a ring buffer of per-operator q-errors
-  behind ``db.drift_report()``;
+  behind ``db.drift_report()``, now also aggregated per owning table;
+- :mod:`~repro.obs.adaptive` — the feedback loop acting on drift:
+  policy-driven automatic re-analyze with plan-cache invalidation;
+- :mod:`~repro.obs.querylog` — ring-buffer serving telemetry: per-query
+  wall/rows/cost, slow-query capture with plan + trace, and per-kind
+  latency histograms;
 - :mod:`~repro.obs.render` — the shared EXPLAIN ANALYZE renderer;
 - :mod:`~repro.obs.log` — JSON-lines query-lifecycle events behind
   ``db.event_log`` and the shell's ``\\log``;
@@ -20,7 +25,8 @@ search trace.
 See ``docs/observability.md`` for the span schema and metrics catalog.
 """
 
-from .drift import DriftRecorder, DriftReport, DriftSample
+from .adaptive import AdaptiveController, AdaptivePolicy
+from .drift import DriftRecorder, DriftReport, DriftSample, TableDrift
 from .log import EventLog
 from .metrics import (
     Counter,
@@ -31,10 +37,13 @@ from .metrics import (
     global_metrics,
 )
 from .opttrace import CandidateRecord, OptimizerTrace, WhyNotReport
+from .querylog import QueryLog, QueryLogEntry
 from .render import cost_ratio_text, render_explain_analyze
-from .trace import QueryTrace, Span, TraceBuilder, q_error
+from .trace import QueryTrace, Span, TraceBuilder, owning_table, q_error
 
 __all__ = [
+    "AdaptiveController",
+    "AdaptivePolicy",
     "CandidateRecord",
     "Counter",
     "DriftRecorder",
@@ -46,12 +55,16 @@ __all__ = [
     "MetricsRegistry",
     "OptimizerTrace",
     "QERROR_BUCKETS",
+    "QueryLog",
+    "QueryLogEntry",
     "QueryTrace",
     "Span",
+    "TableDrift",
     "TraceBuilder",
     "WhyNotReport",
     "cost_ratio_text",
     "global_metrics",
+    "owning_table",
     "q_error",
     "render_explain_analyze",
 ]

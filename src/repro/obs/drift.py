@@ -21,19 +21,27 @@ from .trace import q_error
 
 
 class DriftSample:
-    """One operator execution's estimate vs. reality."""
+    """One operator execution's estimate vs. reality.
+
+    ``table`` is the base table the operator's estimate derives from
+    (see :func:`~repro.obs.trace.owning_table`), or None for operators
+    like joins whose misestimate has no single owner — those still rank
+    in the per-operator report but are invisible to per-table ranking.
+    """
 
     __slots__ = ("operator", "node_type", "statement",
-                 "est_rows", "actual_rows", "q_error")
+                 "est_rows", "actual_rows", "q_error", "table")
 
     def __init__(self, operator: str, node_type: str, statement: str,
-                 est_rows: float, actual_rows: float):
+                 est_rows: float, actual_rows: float,
+                 table: Optional[str] = None):
         self.operator = operator
         self.node_type = node_type
         self.statement = statement
         self.est_rows = float(est_rows)
         self.actual_rows = float(actual_rows)
         self.q_error = q_error(est_rows, actual_rows)
+        self.table = table
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -72,14 +80,55 @@ class DriftGroup:
         }
 
 
+class TableDrift:
+    """Aggregated samples for one owning table — the unit the adaptive
+    policy acts on (``analyze`` targets tables, not operators)."""
+
+    def __init__(self, table: str):
+        self.table = table
+        self.samples = 0
+        self.max_q_error = 1.0
+        self.sum_q_error = 0.0
+        self.worst: Optional[DriftSample] = None
+
+    def add(self, sample: DriftSample) -> None:
+        self.samples += 1
+        self.sum_q_error += sample.q_error
+        if sample.q_error >= self.max_q_error:
+            self.max_q_error = sample.q_error
+            self.worst = sample
+
+    @property
+    def mean_q_error(self) -> float:
+        return self.sum_q_error / self.samples if self.samples else 1.0
+
+    def as_dict(self) -> dict:
+        return {
+            "table": self.table,
+            "samples": self.samples,
+            "max_q_error": self.max_q_error,
+            "mean_q_error": self.mean_q_error,
+            "worst": self.worst.as_dict() if self.worst else None,
+        }
+
+
 class DriftReport:
-    """Drift groups ranked worst-first, with a text rendering."""
+    """Drift groups ranked worst-first, with a text rendering.
+
+    ``groups`` ranks operators (the original PR 3 view); ``tables``
+    ranks owning tables by *mean* q-error — the adaptive policy's
+    trigger metric, chosen over max because a single outlier execution
+    should not force a re-analyze but a consistently wrong table
+    should.
+    """
 
     def __init__(self, groups: List[DriftGroup], window: int,
-                 recorded: int):
+                 recorded: int,
+                 tables: Optional[List[TableDrift]] = None):
         self.groups = groups
         self.window = window
         self.recorded = recorded
+        self.tables = tables if tables is not None else []
 
     @property
     def worst(self) -> Optional[DriftGroup]:
@@ -96,6 +145,7 @@ class DriftReport:
             "recorded": self.recorded,
             "empty": self.empty,
             "groups": [g.as_dict() for g in self.groups],
+            "tables": [t.as_dict() for t in self.tables],
         }
 
     def render(self, limit: int = 10) -> str:
@@ -127,6 +177,18 @@ class DriftReport:
         if len(self.groups) > limit:
             lines.append("... and %d more operator groups"
                          % (len(self.groups) - limit))
+        if self.tables:
+            lines.append("")
+            lines.append("by owning table (mean q-error):")
+            lines.append("%-6s %-20s %-9s %-10s %s"
+                         % ("rank", "table", "mean", "max q-err",
+                            "samples"))
+            for rank, table in enumerate(self.tables[:limit], start=1):
+                lines.append(
+                    "%-6d %-20s %-9.2f %-10.2f %d"
+                    % (rank, table.table[:20], table.mean_q_error,
+                       table.max_q_error, table.samples)
+                )
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -164,6 +226,7 @@ class DriftRecorder:
                 statement=trace.statement,
                 est_rows=span.est_rows,
                 actual_rows=span.actual_rows,
+                table=getattr(span, "table", None),
             ))
             taken += 1
         return taken
@@ -171,19 +234,45 @@ class DriftRecorder:
     def clear(self) -> None:
         self._samples.clear()
 
+    def drop_table(self, table: str) -> int:
+        """Discard every sample owned by ``table``; returns how many
+        were dropped. Called after re-analyzing the table — samples
+        produced by the old statistics must not re-trigger against the
+        new ones."""
+        kept = [s for s in self._samples if s.table != table]
+        dropped = len(self._samples) - len(kept)
+        if dropped:
+            self._samples.clear()
+            self._samples.extend(kept)
+        return dropped
+
     def report(self) -> DriftReport:
-        """Aggregate the current window, ranked by max q-error (ties
-        broken by mean, then by sample count)."""
+        """Aggregate the current window: per-operator groups ranked by
+        max q-error (ties broken by mean, then sample count), and
+        per-table aggregates ranked by mean q-error."""
         groups: Dict[str, DriftGroup] = {}
+        tables: Dict[str, TableDrift] = {}
         for sample in self._samples:
             group = groups.get(sample.operator)
             if group is None:
                 group = groups[sample.operator] = DriftGroup(
                     sample.operator, sample.node_type)
             group.add(sample)
+            if sample.table is not None:
+                aggregate = tables.get(sample.table)
+                if aggregate is None:
+                    aggregate = tables[sample.table] = TableDrift(
+                        sample.table)
+                aggregate.add(sample)
         ranked = sorted(
             groups.values(),
             key=lambda g: (-g.max_q_error, -g.mean_q_error, -g.samples,
                            g.operator),
         )
-        return DriftReport(ranked, self.window, len(self._samples))
+        ranked_tables = sorted(
+            tables.values(),
+            key=lambda t: (-t.mean_q_error, -t.max_q_error, -t.samples,
+                           t.table),
+        )
+        return DriftReport(ranked, self.window, len(self._samples),
+                           tables=ranked_tables)

@@ -1,0 +1,206 @@
+"""Serving-layer query telemetry: a ring-buffer query log plus
+per-statement-kind latency histograms.
+
+With ``Options(telemetry=True)`` (or ``db.configure(telemetry=True)``,
+or ``python -m repro serve --telemetry``) every executed statement
+records one entry — wall seconds, rows, total ledger cost, statement
+kind, owning session — into the database's bounded :class:`QueryLog`.
+Statements slower than ``slow_query_seconds`` are *slow-query* entries
+and additionally capture the full ``explain`` plan text (and the span
+trace as a dict when the statement was traced), so an offender on a
+production server arrives with everything needed to replay and diagnose
+it.
+
+Latencies also feed fixed-bucket histograms per statement kind
+(select/insert/update/...), giving ``db.metrics()`` and the server's
+``metrics`` admin request p50/p99-style summaries without storing
+per-query state beyond the ring buffer.
+
+Telemetry off (the default) records nothing and costs one resolved-
+options boolean test per statement — enforced, together with the
+serving-path budget, by ``benchmarks/bench_adaptive_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from .metrics import Histogram
+
+#: latency bucket upper edges in seconds: half-millisecond floor, five
+#: second ceiling — wide enough for embedded microqueries and slow
+#: served scans alike
+LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+
+class QueryLogEntry:
+    """One executed statement's telemetry record."""
+
+    __slots__ = ("statement", "kind", "seconds", "rows", "cost",
+                 "session", "cached_plan", "slow", "plan", "trace",
+                 "recorded_at")
+
+    def __init__(self, statement: str, kind: str, seconds: float,
+                 rows: int, cost: float, session: str,
+                 cached_plan: bool, slow: bool,
+                 plan: Optional[str] = None,
+                 trace: Optional[dict] = None):
+        self.statement = statement
+        self.kind = kind
+        self.seconds = seconds
+        self.rows = rows
+        self.cost = cost
+        self.session = session
+        self.cached_plan = cached_plan
+        self.slow = slow
+        self.plan = plan
+        self.trace = trace
+        self.recorded_at = time.time()
+
+    def as_dict(self) -> dict:
+        data = {
+            "statement": self.statement,
+            "kind": self.kind,
+            "seconds": self.seconds,
+            "rows": self.rows,
+            "cost": self.cost,
+            "session": self.session,
+            "cached_plan": self.cached_plan,
+            "slow": self.slow,
+            "recorded_at": self.recorded_at,
+        }
+        if self.plan is not None:
+            data["plan"] = self.plan
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
+
+    def __repr__(self) -> str:
+        return "QueryLogEntry(%r, %.3fms%s)" % (
+            self.statement.strip()[:40], self.seconds * 1e3,
+            ", slow" if self.slow else "",
+        )
+
+
+class QueryLog:
+    """Bounded, thread-safe telemetry for one database.
+
+    Two ring buffers — all recent statements and the slow-query subset
+    (slow entries are heavy: they carry plan text and trace dicts, so
+    they get their own smaller window and survive long after the fast
+    traffic around them aged out) — plus one latency histogram per
+    statement kind. One flat lock; every operation is a handful of
+    deque/dict steps, so sessions contend for nanoseconds.
+    """
+
+    def __init__(self, window: int = 512, slow_window: int = 64):
+        self.window = window
+        self.slow_window = slow_window
+        self._entries: deque = deque(maxlen=window)
+        self._slow: deque = deque(maxlen=slow_window)
+        self._latency: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+        self.recorded = 0
+        self.slow_recorded = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ---------------------------------------------------------- recording
+
+    def record(self, statement: str, kind: str, seconds: float,
+               rows: int, cost: float, session: str = "",
+               cached_plan: bool = False, slow: bool = False,
+               plan: Optional[str] = None,
+               trace: Optional[dict] = None) -> QueryLogEntry:
+        entry = QueryLogEntry(
+            statement=statement, kind=kind, seconds=seconds, rows=rows,
+            cost=cost, session=session, cached_plan=cached_plan,
+            slow=slow, plan=plan, trace=trace,
+        )
+        with self._lock:
+            self._entries.append(entry)
+            self.recorded += 1
+            if slow:
+                self._slow.append(entry)
+                self.slow_recorded += 1
+            histogram = self._latency.get(kind)
+            if histogram is None:
+                histogram = self._latency[kind] = Histogram(
+                    "query_latency_seconds{%s}" % kind,
+                    bounds=LATENCY_BUCKETS)
+            histogram.observe(seconds)
+        return entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._slow.clear()
+            self._latency.clear()
+            self.recorded = 0
+            self.slow_recorded = 0
+
+    # ------------------------------------------------------------ reading
+
+    def recent(self, limit: int = 50) -> List[QueryLogEntry]:
+        """The most recent entries, newest first."""
+        with self._lock:
+            entries = list(self._entries)
+        entries.reverse()
+        return entries[:limit]
+
+    def slowest(self, limit: int = 10) -> List[QueryLogEntry]:
+        """The slowest entries in the slow window, slowest first."""
+        with self._lock:
+            entries = list(self._slow)
+        entries.sort(key=lambda e: -e.seconds)
+        return entries[:limit]
+
+    def latency_summary(self) -> Dict[str, dict]:
+        """Per-statement-kind latency histograms as plain dicts, with
+        estimated p50/p99 attached."""
+        with self._lock:
+            histograms = dict(self._latency)
+        out = {}
+        for kind in sorted(histograms):
+            histogram = histograms[kind]
+            data = histogram.as_dict()
+            data["p50"] = histogram.quantile(0.5)
+            data["p99"] = histogram.quantile(0.99)
+            out[kind] = data
+        return out
+
+    def snapshot(self, limit: int = 50, slow_limit: int = 10) -> dict:
+        """Everything the server's admin surface ships over the wire."""
+        return {
+            "window": self.window,
+            "recorded": self.recorded,
+            "slow_recorded": self.slow_recorded,
+            "recent": [e.as_dict() for e in self.recent(limit)],
+            "slow": [e.as_dict() for e in self.slowest(slow_limit)],
+            "latency": self.latency_summary(),
+        }
+
+    # ---------------------------------------------------------- rendering
+
+    def render(self, limit: int = 10) -> str:
+        """The shell's ``\\slow`` view: slowest statements, one line
+        each, plan attached when captured."""
+        entries = self.slowest(limit)
+        if not entries:
+            return ("no slow queries recorded "
+                    "(telemetry off, or nothing crossed the threshold)")
+        lines = ["%-10s %-8s %-8s %-6s %s"
+                 % ("ms", "kind", "rows", "sess", "statement")]
+        for entry in entries:
+            lines.append("%-10.2f %-8s %-8d %-6s %s" % (
+                entry.seconds * 1e3, entry.kind, entry.rows,
+                entry.session or "-",
+                " ".join(entry.statement.split())[:60],
+            ))
+        return "\n".join(lines)

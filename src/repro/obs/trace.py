@@ -66,7 +66,7 @@ class Span:
     """
 
     __slots__ = (
-        "name", "kind", "node_type", "est_rows", "est_cost",
+        "name", "kind", "node_type", "table", "est_rows", "est_cost",
         "actual_rows", "executions", "batches", "wall_seconds",
         "self_seconds", "self_counts", "self_ledger", "ledger", "extras",
         "children",
@@ -75,10 +75,12 @@ class Span:
     def __init__(self, name: str, kind: str = "operator",
                  node_type: str = "",
                  est_rows: Optional[float] = None,
-                 est_cost: Optional[float] = None):
+                 est_cost: Optional[float] = None,
+                 table: Optional[str] = None):
         self.name = name
         self.kind = kind
         self.node_type = node_type
+        self.table = table
         self.est_rows = est_rows
         self.est_cost = est_cost
         self.actual_rows = 0
@@ -132,6 +134,8 @@ class Span:
                 "self_ledger": self.self_ledger.as_dict(),
                 "ledger": self.ledger.as_dict(),
             })
+            if self.table is not None:
+                data["table"] = self.table
             if self.batches:
                 data["batches"] = self.batches
         if self.extras:
@@ -204,8 +208,34 @@ class _TeeLedger(CostLedger):
 #: operator attributes lifted into span extras after execution
 _EXTRA_ATTRS = (
     "filter_set_size", "production_rows", "restricted_rows",
-    "invocation_count", "bloom_bits",
+    "invocation_count", "bloom_bits", "kernel_batches",
+    "fallback_batches",
 )
+
+
+def owning_table(plan_node) -> Optional[str]:
+    """The base-table name a plan node's cardinality estimate derives
+    from, or None when there is no single answer.
+
+    Scan nodes own their relation's table outright (filter-set scans
+    have no backing table and yield None). A node with exactly one
+    child — filters, projections, aggregates over one input — inherits
+    its child's table: its misestimate is still that table's statistics
+    rotting. Joins and other multi-input nodes attribute to no single
+    table, deliberately: a join's misestimate can be caused by *either*
+    input's statistics (a filter join probing too many rows is usually
+    the production side's fault, not the probed table's), and blaming
+    the wrong table would make the adaptive loop re-analyze tables
+    whose statistics are fine.
+    """
+    relation = getattr(plan_node, "relation", None)
+    if relation is not None:
+        table = getattr(relation, "table", None)
+        return getattr(table, "name", None)
+    children = plan_node.children()
+    if len(children) == 1:
+        return owning_table(children[0])
+    return None
 
 
 class TraceBuilder:
@@ -265,6 +295,7 @@ class TraceBuilder:
             node_type=type(plan_node).__name__,
             est_rows=plan_node.est_rows,
             est_cost=plan_node.est_cost,
+            table=owning_table(plan_node),
         )
         self._by_node[id(plan_node)] = span
         self._op_of[id(span)] = operator

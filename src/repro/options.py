@@ -25,7 +25,9 @@ import dataclasses
 import sys
 import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
+
+from .obs.adaptive import AdaptivePolicy
 
 #: valid execution engines (mirrors executor.lowering.ENGINES, kept
 #: literal here so importing Options never pulls in the executor)
@@ -84,6 +86,19 @@ class Options:
       ``"snapshot"`` (the built-in default: reads pinned to the BEGIN
       snapshot) or ``"read-committed"`` (a fresh snapshot per
       statement). Sampled at BEGIN; see docs/transactions.md.
+    - ``adaptive``: an :class:`~repro.obs.adaptive.AdaptivePolicy` (or
+      ``True``/``False`` shorthand for a default-tuned / disabled one)
+      letting traced queries trigger automatic re-analyze when
+      estimate drift crosses the policy threshold. Off by default;
+      see docs/observability.md ("Closing the loop").
+    - ``telemetry``: record every statement's wall time, row count,
+      and cost into the database's ring-buffer
+      :class:`~repro.obs.querylog.QueryLog` with per-kind latency
+      histograms; statements slower than ``slow_query_seconds``
+      additionally capture the full plan (and span trace when traced).
+      Off by default.
+    - ``slow_query_seconds``: telemetry's slow-query threshold in
+      seconds (default 0.25).
     """
 
     trace: Optional[bool] = None
@@ -96,8 +111,17 @@ class Options:
     durability: Optional[str] = None
     wal_path: Optional[str] = None
     isolation: Optional[str] = None
+    adaptive: Optional[Union[AdaptivePolicy, bool]] = None
+    telemetry: Optional[bool] = None
+    slow_query_seconds: Optional[float] = None
 
     def __post_init__(self):
+        if self.adaptive is not None and not isinstance(
+                self.adaptive, AdaptivePolicy):
+            # bool shorthand normalizes at construction so merged()/
+            # resolved() always see a policy object
+            object.__setattr__(
+                self, "adaptive", AdaptivePolicy.coerce(self.adaptive))
         if self.engine is not None and self.engine not in ENGINES:
             raise ValueError(
                 "unknown engine %r (expected one of %s)"
@@ -131,6 +155,12 @@ class Options:
                 "unknown isolation %r (expected one of %s)"
                 % (self.isolation, ", ".join(ISOLATION_LEVELS))
             )
+        if (self.slow_query_seconds is not None
+                and self.slow_query_seconds <= 0):
+            raise ValueError(
+                "slow_query_seconds must be positive, got %r"
+                % (self.slow_query_seconds,)
+            )
 
     def merged(self, over: Optional["Options"]) -> "Options":
         """This options value with ``over``'s non-None fields taking
@@ -163,7 +193,9 @@ class Options:
 #: and no per-call options
 BUILTIN = Options(trace=False, use_cache=False, engine="iterator",
                   search_trace=False, max_fixpoint_iterations=1000,
-                  durability="off", isolation="snapshot")
+                  durability="off", isolation="snapshot",
+                  adaptive=AdaptivePolicy.OFF, telemetry=False,
+                  slow_query_seconds=0.25)
 
 OPTION_FIELDS = tuple(f.name for f in dataclasses.fields(Options))
 

@@ -26,8 +26,11 @@ from .protocol import (
     result_payload,
 )
 from .server import Server
+from .top import fetch_snapshot, render_top
 
 __all__ = [
+    "fetch_snapshot",
+    "render_top",
     "Client",
     "ClientResult",
     "HEADER",

@@ -136,6 +136,23 @@ class Client:
     def metrics(self) -> dict:
         return self.request("metrics")["metrics"]
 
+    def sessions(self) -> List[dict]:
+        """Every live connection's session state, including the
+        statement each one is executing right now (``repro top``'s
+        session pane)."""
+        return self.request("sessions")["sessions"]
+
+    def slowlog(self, limit: int = 20) -> List[dict]:
+        """The server's slowest telemetry entries, worst first. Slow
+        entries carry the full plan text and span trace for offline
+        replay."""
+        return self.request("slowlog", limit=limit)["slowlog"]
+
+    def drift(self) -> dict:
+        """The server's drift report (estimate quality over the recent
+        traced-query window)."""
+        return self.request("drift")["drift"]
+
     def close(self) -> None:
         """Send the goodbye and close the socket (idempotent)."""
         if self.closed:

@@ -20,6 +20,17 @@ ping      —                                      ``pong: true``
 status    —                                      ``status`` (this
                                                  session's txn view)
 metrics   —                                      ``metrics``
+sessions  —                                      ``sessions`` (one dict
+                                                 per live connection,
+                                                 incl. in-flight SQL)
+slowlog   ``limit`` (optional int, 1..1000)      ``slowlog`` (slowest
+                                                 telemetry entries;
+                                                 slow ones carry the
+                                                 full plan + trace)
+drift     —                                      ``drift`` (the drift
+                                                 report, worst
+                                                 operators/tables
+                                                 first)
 close     —                                      ``closed: true``
 ========  =====================================  =======================
 

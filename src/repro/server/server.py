@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import ProtocolError, ReproError
 from .protocol import (
@@ -56,6 +57,9 @@ class Server:
         self.connections = 0
         #: connections ever accepted
         self.total_connections = 0
+        #: connection name -> the statement it is executing right now
+        #: (written from the event loop only; read by ``sessions``)
+        self.inflight: Dict[str, dict] = {}
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -171,13 +175,13 @@ class Server:
 
     async def _dispatch(self, session, op: str, request: dict) -> dict:
         if op == "sql":
-            result = await self._engine(session.sql,
-                                        self._sql_text(request))
+            result = await self._run_statement(
+                session, session.sql, self._sql_text(request))
             self.db.metrics_registry.inc("server_statements_total")
             return result_payload(result)
         if op == "script":
-            results = await self._engine(session.execute_script,
-                                         self._sql_text(request))
+            results = await self._run_statement(
+                session, session.execute_script, self._sql_text(request))
             self.db.metrics_registry.inc("server_statements_total",
                                          amount=len(results))
             return {"ok": True,
@@ -189,9 +193,56 @@ class Server:
             return {"ok": True, "status": status}
         if op == "metrics":
             return {"ok": True, "metrics": self.db.metrics()}
+        if op == "sessions":
+            return {"ok": True, "sessions": await self._sessions_payload()}
+        if op == "slowlog":
+            limit = self._admin_limit(request, default=20)
+            return {"ok": True,
+                    "slowlog": [entry.as_dict() for entry
+                                in self.db.querylog.slowest(limit)]}
+        if op == "drift":
+            report = await self._engine(self.db.drift_report)
+            return {"ok": True, "drift": report.as_dict()}
         if op == "close":
             return {"ok": True, "closed": True}
         raise ProtocolError("unknown request op %r" % op)
+
+    async def _run_statement(self, session, method, text: str):
+        """Run a sql/script engine call with in-flight bookkeeping, so
+        the ``sessions`` admin view can show what each connection is
+        executing right now."""
+        self.inflight[session.name] = {
+            "sql": " ".join(text.split())[:200],
+            "started": time.time(),
+        }
+        try:
+            return await self._engine(method, text)
+        finally:
+            self.inflight.pop(session.name, None)
+
+    async def _sessions_payload(self) -> list:
+        def snapshot():
+            with self.db._lock:
+                return self.db.txn.sessions_overview()
+
+        overview = await self._engine(snapshot)
+        now = time.time()
+        for entry in overview:
+            running = self.inflight.get(entry["session"])
+            entry["running"] = running["sql"] if running else None
+            entry["running_seconds"] = (
+                round(now - running["started"], 3) if running else None)
+        return overview
+
+    @staticmethod
+    def _admin_limit(request: dict, default: int) -> int:
+        limit = request.get("limit", default)
+        if isinstance(limit, bool) or not isinstance(limit, int) \
+                or not 1 <= limit <= 1000:
+            raise ProtocolError(
+                "request field 'limit' must be an integer in [1, 1000], "
+                "got %r" % (limit,))
+        return limit
 
     @staticmethod
     def _sql_text(request: dict) -> str:

@@ -28,6 +28,14 @@ start with a backslash:
     \\faults ...    configure network fault injection (\\faults help)
     \\metrics       dump the database metrics registry
     \\drift         estimate-drift report (worst-misestimated operators)
+    \\slow [N]      the N slowest telemetry entries; first use turns
+                    query telemetry on for subsequent statements
+    \\sessions      one line per live session: bound flag, open txn,
+                    statement count
+    \\adaptive [on|off]
+                   drift-triggered adaptive maintenance: toggle the
+                   policy for traced statements and show the actions
+                   taken so far (table, before/after q-error)
     \\log [on|off|clear]
                    the structured query event log: toggle recording or
                    show the most recent events (JSON-lines via the API:
@@ -222,6 +230,15 @@ class Shell:
         if command == "\\drift":
             self.write(self.db.drift_report().render())
             return
+        if command == "\\slow":
+            self._slow_command(argument)
+            return
+        if command == "\\sessions":
+            self._sessions_command()
+            return
+        if command == "\\adaptive":
+            self._adaptive_command(argument)
+            return
         if command == "\\trace":
             self._trace_command(argument)
             return
@@ -230,8 +247,9 @@ class Shell:
             return
         self.write("unknown command %r (try \\d, \\e, \\ea, \\explain, "
                    "\\whynot, \\config, \\set, \\engine, \\cache, "
-                   "\\timeout, \\faults, \\metrics, \\drift, \\log, "
-                   "\\trace, \\txn, \\q)" % command)
+                   "\\timeout, \\faults, \\metrics, \\drift, \\slow, "
+                   "\\sessions, \\adaptive, \\log, \\trace, \\txn, \\q)"
+                   % command)
 
     def _txn_command(self, argument: str) -> None:
         txn = self.db.txn
@@ -263,6 +281,58 @@ class Shell:
             self.write("  wal        = %s" % (
                 "  ".join("%s=%s" % (key, value)
                           for key, value in status["wal"].items())))
+
+    def _slow_command(self, argument: str) -> None:
+        if argument:
+            try:
+                limit = int(argument)
+                if limit <= 0:
+                    raise ValueError
+            except ValueError:
+                self.write("usage: \\slow [N] (positive row count)")
+                return
+        else:
+            limit = 10
+        if not self.db.defaults.resolved().telemetry:
+            self.db.configure(telemetry=True)
+            self.write("query telemetry on "
+                       "(subsequent statements are recorded)")
+        self.write(self.db.querylog.render(limit))
+
+    def _sessions_command(self) -> None:
+        overview = self.db.txn.sessions_overview()
+        table = TextTable(["session", "bound", "txn", "aborted",
+                           "statements"])
+        for entry in overview:
+            table.add_row(
+                entry["session"],
+                "*" if entry["bound"] else "",
+                entry["txn"] or "-",
+                "yes" if entry["aborted"] else "",
+                entry["statements"],
+            )
+        self.write(table.render())
+
+    def _adaptive_command(self, argument: str) -> None:
+        if argument:
+            value = _BOOL_WORDS.get(argument.lower())
+            if value is None:
+                self.write("usage: \\adaptive [on | off]")
+                return
+            self.db.configure(adaptive=value)
+            self.write("adaptive maintenance %s"
+                       % ("on (traced statements trigger re-analyze)"
+                          if value else "off"))
+            return
+        policy = self.db.defaults.resolved().adaptive
+        enabled = bool(policy and policy.enabled)
+        self.write("adaptive maintenance is %s"
+                   % ("on" if enabled else "off"))
+        if enabled:
+            self.write("  threshold=%g min_samples=%d cooldown=%d"
+                       % (policy.qerror_threshold, policy.min_samples,
+                          policy.cooldown_queries))
+        self.write(self.db.adaptive.render())
 
     def _explain_command(self, argument: str) -> None:
         if not argument:

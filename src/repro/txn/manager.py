@@ -811,3 +811,20 @@ class TransactionManager:
         if self._wal is not None:
             info["wal"] = self._wal.stats()
         return info
+
+    def sessions_overview(self) -> List[dict]:
+        """One summary dict per live session — the server's ``sessions``
+        admin request and the shell's ``\\sessions`` view. Call under
+        the database statement lock."""
+        out = []
+        for state in self._sessions:
+            txn = state.txn
+            out.append({
+                "session": state.name,
+                "bound": state is self._active,
+                "in_transaction": txn is not None,
+                "txn": txn.name if txn else None,
+                "aborted": bool(txn and txn.aborted),
+                "statements": txn.statements if txn else 0,
+            })
+        return out

@@ -1,5 +1,13 @@
 """Deterministic synthetic workload generators."""
 
+from .drift import (
+    DRIFT_QUERY,
+    DriftConfig,
+    build_drift,
+    fresh_drift,
+    plan_signature,
+    run_drift_narrative,
+)
 from .empdept import (
     BIG_BUDGET_THRESHOLD,
     DEP_AVG_SAL_VIEW,
@@ -22,18 +30,24 @@ from .star import StarConfig, build_star, fresh_star
 __all__ = [
     "BIG_BUDGET_THRESHOLD",
     "DEP_AVG_SAL_VIEW",
+    "DRIFT_QUERY",
+    "DriftConfig",
     "EmpDeptConfig",
     "GraphConfig",
     "MOTIVATING_QUERY",
     "StarConfig",
     "TC_QUERY",
     "YOUNG_AGE_THRESHOLD",
+    "build_drift",
     "build_empdept",
     "build_graph",
     "build_star",
+    "fresh_drift",
     "fresh_empdept",
     "fresh_graph",
     "fresh_star",
     "graph_edges",
+    "plan_signature",
+    "run_drift_narrative",
     "tc_query",
 ]

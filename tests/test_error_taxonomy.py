@@ -14,7 +14,7 @@ import string
 
 import pytest
 
-from repro import Database, DataType, ReproError
+from repro import Database, DataType, ProtocolError, ReproError
 from repro.distributed import DistributedDatabase, FaultPlan
 
 # Internal exception types that must NEVER escape a public entry point.
@@ -417,3 +417,43 @@ def test_server_survives_wire_garbage(fuzz_server, seed):
         assert client.sql("SELECT COUNT(*) AS c FROM Emp").rows[0][0] \
             >= 40
     assert not fuzz_server.db.txn.any_open_txn()
+
+
+BAD_SLOWLOG_LIMITS = [0, -1, 1001, "ten", True, False, None, 2.5,
+                      [5], {"n": 5}]
+
+
+@pytest.mark.parametrize("limit", BAD_SLOWLOG_LIMITS,
+                         ids=[repr(v) for v in BAD_SLOWLOG_LIMITS])
+def test_server_admin_bad_limit_stays_in_band(fuzz_server, limit):
+    """A malformed ``slowlog`` limit is a request-level mistake: the
+    server answers with a typed ProtocolError in-band and the
+    connection keeps working — no disconnect, no leaked raw error."""
+    with fuzz_server.connect() as client:
+        with pytest.raises(ProtocolError) as excinfo:
+            client.request("slowlog", limit=limit)
+        assert "limit" in str(excinfo.value)
+        assert client.ping(), "connection died on a bad admin request"
+        assert client.slowlog(limit=1) == client.slowlog(limit=1)
+
+
+@pytest.mark.parametrize("op", ["slow_log", "session", "metric",
+                               "top", "drfit", "admin"])
+def test_server_unknown_admin_ops_stay_typed(fuzz_server, op):
+    """Misspelled admin ops get the same in-band ProtocolError as any
+    unknown op, and the connection survives."""
+    with fuzz_server.connect() as client:
+        with pytest.raises(ProtocolError):
+            client.request(op)
+        assert client.ping()
+
+
+def test_server_admin_ops_ignore_junk_extra_fields(fuzz_server):
+    """Unknown request fields are ignored, as the protocol promises —
+    admin requests included."""
+    with fuzz_server.connect() as client:
+        response = client.request("sessions", junk=1, nested={"a": [2]})
+        assert response["ok"]
+        assert isinstance(response["sessions"], list)
+        report = client.request("drift", limit="ignored")["drift"]
+        assert set(report) >= {"empty", "groups", "tables"}

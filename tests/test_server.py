@@ -282,3 +282,65 @@ class TestConcurrentClients:
             assert sorted(rows) == [(100 + i, 10) for i in range(8)]
         assert _wait_until(lambda: harness.server.connections == 0)
         assert harness.server.total_connections >= 9
+
+
+class TestAdminSurface:
+    def test_sessions_lists_every_connection(self, harness):
+        with harness.connect() as a, harness.connect() as b:
+            a.sql("BEGIN")
+            a.sql("INSERT INTO t VALUES (7, 70)")
+            overview = {entry["session"]: entry for entry in b.sessions()}
+            assert a.conn_id in overview and b.conn_id in overview
+            mine = overview[a.conn_id]
+            assert mine["in_transaction"] and not mine["aborted"]
+            assert mine["statements"] >= 1
+            # nobody is mid-statement while we look
+            assert mine["running"] is None
+            assert mine["running_seconds"] is None
+            a.sql("ROLLBACK")
+
+    def test_slowlog_empty_without_telemetry(self, harness):
+        with harness.connect() as client:
+            client.sql("SELECT id FROM t")
+            assert client.slowlog() == []
+
+    def test_slow_entry_carries_plan_and_trace(self, harness):
+        harness.db.configure(telemetry=True, slow_query_seconds=1e-9,
+                             trace=True)
+        with harness.connect() as client:
+            client.sql("SELECT id, v FROM t WHERE id = 2")
+            entries = client.slowlog(limit=5)
+            assert entries, "slow entry should have crossed the wire"
+            entry = entries[0]
+            assert entry["slow"]
+            assert entry["session"] == client.conn_id
+            assert "SELECT id, v FROM t" in entry["statement"]
+            # the replay payload: full plan text plus the span trace
+            assert "Scan" in entry["plan"]
+            assert entry["trace"]["root"]
+
+    def test_slowlog_respects_limit(self, harness):
+        harness.db.configure(telemetry=True, slow_query_seconds=1e-9)
+        with harness.connect() as client:
+            for _ in range(4):
+                client.sql("SELECT id FROM t")
+            assert len(client.slowlog(limit=2)) == 2
+
+    def test_drift_over_the_wire(self, harness):
+        harness.db.configure(trace=True)
+        with harness.connect() as client:
+            client.sql("SELECT id FROM t WHERE v > 15")
+            report = client.drift()
+            assert not report["empty"]
+            assert report["recorded"] >= 1
+            assert report["groups"]
+            tables = {t["table"] for t in report["tables"]}
+            assert "t" in tables
+
+    def test_metrics_include_latency_when_telemetry_on(self, harness):
+        harness.db.configure(telemetry=True)
+        with harness.connect() as client:
+            client.sql("SELECT id FROM t")
+            metrics = client.metrics()
+            assert "latency" in metrics
+            assert metrics["latency"]["select"]["count"] >= 1

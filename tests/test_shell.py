@@ -402,3 +402,49 @@ class TestTxnShell:
         output = out.getvalue()
         assert "^C — statement abandoned" in output
         assert "transaction" not in output
+
+
+class TestServingCommands:
+    def test_slow_turns_telemetry_on_then_records(self):
+        db = Database()
+        output = run_shell(
+            SETUP + "\\slow\nSELECT a FROM T;\n\\slow\n", db=db)
+        assert "query telemetry on" in output
+        assert "no slow queries recorded" in output
+        assert db.defaults.resolved().telemetry
+        # the statement after the first \slow was recorded...
+        assert db.querylog.recorded >= 1
+        # ...but a fast query is not in the *slow* log
+        assert "SELECT a FROM T" not in output.split("\\slow")[-1]
+
+    def test_slow_shows_offenders_with_low_threshold(self):
+        db = Database()
+        db.configure(slow_query_seconds=1e-9)
+        output = run_shell(SETUP + "\\slow\nSELECT a FROM T;\n\\slow\n",
+                           db=db)
+        assert "SELECT a FROM T" in output
+        assert "kind" in output  # the slow-log header row
+
+    def test_slow_bad_argument(self):
+        assert "usage: \\slow" in run_shell("\\slow x\n")
+        assert "usage: \\slow" in run_shell("\\slow 0\n")
+        assert "usage: \\slow" in run_shell("\\slow -3\n")
+
+    def test_sessions_lists_the_bound_session(self):
+        output = run_shell(SETUP + "BEGIN;\n\\sessions\nROLLBACK;\n")
+        assert "session" in output and "bound" in output
+        assert "*" in output  # the shell's own session is bound
+
+    def test_adaptive_toggle_and_status(self):
+        db = Database()
+        output = run_shell("\\adaptive\n\\adaptive on\n\\adaptive\n"
+                           "\\adaptive off\n", db=db)
+        assert "adaptive maintenance is off" in output
+        assert "adaptive maintenance on" in output
+        assert "adaptive maintenance is on" in output
+        assert "threshold=" in output
+        assert "no adaptive actions" in output
+        assert not db.defaults.resolved().adaptive.enabled
+
+    def test_adaptive_bad_argument(self):
+        assert "usage: \\adaptive" in run_shell("\\adaptive maybe\n")
